@@ -1,0 +1,80 @@
+//! TOP solver benchmarks (the Fig. 9/10 algorithms' runtimes).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdc_bench::fixture;
+use ppdc_model::Sfc;
+use ppdc_placement::{dp_placement, greedy_placement, optimal_placement, steering_placement};
+
+fn bench_dp_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_placement");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for (k, l) in [(4usize, 20usize), (8, 100), (16, 100)] {
+        let (ft, dm, w) = fixture(k, l);
+        let sfc = Sfc::of_len(5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_l{l}")),
+            &(),
+            |b, _| b.iter(|| dp_placement(ft.graph(), &dm, &w, &sfc).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (ft, dm, w) = fixture(8, 100);
+    let sfc = Sfc::of_len(5).unwrap();
+    c.bench_function("steering_k8_l100", |b| {
+        b.iter(|| steering_placement(ft.graph(), &dm, &w, &sfc).unwrap())
+    });
+    c.bench_function("greedy_k8_l100", |b| {
+        b.iter(|| greedy_placement(ft.graph(), &dm, &w, &sfc).unwrap())
+    });
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let (ft, dm, w) = fixture(4, 20);
+    let mut group = c.benchmark_group("optimal_placement_k4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [3usize, 5] {
+        let sfc = Sfc::of_len(n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sfc, |b, sfc| {
+            b.iter(|| optimal_placement(ft.graph(), &dm, &w, sfc).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use ppdc_placement::{greedy_replication, optimal_placement_scaled, TrafficScaling};
+    let (ft, dm, w) = fixture(4, 20);
+    let sfc = Sfc::of_len(3).unwrap();
+    let mut group = c.benchmark_group("extensions_k4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let (p, _) = dp_placement(ft.graph(), &dm, &w, &sfc).unwrap();
+    group.bench_function("greedy_replication_4", |b| {
+        b.iter(|| greedy_replication(ft.graph(), &dm, &w, &p, 4).unwrap())
+    });
+    let filter = TrafficScaling::uniform(&sfc, 500);
+    group.bench_function("optimal_placement_scaled", |b| {
+        b.iter(|| {
+            optimal_placement_scaled(ft.graph(), &dm, &w, &sfc, &filter, u64::MAX).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_placement,
+    bench_baselines,
+    bench_optimal,
+    bench_extensions
+);
+criterion_main!(benches);

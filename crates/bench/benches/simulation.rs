@@ -1,0 +1,34 @@
+//! Full simulated-day benchmarks per migration policy (k = 8).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppdc_model::Sfc;
+use ppdc_sim::{simulate, MigrationPolicy, SimConfig};
+use ppdc_topology::{DistanceMatrix, FatTree};
+use ppdc_traffic::standard_workload;
+
+fn bench_day(c: &mut Criterion) {
+    let ft = FatTree::build(8).unwrap();
+    let dm = DistanceMatrix::build(ft.graph());
+    let (w, trace) = standard_workload(&ft, 50, 0xDA7, 0);
+    let sfc = Sfc::of_len(5).unwrap();
+    let mut group = c.benchmark_group("simulated_day_k8_l50");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for (name, policy) in [
+        ("mpareto", MigrationPolicy::MPareto),
+        ("plan", MigrationPolicy::Plan { slots: 8, passes: 4 }),
+        ("mcf", MigrationPolicy::Mcf { slots: 8, candidates: 16 }),
+        ("no_migration", MigrationPolicy::NoMigration),
+    ] {
+        let cfg = SimConfig { mu: 10_000, vm_mu: 10_000, policy };
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_day);
+criterion_main!(benches);

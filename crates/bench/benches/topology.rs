@@ -1,0 +1,32 @@
+//! Substrate benchmarks: topology construction and shortest paths.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdc_topology::{DistanceMatrix, FatTree};
+
+fn bench_fat_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fat_tree_build");
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| FatTree::build(k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for k in [4usize, 8, 16] {
+        let g = FatTree::build(k).unwrap().into_graph();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fat_tree_build, bench_all_pairs);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! **Fig. 7** — TOP-1 (n-stroll) algorithm comparison.
+//!
+//! Setting: k = 8 unweighted fat-tree, one VM pair (`l = 1`), number of
+//! VNFs `n` on the x-axis. Series:
+//!
+//! * **Optimal** — exact branch-and-bound stroll,
+//! * **DP-Stroll** — Algorithm 2,
+//! * **PrimalDual** — the constructive Goemans–Williamson Algorithm 1,
+//! * **2 × Optimal** — the `2 + ε` guarantee the paper plots for
+//!   PrimalDual.
+//!
+//! Expected shape (paper): DP-Stroll tracks Optimal within ~8 % and sits
+//! well under the 2× guarantee.
+
+use crate::{fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, Scale};
+use ppdc_placement::{top1_dp, top1_optimal, top1_primal_dual};
+use ppdc_sim::{summarize, Table};
+use ppdc_traffic::rng_for_run;
+use rand::Rng;
+
+/// Per-run branch-and-bound budget for the Optimal series.
+const OPT_BUDGET: u64 = 30_000_000;
+
+/// Regenerates Fig. 7. Returns the table of series by `n`.
+pub fn fig7(scale: &Scale) -> Table {
+    let (ft, dm) = fat_tree_with_distances(scale.k_top());
+    let g = ft.graph();
+    let hosts: Vec<_> = g.hosts().collect();
+    let ns: Vec<usize> = if scale.quick {
+        (1..=6).collect()
+    } else {
+        (1..=13).collect()
+    };
+    let runs = scale.runs();
+    let mut table = Table::new(
+        format!(
+            "Fig. 7 — TOP-1 (l=1, k={}, unweighted): communication cost vs n",
+            scale.k_top()
+        ),
+        &["n", "Optimal", "DP-Stroll", "PrimalDual", "2xOptimal (guarantee)", "DP/Opt"],
+    );
+    // Once the exact search exhausts its budget for every run of some n,
+    // larger n cannot do better — stop burning budget on them.
+    let mut optimal_abandoned = false;
+    for &n in &ns {
+        let mut opt = Vec::new();
+        let mut dp = Vec::new();
+        let mut pd = Vec::new();
+        for run in 0..runs {
+            let mut rng = rng_for_run(7_000 + n as u64, run);
+            // One VM pair on random hosts with a random production rate.
+            let src = hosts[rng.gen_range(0..hosts.len())];
+            let dst = hosts[rng.gen_range(0..hosts.len())];
+            // Unit rate: the single flow's rate is a constant multiplier of
+            // every series, so rate 1 shows the structural comparison the
+            // figure is about.
+            let rate = 1;
+            let dps = top1_dp(g, &dm, src, dst, rate, n).expect("dp solves");
+            dp.push(dps.comm_cost as f64);
+            let pds = top1_primal_dual(g, &dm, src, dst, rate, n).expect("pd solves");
+            pd.push(pds.comm_cost as f64);
+            opt.push(if optimal_abandoned {
+                None
+            } else {
+                top1_optimal(g, &dm, src, dst, rate, n, OPT_BUDGET)
+                    .ok()
+                    .map(|s| s.comm_cost as f64)
+            });
+        }
+        if opt.iter().all(Option::is_none) {
+            optimal_abandoned = true;
+        }
+        let dp_sum = summarize(&dp);
+        let pd_sum = summarize(&pd);
+        let guarantee = mean_maybe(&opt).map(|m| 2.0 * m);
+        let ratio = mean_maybe(&opt)
+            .map(|m| format!("{:.3}", dp_sum.mean / m))
+            .unwrap_or_else(|| "n/c".into());
+        table.row(vec![
+            n.to_string(),
+            fmt_maybe(&opt),
+            fmt_summary(&dp_sum),
+            fmt_summary(&pd_sum),
+            guarantee.map(|gu| format!("{gu:.0}")).unwrap_or_else(|| "n/c".into()),
+            ratio,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig7_produces_all_rows() {
+        let t = fig7(&Scale { quick: true });
+        assert_eq!(t.len(), 6);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,Optimal,"));
+    }
+}

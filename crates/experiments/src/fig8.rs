@@ -1,0 +1,40 @@
+//! **Fig. 8** — the daily traffic-rate pattern (Eq. 9).
+//!
+//! The curve every dynamic experiment drives: a triangular ramp over the
+//! 12-hour day with floor τ_min = 0.2, and the east-coast cohort running
+//! three hours ahead of the west-coast one.
+
+use ppdc_sim::Table;
+use ppdc_traffic::{DiurnalModel, EAST_COAST_OFFSET};
+
+/// Regenerates Fig. 8: scale factors per hour for the two cohorts.
+pub fn fig8() -> Table {
+    let model = DiurnalModel::default();
+    let mut table = Table::new(
+        "Fig. 8 — daily traffic scale (Eq. 9, τ_min = 0.2, N = 12)",
+        &["hour (6AM+h)", "west cohort", "east cohort (3h ahead)"],
+    );
+    for h in 0..=model.n_hours {
+        table.row(vec![
+            h.to_string(),
+            format!("{:.3}", model.scale_at(h as i64)),
+            format!("{:.3}", model.scale_at(h as i64 + EAST_COAST_OFFSET)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_hourly_points() {
+        let t = fig8();
+        assert_eq!(t.len(), 13);
+        let csv = t.to_csv();
+        // West peaks at hour 6, east at hour 3.
+        assert!(csv.contains("6,1.000,0.600"));
+        assert!(csv.contains("3,0.600,1.000"));
+    }
+}

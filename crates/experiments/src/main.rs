@@ -1,0 +1,66 @@
+//! `ppdc-experiments` — regenerates every figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ppdc-experiments            # full scale
+//! cargo run --release -p ppdc-experiments -- --quick # smoke test
+//! cargo run --release -p ppdc-experiments -- fig7    # one figure
+//! ```
+
+use ppdc_experiments::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
+    let all = which.is_empty();
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+    eprintln!(
+        "# PPDC experiment suite ({} scale)",
+        if scale.quick { "quick" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    if wants("fig6b") {
+        run("fig6b", || fig6b(&scale).to_markdown());
+    }
+    if wants("fig7") {
+        run("fig7", || fig7(&scale).to_markdown());
+    }
+    if wants("fig8") {
+        run("fig8", || fig8().to_markdown());
+    }
+    if wants("fig9a") {
+        run("fig9a", || fig9a(&scale).to_markdown());
+    }
+    if wants("fig9b") {
+        run("fig9b", || fig9b(&scale).to_markdown());
+    }
+    if wants("fig10") {
+        run("fig10", || fig10(&scale).to_markdown());
+    }
+    if wants("fig11ab") || wants("fig11") {
+        run("fig11ab", || {
+            let (a, b) = fig11a_b(&scale);
+            format!("{}\n{}", a.to_markdown(), b.to_markdown())
+        });
+    }
+    if wants("fig11c") || wants("fig11") {
+        run("fig11c", || fig11c(&scale).to_markdown());
+    }
+    if wants("fig11d") || wants("fig11") {
+        run("fig11d", || fig11d(&scale).to_markdown());
+    }
+    if wants("ext_replication") || wants("ext") {
+        run("ext_replication", || ext_replication(&scale).to_markdown());
+    }
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run(name: &str, f: impl FnOnce() -> String) {
+    let t = std::time::Instant::now();
+    eprintln!("## running {name} …");
+    let out = f();
+    println!("{out}");
+    eprintln!("## {name} done in {:.1}s", t.elapsed().as_secs_f64());
+}

@@ -1,0 +1,233 @@
+//! VNF migration frontiers (Definitions 1 and 2 of the paper) and the
+//! Pareto front they sweep.
+//!
+//! Each VNF `f_j` migrates from `p(j)` toward its new home `p'(j)` along
+//! the shortest path `S_j`. A *frontier* picks one switch per path; the
+//! `h_max` *parallel frontiers* advance all VNFs in lock-step (a VNF that
+//! has arrived stays put). As `C_b` (migration) rises along the frontier
+//! sequence, `C_a` (communication) falls — the points form a Pareto front,
+//! and Theorem 5 says mPareto is optimal whenever that front is convex.
+
+use ppdc_model::{comm_cost, migration_cost, MigrationCoefficient, Placement, Workload};
+use ppdc_topology::{Cost, DistanceMatrix, NodeId, NodeKind, Graph};
+
+/// One evaluated frontier: its placement snapshot and both cost terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierPoint {
+    /// The snapshot `m` of all VNF positions at this frontier.
+    pub placement: Placement,
+    /// `C_b(p, m)` — migration cost of reaching this frontier from `p`.
+    pub migration_cost: Cost,
+    /// `C_a(m)` — communication cost if the VNFs stop here.
+    pub comm_cost: Cost,
+}
+
+impl FrontierPoint {
+    /// `C_t(p, m) = C_b + C_a`.
+    pub fn total_cost(&self) -> Cost {
+        self.migration_cost + self.comm_cost
+    }
+}
+
+/// The migration paths `S_j`: the shortest path from `p(j)` to `p'(j)` for
+/// every VNF (a single-switch path when the VNF does not move).
+///
+/// # Panics
+///
+/// Panics if the two placements differ in length or a path crosses a host
+/// (cannot happen in leaf-host topologies like fat-trees).
+pub fn migration_paths(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    p: &Placement,
+    p_new: &Placement,
+) -> Vec<Vec<NodeId>> {
+    assert_eq!(p.len(), p_new.len(), "placement length mismatch");
+    p.switches()
+        .iter()
+        .zip(p_new.switches())
+        .map(|(&from, &to)| {
+            let path = dm.path(from, to).expect("connected PPDC");
+            debug_assert!(
+                path.iter().all(|&v| g.kind(v) == NodeKind::Switch),
+                "migration path must stay on switches"
+            );
+            path
+        })
+        .collect()
+}
+
+/// The `h_max` parallel migration frontiers ℙ of Definition 2, evaluated:
+/// row 0 is `p` itself (zero migration), the last row is `p'`.
+pub fn parallel_frontiers(
+    dm: &DistanceMatrix,
+    w: &Workload,
+    paths: &[Vec<NodeId>],
+    p: &Placement,
+    mu: MigrationCoefficient,
+) -> Vec<FrontierPoint> {
+    let h_max = paths.iter().map(Vec::len).max().unwrap_or(1);
+    (0..h_max)
+        .map(|i| {
+            let snapshot: Vec<NodeId> = paths
+                .iter()
+                .map(|path| path[i.min(path.len() - 1)])
+                .collect();
+            let m = Placement::new_relaxed(snapshot);
+            FrontierPoint {
+                migration_cost: migration_cost(dm, p, &m, mu),
+                comm_cost: comm_cost(dm, w, &m),
+                placement: m,
+            }
+        })
+        .collect()
+}
+
+/// Extracts the Pareto front from frontier points: sorted by rising
+/// `C_b`, keeping only points whose `C_a` strictly improves on everything
+/// cheaper.
+pub fn pareto_front(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
+    let mut sorted: Vec<&FrontierPoint> = points.iter().collect();
+    sorted.sort_by_key(|f| (f.migration_cost, f.comm_cost));
+    let mut front: Vec<FrontierPoint> = Vec::new();
+    for f in sorted {
+        match front.last() {
+            Some(last) if f.comm_cost >= last.comm_cost => {} // dominated
+            Some(last) if f.migration_cost == last.migration_cost => {
+                // Same C_b, better C_a: replace.
+                let idx = front.len() - 1;
+                front[idx] = f.clone();
+            }
+            _ => front.push(f.clone()),
+        }
+    }
+    front
+}
+
+/// Theorem 5's hypothesis: is the (sorted) Pareto front convex?
+///
+/// For consecutive points the (negative) slopes `ΔC_a / ΔC_b` must be
+/// non-decreasing. Checked with exact cross-multiplication.
+pub fn is_convex(front: &[FrontierPoint]) -> bool {
+    if front.len() < 3 {
+        return true;
+    }
+    for w in front.windows(3) {
+        let (x0, y0) = (w[0].migration_cost as i128, w[0].comm_cost as i128);
+        let (x1, y1) = (w[1].migration_cost as i128, w[1].comm_cost as i128);
+        let (x2, y2) = (w[2].migration_cost as i128, w[2].comm_cost as i128);
+        // slope(w0,w1) <= slope(w1,w2) ⇔ (y1-y0)(x2-x1) <= (y2-y1)(x1-x0)
+        if (y1 - y0) * (x2 - x1) > (y2 - y1) * (x1 - x0) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdc_model::Sfc;
+    use ppdc_topology::builders::linear;
+
+    /// Example-1 setting: p = (s1, s2), p' = (s5, s4) on the 5-switch line.
+    fn setting() -> (Graph, DistanceMatrix, Workload, Placement, Placement) {
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h1, 1);
+        w.add_pair(h2, h2, 100);
+        let sfc = Sfc::of_len(2).unwrap();
+        let s: Vec<NodeId> = g.switches().collect();
+        let p = Placement::new(&g, &sfc, vec![s[0], s[1]]).unwrap();
+        let p_new = Placement::new(&g, &sfc, vec![s[4], s[3]]).unwrap();
+        (g, dm, w, p, p_new)
+    }
+
+    #[test]
+    fn paths_walk_the_line() {
+        let (g, dm, _, p, p_new) = setting();
+        let paths = migration_paths(&g, &dm, &p, &p_new);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 5, "s1 → s5 crosses all five switches");
+        assert_eq!(paths[1].len(), 3, "s2 → s4");
+        assert_eq!(paths[0][0], p.switch(0));
+        assert_eq!(*paths[0].last().unwrap(), p_new.switch(0));
+    }
+
+    #[test]
+    fn identity_migration_single_frontier() {
+        let (g, dm, w, p, _) = setting();
+        let paths = migration_paths(&g, &dm, &p, &p);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr[0].migration_cost, 0);
+        assert_eq!(fr[0].comm_cost, comm_cost(&dm, &w, &p));
+    }
+
+    #[test]
+    fn frontier_rows_interpolate_p_to_p_new() {
+        let (g, dm, w, p, p_new) = setting();
+        let paths = migration_paths(&g, &dm, &p, &p_new);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        assert_eq!(fr.len(), 5);
+        assert_eq!(fr[0].placement.switches(), p.switches());
+        assert_eq!(fr[4].placement.switches(), p_new.switches());
+        assert_eq!(fr[0].migration_cost, 0);
+        // Monotone C_b along parallel frontiers.
+        for w2 in fr.windows(2) {
+            assert!(w2[0].migration_cost <= w2[1].migration_cost);
+        }
+        // Final row pays the full migration: s1→s5 is 4, s2→s4 is 2.
+        assert_eq!(fr[4].migration_cost, 6);
+    }
+
+    #[test]
+    fn comm_cost_falls_as_migration_rises_in_example1() {
+        let (g, dm, w, p, p_new) = setting();
+        let paths = migration_paths(&g, &dm, &p, &p_new);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        // Hand-computed row costs: rows 0–4 place the pair at
+        // (s1,s2), (s2,s3), (s3,s4), (s4,s4), (s5,s4).
+        let comm: Vec<Cost> = fr.iter().map(|f| f.comm_cost).collect();
+        assert_eq!(comm, vec![1004, 806, 608, 408, 410]);
+        // Row 3 co-locates both VNFs on s4 — cheaper to communicate but
+        // not a legal resting point (non-injective).
+        assert!(!fr[3].placement.is_injective());
+        assert!(fr[4].placement.is_injective());
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_sorted() {
+        let (g, dm, w, p, p_new) = setting();
+        let paths = migration_paths(&g, &dm, &p, &p_new);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        let front = pareto_front(&fr);
+        assert!(!front.is_empty());
+        for w2 in front.windows(2) {
+            assert!(w2[0].migration_cost < w2[1].migration_cost);
+            assert!(w2[0].comm_cost > w2[1].comm_cost);
+        }
+    }
+
+    #[test]
+    fn convexity_checker() {
+        let mk = |pairs: &[(Cost, Cost)]| -> Vec<FrontierPoint> {
+            pairs
+                .iter()
+                .map(|&(b, a)| FrontierPoint {
+                    placement: Placement::new_relaxed(vec![NodeId(0)]),
+                    migration_cost: b,
+                    comm_cost: a,
+                })
+                .collect()
+        };
+        // Convex: slopes -10, -1.
+        assert!(is_convex(&mk(&[(0, 20), (1, 10), (11, 0)])));
+        // Concave: slopes -1, -10.
+        assert!(!is_convex(&mk(&[(0, 20), (10, 10), (11, 0)])));
+        // Degenerate fronts are trivially convex.
+        assert!(is_convex(&mk(&[(0, 5)])));
+        assert!(is_convex(&mk(&[(0, 5), (1, 4)])));
+    }
+}

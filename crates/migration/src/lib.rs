@@ -1,0 +1,80 @@
+//! **TOM — traffic-optimal VNF migration** (Section V of the paper).
+//!
+//! After the rate vector `λ` changes, the initial placement `p` is no
+//! longer traffic-optimal. TOM picks a migration `m : F → V_s` minimizing
+//! the Eq. 8 total `C_t(p, m) = C_b(p, m) + C_a(m)`, trading migration
+//! traffic against communication traffic.
+//!
+//! Solvers and baselines (paper's Table II):
+//!
+//! * [`mpareto`] — **mPareto** (Algorithm 5): recompute the ideal placement
+//!   `p'` with Algorithm 3, walk every VNF along its shortest migration
+//!   path toward `p'`, and pick the cheapest *parallel migration frontier*
+//!   (Definition 2). The frontier points sweep a Pareto front between
+//!   `C_b` and `C_a` ([`frontier`] exposes it, plus the convexity test of
+//!   Theorem 5).
+//! * [`optimal_migration`] — **Optimal** (Algorithm 6): exact
+//!   branch-and-bound over all migrations, with the mPareto result as the
+//!   incumbent.
+//! * [`baselines`] — **NoMigration**, and the two state-of-the-art *VM*
+//!   migration schemes the paper compares against: **PLAN** \[17\]
+//!   (utility-greedy VM moves under host slot capacities) and **MCF** \[24\]
+//!   (global VM reassignment as a minimum-cost flow on [`ppdc_mcf`]).
+
+pub mod baselines;
+pub mod frontier;
+pub mod mpareto;
+pub mod optimal;
+
+pub use baselines::{mcf_vm_migration, no_migration, plan_vm_migration, VmMigrationOutcome};
+pub use frontier::{is_convex, migration_paths, parallel_frontiers, pareto_front, FrontierPoint};
+pub use mpareto::{mpareto, MigrationOutcome};
+pub use optimal::{optimal_migration, optimal_migration_with_budget};
+
+use ppdc_model::ModelError;
+use ppdc_placement::PlacementError;
+use ppdc_stroll::StrollError;
+
+/// Errors produced by migration solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// Invalid model input.
+    Model(ModelError),
+    /// The placement step inside the solver failed.
+    Placement(PlacementError),
+    /// The exact search exhausted its budget.
+    Stroll(StrollError),
+    /// The MCF baseline's flow network was infeasible.
+    Infeasible(&'static str),
+}
+
+impl From<ModelError> for MigrationError {
+    fn from(e: ModelError) -> Self {
+        MigrationError::Model(e)
+    }
+}
+
+impl From<PlacementError> for MigrationError {
+    fn from(e: PlacementError) -> Self {
+        MigrationError::Placement(e)
+    }
+}
+
+impl From<StrollError> for MigrationError {
+    fn from(e: StrollError) -> Self {
+        MigrationError::Stroll(e)
+    }
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Model(e) => write!(f, "model error: {e}"),
+            MigrationError::Placement(e) => write!(f, "placement error: {e}"),
+            MigrationError::Stroll(e) => write!(f, "search error: {e}"),
+            MigrationError::Infeasible(what) => write!(f, "infeasible: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}

@@ -1,0 +1,353 @@
+//! **Optimal** — Algorithm 6: exact VNF migration.
+//!
+//! Minimizes `C_t(p, m)` over all ordered distinct switch sequences `m`.
+//! The search reuses the branch-and-bound idea of the placement solver but
+//! adds the position-dependent migration term `μ·c(p(j), m(j))` to every
+//! slot. The bound stays admissible:
+//!
+//! `g + Σλ·(n−k)·δ_min + min_unused A_out + μ·Σ_{j>k} minmove(j) ≤ C_t`
+//!
+//! where `minmove(j) = min_x c(p(j), x)` over candidate switches — the
+//! cheapest conceivable move for a VNF not yet placed (0 when staying put
+//! is possible). The incumbent is seeded with the better of "stay at `p`"
+//! and the caller-provided seed (typically mPareto's answer), so the search
+//! starts with strong pruning.
+
+use crate::mpareto::MigrationOutcome;
+use crate::frontier::FrontierPoint;
+use crate::MigrationError;
+use ppdc_model::{
+    comm_cost, migration_cost, MigrationCoefficient, ModelError, Placement, Sfc, Workload,
+};
+use ppdc_placement::AttachAggregates;
+use ppdc_stroll::StrollError;
+use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY};
+
+/// Default expansion budget for the migration branch-and-bound.
+pub const DEFAULT_BUDGET: u64 = 200_000_000;
+
+struct Search<'a> {
+    agg: &'a AttachAggregates,
+    closure: &'a MetricClosure,
+    /// Closure index of `p(j)` per slot.
+    from: Vec<usize>,
+    n: usize,
+    rate: u64,
+    mu: MigrationCoefficient,
+    min_edge: Cost,
+    /// Suffix sums of the per-slot cheapest-move bound.
+    minmove_suffix: Vec<Cost>,
+    sorted_from: Vec<Vec<usize>>,
+    used: Vec<bool>,
+    seq: Vec<usize>,
+    best_cost: Cost,
+    best_seq: Vec<usize>,
+    expansions: u64,
+    budget: u64,
+}
+
+impl<'a> Search<'a> {
+    fn dfs(&mut self, depth: usize, g: Cost) -> Result<(), StrollError> {
+        self.expansions += 1;
+        if self.expansions > self.budget {
+            return Err(StrollError::BudgetExhausted { budget: self.budget });
+        }
+        if depth == self.n {
+            let last = *self.seq.last().expect("n >= 1");
+            let total = g + self.agg.a_out(self.closure.node(last));
+            if total < self.best_cost {
+                self.best_cost = total;
+                self.best_seq = self.seq.clone();
+            }
+            return Ok(());
+        }
+        // Admissible bound on the remaining slots.
+        let lb = g
+            + self.rate * self.min_edge * (self.n - depth).saturating_sub(1) as Cost
+            + self.minmove_suffix[depth]
+            + self.min_unused_a_out();
+        if lb >= self.best_cost {
+            return Ok(());
+        }
+        let order = if depth == 0 {
+            (0..self.closure.len()).collect::<Vec<_>>()
+        } else {
+            self.sorted_from[*self.seq.last().unwrap()].clone()
+        };
+        for x in order {
+            if self.used[x] {
+                continue;
+            }
+            let mut step = self.mu * self.closure.cost_ix(self.from[depth], x);
+            if depth == 0 {
+                step += self.agg.a_in(self.closure.node(x));
+            } else {
+                step += self.rate * self.closure.cost_ix(*self.seq.last().unwrap(), x);
+            }
+            self.used[x] = true;
+            self.seq.push(x);
+            self.dfs(depth + 1, g + step)?;
+            self.seq.pop();
+            self.used[x] = false;
+        }
+        Ok(())
+    }
+
+    fn min_unused_a_out(&self) -> Cost {
+        (0..self.closure.len())
+            .filter(|&x| !self.used[x])
+            .map(|x| self.agg.a_out(self.closure.node(x)))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Exact optimal migration with the default budget, seeded by `seed` (pass
+/// mPareto's outcome for fast pruning) when provided.
+pub fn optimal_migration(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    seed: Option<&Placement>,
+) -> Result<MigrationOutcome, MigrationError> {
+    optimal_migration_with_budget(g, dm, w, sfc, p, mu, seed, DEFAULT_BUDGET)
+}
+
+/// Exact optimal migration with a caller-chosen branch-and-bound budget.
+///
+/// # Errors
+///
+/// [`MigrationError::Stroll`] with `BudgetExhausted` when the search could
+/// not be completed within `budget` expansions.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_migration_with_budget(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    seed: Option<&Placement>,
+    budget: u64,
+) -> Result<MigrationOutcome, MigrationError> {
+    let n = sfc.len();
+    if p.len() != n {
+        return Err(MigrationError::Model(ModelError::WrongLength {
+            expected: n,
+            got: p.len(),
+        }));
+    }
+    let switches: Vec<NodeId> = g.switches().collect();
+    if switches.len() < n {
+        return Err(MigrationError::Model(ModelError::TooFewSwitches {
+            switches: switches.len(),
+            vnfs: n,
+        }));
+    }
+    let agg = AttachAggregates::build(g, dm, w);
+    let closure = MetricClosure::over(dm, &switches);
+    let m_count = closure.len();
+    let mut min_edge = INFINITY;
+    for i in 0..m_count {
+        for j in 0..m_count {
+            if i != j {
+                min_edge = min_edge.min(closure.cost_ix(i, j));
+            }
+        }
+    }
+    if m_count < 2 {
+        min_edge = 0;
+    }
+    let from: Vec<usize> = p
+        .switches()
+        .iter()
+        .map(|&s| closure.index(s).expect("p lives on switches"))
+        .collect();
+    // minmove[j] = μ · min_x c(p(j), x); staying (x = p(j)) costs 0, so
+    // this is 0 — unless the slot's own switch is somehow excluded. Kept
+    // general and summed into suffix bounds.
+    let minmove: Vec<Cost> = from
+        .iter()
+        .map(|&f| (0..m_count).map(|x| mu * closure.cost_ix(f, x)).min().unwrap_or(0))
+        .collect();
+    let mut minmove_suffix = vec![0; n + 1];
+    for j in (0..n).rev() {
+        minmove_suffix[j] = minmove_suffix[j + 1] + minmove[j];
+    }
+    let mut sorted_from = vec![Vec::new(); m_count];
+    for u in 0..m_count {
+        let mut list: Vec<usize> = (0..m_count).filter(|&x| x != u).collect();
+        list.sort_by_key(|&x| (closure.cost_ix(u, x), x));
+        // Staying options first is handled by including u itself up front.
+        list.insert(0, u);
+        sorted_from[u] = list;
+    }
+    // Seed: the better of "stay at p" and the provided seed.
+    let stay_cost = comm_cost(dm, w, p);
+    let mut best_cost = stay_cost;
+    let mut best_seq: Vec<usize> = from.clone();
+    if let Some(sd) = seed {
+        if sd.len() == n && sd.is_injective() {
+            let c = migration_cost(dm, p, sd, mu) + comm_cost(dm, w, sd);
+            if c < best_cost {
+                best_cost = c;
+                best_seq = sd
+                    .switches()
+                    .iter()
+                    .map(|&s| closure.index(s).expect("seed on switches"))
+                    .collect();
+            }
+        }
+    }
+    let mut search = Search {
+        agg: &agg,
+        closure: &closure,
+        from,
+        n,
+        rate: agg.total_rate(),
+        mu,
+        min_edge,
+        minmove_suffix,
+        sorted_from,
+        used: vec![false; m_count],
+        seq: Vec::with_capacity(n),
+        best_cost,
+        best_seq,
+        expansions: 0,
+        budget,
+    };
+    search.dfs(0, 0)?;
+    let m = Placement::new_unchecked(
+        search
+            .best_seq
+            .iter()
+            .map(|&i| closure.node(i))
+            .collect(),
+    );
+    let mig = migration_cost(dm, p, &m, mu);
+    let com = comm_cost(dm, w, &m);
+    let num_migrations = p
+        .switches()
+        .iter()
+        .zip(m.switches())
+        .filter(|(a, b)| a != b)
+        .count();
+    Ok(MigrationOutcome {
+        migration_cost: mig,
+        comm_cost: com,
+        total_cost: mig + com,
+        num_migrations,
+        migration: m,
+        frontiers: Vec::<FrontierPoint>::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpareto::mpareto;
+    use ppdc_model::total_cost;
+    use ppdc_placement::dp_placement;
+    use ppdc_topology::builders::{fat_tree, linear};
+
+    fn example1_swapped() -> (Graph, DistanceMatrix, Workload, Sfc, Placement) {
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h1, 1);
+        w.add_pair(h2, h2, 100);
+        let sfc = Sfc::of_len(2).unwrap();
+        let s: Vec<NodeId> = g.switches().collect();
+        let p = Placement::new(&g, &sfc, vec![s[0], s[1]]).unwrap();
+        (g, dm, w, sfc, p)
+    }
+
+    #[test]
+    fn example1_optimal_matches_mpareto() {
+        let (g, dm, w, sfc, p) = example1_swapped();
+        let opt = optimal_migration(&g, &dm, &w, &sfc, &p, 1, None).unwrap();
+        let mp = mpareto(&g, &dm, &w, &sfc, &p, 1).unwrap();
+        assert_eq!(opt.total_cost, 416);
+        assert_eq!(opt.total_cost, mp.total_cost);
+        assert_eq!(
+            opt.total_cost,
+            total_cost(&dm, &w, &p, &opt.migration, 1)
+        );
+    }
+
+    #[test]
+    fn optimal_never_exceeds_mpareto_or_staying() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for i in 0..5 {
+            w.add_pair(hosts[3 * i], hosts[3 * i + 1], 10 + i as u64 * 37);
+        }
+        let sfc = Sfc::of_len(3).unwrap();
+        let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        w.set_rates(&[500, 3, 2, 400, 1]).unwrap();
+        for mu in [0u64, 2, 50, 10_000] {
+            let mp = mpareto(&g, &dm, &w, &sfc, &p, mu).unwrap();
+            let opt =
+                optimal_migration(&g, &dm, &w, &sfc, &p, mu, Some(&mp.migration)).unwrap();
+            assert!(opt.total_cost <= mp.total_cost, "mu={mu}");
+            assert!(opt.total_cost <= comm_cost(&dm, &w, &p), "mu={mu} vs staying");
+        }
+    }
+
+    #[test]
+    fn theorem4_mu_zero_equals_fresh_optimal_placement() {
+        // TOM with μ = 0 is exactly TOP (Theorem 4): the optimal migration
+        // equals the optimal placement for the new rates.
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[2], 10);
+        w.add_pair(hosts[7], hosts[12], 90);
+        let sfc = Sfc::of_len(3).unwrap();
+        let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        w.set_rates(&[90, 10]).unwrap();
+        let opt_m = optimal_migration(&g, &dm, &w, &sfc, &p, 0, None).unwrap();
+        let (_, opt_p_cost) =
+            ppdc_placement::optimal_placement(&g, &dm, &w, &sfc).unwrap();
+        assert_eq!(opt_m.total_cost, opt_p_cost);
+    }
+
+    #[test]
+    fn huge_mu_stays_put() {
+        let (g, dm, w, sfc, p) = example1_swapped();
+        let opt = optimal_migration(&g, &dm, &w, &sfc, &p, u32::MAX as u64, None).unwrap();
+        assert_eq!(opt.num_migrations, 0);
+        assert_eq!(opt.total_cost, comm_cost(&dm, &w, &p));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[15], 5);
+        let sfc = Sfc::of_len(5).unwrap();
+        let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        assert!(matches!(
+            optimal_migration_with_budget(&g, &dm, &w, &sfc, &p, 1, None, 2),
+            Err(MigrationError::Stroll(StrollError::BudgetExhausted { .. }))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_placement_rejected() {
+        let (g, dm, w, _, p) = example1_swapped();
+        let sfc3 = Sfc::of_len(3).unwrap();
+        assert!(matches!(
+            optimal_migration(&g, &dm, &w, &sfc3, &p, 1, None),
+            Err(MigrationError::Model(ModelError::WrongLength { .. }))
+        ));
+    }
+}

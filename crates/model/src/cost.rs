@@ -1,0 +1,182 @@
+//! The topology-aware cost model: Eq. 1 (`C_a`), `C_b`, and Eq. 8 (`C_t`).
+
+use crate::sfc::Placement;
+use crate::vm::Workload;
+use ppdc_topology::{Cost, DistanceMatrix, NodeId};
+
+/// The VNF migration coefficient `μ`: the ratio between the cost of moving
+/// one VNF one cost-unit and the cost of one unit of VM traffic over one
+/// cost-unit.
+///
+/// The paper quantifies it as (container memory ≈ 100 MB) / (packet ≈ 1 KB),
+/// i.e. `μ ∈ [10⁴, 10⁵]` for the dynamic-traffic experiments.
+pub type MigrationCoefficient = u64;
+
+/// Interior chain cost `Σ_{j=1}^{n-1} c(p(j), p(j+1))` — the per-rate-unit
+/// cost of traversing the SFC once the traffic is at the ingress switch.
+pub fn chain_cost(dm: &DistanceMatrix, p: &Placement) -> Cost {
+    p.switches()
+        .windows(2)
+        .map(|w| dm.cost(w[0], w[1]))
+        .sum()
+}
+
+/// Attachment cost `c(s(v_i), p(1)) + c(p(n), s(v'_i))` for one flow — the
+/// per-rate-unit cost of reaching the ingress and leaving the egress.
+pub fn attach_cost(dm: &DistanceMatrix, src_host: NodeId, dst_host: NodeId, p: &Placement) -> Cost {
+    dm.cost(src_host, p.ingress()) + dm.cost(p.egress(), dst_host)
+}
+
+/// Communication cost of a single flow under placement `p`:
+/// `λ · (c(s, p(1)) + Σ c(p(j), p(j+1)) + c(p(n), t))`.
+pub fn comm_cost_flow(
+    dm: &DistanceMatrix,
+    src_host: NodeId,
+    dst_host: NodeId,
+    rate: u64,
+    p: &Placement,
+) -> Cost {
+    rate * (attach_cost(dm, src_host, dst_host, p) + chain_cost(dm, p))
+}
+
+/// Total communication cost `C_a(p)` over all flows (Eq. 1).
+///
+/// The interior chain is shared by every flow, so it is computed once and
+/// multiplied by the total rate.
+pub fn comm_cost(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
+    let chain = chain_cost(dm, p);
+    let mut total = w.total_rate() * chain;
+    for (_, src, dst, rate) in w.iter() {
+        total += rate * attach_cost(dm, src, dst, p);
+    }
+    total
+}
+
+/// Total VNF migration cost `C_b(p, m) = μ · Σ c(p(j), m(j))`.
+///
+/// # Panics
+///
+/// `p` and `m` must have the same length.
+pub fn migration_cost(
+    dm: &DistanceMatrix,
+    p: &Placement,
+    m: &Placement,
+    mu: MigrationCoefficient,
+) -> Cost {
+    assert_eq!(p.len(), m.len(), "placement/migration length mismatch");
+    let moved: Cost = p
+        .switches()
+        .iter()
+        .zip(m.switches())
+        .map(|(&from, &to)| dm.cost(from, to))
+        .sum();
+    mu * moved
+}
+
+/// Total cost of migrating from `p` to `m` and then communicating (Eq. 8):
+/// `C_t(p, m) = C_b(p, m) + C_a(m)`.
+pub fn total_cost(
+    dm: &DistanceMatrix,
+    w: &Workload,
+    p: &Placement,
+    m: &Placement,
+    mu: MigrationCoefficient,
+) -> Cost {
+    migration_cost(dm, p, m, mu) + comm_cost(dm, w, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sfc::Sfc;
+    use ppdc_topology::builders::linear;
+    use ppdc_topology::Graph;
+
+    /// The paper's running example (Fig. 1 / Fig. 3, Example 1): a 5-switch
+    /// linear PPDC, flows (v1,v1') on h1 and (v2,v2') on h2.
+    fn example1() -> (Graph, DistanceMatrix, Workload, Placement, Placement) {
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h1, 100);
+        w.add_pair(h2, h2, 1);
+        let sfc = Sfc::of_len(2).unwrap();
+        let s: Vec<NodeId> = g.switches().collect();
+        // Initial: f1 at s1, f2 at s2. Migrated: f1 at s5, f2 at s4.
+        let p = Placement::new(&g, &sfc, vec![s[0], s[1]]).unwrap();
+        let m = Placement::new(&g, &sfc, vec![s[4], s[3]]).unwrap();
+        (g, dm, w, p, m)
+    }
+
+    #[test]
+    fn example1_initial_cost_is_410() {
+        let (_, dm, w, p, _) = example1();
+        // (v1,v1'): h1→s1→s2→s1→h1 = 4 hops × 100; (v2,v2') = 10 hops × 1.
+        assert_eq!(comm_cost_flow(&dm, w.endpoints(crate::FlowId(0)).0, w.endpoints(crate::FlowId(0)).1, 100, &p), 400);
+        assert_eq!(comm_cost(&dm, &w, &p), 410);
+    }
+
+    #[test]
+    fn example1_after_rate_swap_costs_1004() {
+        let (_, dm, mut w, p, _) = example1();
+        w.set_rates(&[1, 100]).unwrap();
+        assert_eq!(comm_cost(&dm, &w, &p), 4 + 100 * 10);
+    }
+
+    #[test]
+    fn example1_migration_restores_410_at_cost_6() {
+        let (_, dm, mut w, p, m) = example1();
+        w.set_rates(&[1, 100]).unwrap();
+        assert_eq!(migration_cost(&dm, &p, &m, 1), 6); // s1→s5 = 4, s2→s4 = 2
+        assert_eq!(comm_cost(&dm, &w, &m), 10 + 100 * 4);
+        let ct = total_cost(&dm, &w, &p, &m, 1);
+        assert_eq!(ct, 416);
+        // "58.6% of total cost reduction" vs staying at p (1004).
+        let stay = comm_cost(&dm, &w, &p);
+        let reduction = (stay - ct) as f64 / stay as f64;
+        assert!((reduction - 0.586).abs() < 0.001, "got {reduction}");
+    }
+
+    #[test]
+    fn chain_and_attach_components() {
+        let (_, dm, w, p, _) = example1();
+        assert_eq!(chain_cost(&dm, &p), 1);
+        let (s0, d0) = w.endpoints(crate::FlowId(0));
+        assert_eq!(attach_cost(&dm, s0, d0, &p), 1 + 2);
+        let (s1, d1) = w.endpoints(crate::FlowId(1));
+        assert_eq!(attach_cost(&dm, s1, d1, &p), 5 + 4);
+    }
+
+    #[test]
+    fn zero_mu_makes_total_cost_equal_comm_cost() {
+        // Theorem 4: TOP is TOM with μ = 0.
+        let (_, dm, w, p, m) = example1();
+        assert_eq!(total_cost(&dm, &w, &p, &m, 0), comm_cost(&dm, &w, &m));
+    }
+
+    #[test]
+    fn identity_migration_costs_nothing() {
+        let (_, dm, w, p, _) = example1();
+        assert_eq!(migration_cost(&dm, &p, &p, 12345), 0);
+        assert_eq!(total_cost(&dm, &w, &p, &p, 12345), comm_cost(&dm, &w, &p));
+    }
+
+    #[test]
+    fn single_vnf_chain_cost_is_zero() {
+        let (g, _, _) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let sfc = Sfc::of_len(1).unwrap();
+        let s: Vec<NodeId> = g.switches().collect();
+        let p = Placement::new(&g, &sfc, vec![s[1]]).unwrap();
+        assert_eq!(chain_cost(&dm, &p), 0);
+    }
+
+    #[test]
+    fn zero_rate_flow_contributes_nothing() {
+        let (g, dm, mut w, p, _) = example1();
+        let before = comm_cost(&dm, &w, &p);
+        let h = g.hosts().next().unwrap();
+        w.add_pair(h, h, 0);
+        assert_eq!(comm_cost(&dm, &w, &p), before);
+    }
+}

@@ -1,0 +1,137 @@
+//! Attach-cost aggregates: the workload-wide ingress/egress cost arrays.
+//!
+//! `C_a(p)` (Eq. 1) decomposes into a chain term shared by all flows and a
+//! per-flow attachment term that depends only on the ingress and egress
+//! switches:
+//!
+//! `C_a(p) = Σλ · chain(p)  +  A_in[p(1)]  +  A_out[p(n)]`
+//!
+//! where `A_in[x] = Σ_i λ_i·c(s(v_i), x)` and
+//! `A_out[x] = Σ_i λ_i·c(x, s(v'_i))`. Precomputing the two arrays makes
+//! evaluating a candidate placement `O(n)` regardless of the number of
+//! flows — the enabling trick for Algorithm 3's `O(|V_s|²)` pair sweep and
+//! the branch-and-bound of Algorithm 4.
+
+use ppdc_model::{Placement, Workload};
+use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId};
+
+/// Precomputed `A_in` / `A_out` arrays plus the total rate.
+#[derive(Debug, Clone)]
+pub struct AttachAggregates {
+    a_in: Vec<Cost>,
+    a_out: Vec<Cost>,
+    total_rate: u64,
+    switches: Vec<NodeId>,
+}
+
+impl AttachAggregates {
+    /// Builds the aggregates for `w` over all switches of `g`.
+    pub fn build(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+        let n = g.num_nodes();
+        let mut a_in = vec![0; n];
+        let mut a_out = vec![0; n];
+        for x in g.switches() {
+            let (mut ain, mut aout) = (0, 0);
+            for (_, src, dst, rate) in w.iter() {
+                ain += rate * dm.cost(src, x);
+                aout += rate * dm.cost(x, dst);
+            }
+            a_in[x.index()] = ain;
+            a_out[x.index()] = aout;
+        }
+        AttachAggregates {
+            a_in,
+            a_out,
+            total_rate: w.total_rate(),
+            switches: g.switches().collect(),
+        }
+    }
+
+    /// `A_in[x]`: rate-weighted cost of all sources reaching ingress `x`.
+    #[inline]
+    pub fn a_in(&self, x: NodeId) -> Cost {
+        self.a_in[x.index()]
+    }
+
+    /// `A_out[x]`: rate-weighted cost of egress `x` reaching all sinks.
+    #[inline]
+    pub fn a_out(&self, x: NodeId) -> Cost {
+        self.a_out[x.index()]
+    }
+
+    /// Total traffic rate `Σλ` (the chain-term multiplier).
+    #[inline]
+    pub fn total_rate(&self) -> u64 {
+        self.total_rate
+    }
+
+    /// The switches of the graph the aggregates were built over.
+    pub fn switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// Exact `C_a(p)` using the aggregates (equals
+    /// [`ppdc_model::comm_cost`]).
+    pub fn comm_cost(&self, dm: &DistanceMatrix, p: &Placement) -> Cost {
+        self.a_in(p.ingress())
+            + self.total_rate * ppdc_model::chain_cost(dm, p)
+            + self.a_out(p.egress())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdc_model::{comm_cost, Sfc};
+    use ppdc_topology::builders::{fat_tree, linear};
+
+    #[test]
+    fn aggregate_cost_matches_direct_eq1() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[5], 7);
+        w.add_pair(hosts[3], hosts[11], 2);
+        w.add_pair(hosts[8], hosts[8], 100);
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        let sfc = Sfc::of_len(3).unwrap();
+        let switches: Vec<NodeId> = g.switches().collect();
+        for combo in [[0usize, 1, 2], [3, 7, 11], [19, 4, 0]] {
+            let p = Placement::new(
+                &g,
+                &sfc,
+                combo.iter().map(|&i| switches[i]).collect(),
+            )
+            .unwrap();
+            assert_eq!(agg.comm_cost(&dm, &p), comm_cost(&dm, &w, &p));
+        }
+    }
+
+    #[test]
+    fn empty_workload_aggregates_are_zero() {
+        let (g, ..) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let w = Workload::new();
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        for &x in agg.switches() {
+            assert_eq!(agg.a_in(x), 0);
+            assert_eq!(agg.a_out(x), 0);
+        }
+        assert_eq!(agg.total_rate(), 0);
+    }
+
+    #[test]
+    fn asymmetric_flows_give_asymmetric_aggregates() {
+        let (g, h1, h2) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 10); // all sources at h1, all sinks at h2
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        let s: Vec<NodeId> = g.switches().collect();
+        assert_eq!(agg.a_in(s[0]), 10);
+        assert_eq!(agg.a_out(s[0]), 30);
+        assert_eq!(agg.a_in(s[2]), 30);
+        assert_eq!(agg.a_out(s[2]), 10);
+    }
+}

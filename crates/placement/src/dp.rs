@@ -1,0 +1,235 @@
+//! **DP** — Algorithm 3: VNF placement for the multi-flow TOP.
+//!
+//! The algorithm sweeps all ordered (ingress, egress) switch pairs. For
+//! each pair it charges the aggregate attachment cost
+//! `A_in[ingress] + A_out[egress]` and fills the interior of the chain by
+//! solving an `(n−2)`-stroll between the two switches with Algorithm 2.
+//!
+//! Because the stroll DP's tables depend only on the *target*, all
+//! ingresses for one egress share a single table
+//! ([`ppdc_stroll::dp_stroll_all_sources`]), collapsing the pair sweep from
+//! `O(|V_s|²)` DP runs to `O(|V_s|)`. Egress switches are processed in
+//! parallel with rayon.
+
+use crate::aggregates::AttachAggregates;
+use crate::PlacementError;
+use ppdc_model::{Placement, Sfc, Workload};
+use ppdc_stroll::dp_stroll_all_sources;
+use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId};
+use rayon::prelude::*;
+
+/// Runs Algorithm 3, returning the placement and its exact `C_a`.
+///
+/// # Errors
+///
+/// Fails when the workload has no flows, the SFC is longer than the number
+/// of switches, or the graph is disconnected.
+pub fn dp_placement(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+) -> Result<(Placement, Cost), PlacementError> {
+    if w.num_flows() == 0 {
+        return Err(PlacementError::NoFlows);
+    }
+    let n = sfc.len();
+    let switches: Vec<NodeId> = g.switches().collect();
+    if switches.len() < n {
+        return Err(PlacementError::Model(ppdc_model::ModelError::TooFewSwitches {
+            switches: switches.len(),
+            vnfs: n,
+        }));
+    }
+    let agg = AttachAggregates::build(g, dm, w);
+    match n {
+        1 => {
+            let best = switches
+                .iter()
+                .map(|&x| (agg.a_in(x) + agg.a_out(x), x))
+                .min()
+                .expect("at least one switch");
+            Ok((Placement::new_unchecked(vec![best.1]), best.0))
+        }
+        2 => {
+            let rate = agg.total_rate();
+            let mut best: Option<(Cost, NodeId, NodeId)> = None;
+            for &i in &switches {
+                for &j in &switches {
+                    if i == j {
+                        continue;
+                    }
+                    let cost = agg.a_in(i) + rate * dm.cost(i, j) + agg.a_out(j);
+                    if best.map_or(true, |(c, ..)| cost < c) {
+                        best = Some((cost, i, j));
+                    }
+                }
+            }
+            let (cost, i, j) = best.expect("at least two switches");
+            Ok((Placement::new_unchecked(vec![i, j]), cost))
+        }
+        _ => {
+            let closure = MetricClosure::over(dm, &switches);
+            let results: Vec<(Cost, Placement)> = (0..switches.len())
+                .into_par_iter()
+                .filter_map(|t_ix| {
+                    best_for_egress(dm, &agg, &closure, t_ix, n)
+                })
+                .collect();
+            results
+                .into_iter()
+                .min_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| a.1.switches().cmp(b.1.switches()))
+                })
+                .map(|(c, p)| (p, c))
+                .ok_or(PlacementError::Stroll(
+                    ppdc_stroll::StrollError::Unreachable,
+                ))
+        }
+    }
+}
+
+/// Best placement whose egress is closure node `t_ix`.
+fn best_for_egress(
+    dm: &DistanceMatrix,
+    agg: &AttachAggregates,
+    closure: &MetricClosure,
+    t_ix: usize,
+    n: usize,
+) -> Option<(Cost, Placement)> {
+    let sources: Vec<usize> = (0..closure.len()).filter(|&i| i != t_ix).collect();
+    let solutions = dp_stroll_all_sources(closure, &sources, t_ix, n - 2);
+    let egress = closure.node(t_ix);
+    let mut best: Option<(Cost, Placement)> = None;
+    for (&s_ix, sol) in sources.iter().zip(&solutions) {
+        let Ok(sol) = sol else { continue };
+        let ingress = closure.node(s_ix);
+        let mut chain = Vec::with_capacity(n);
+        chain.push(ingress);
+        chain.extend_from_slice(sol.first_n(n - 2));
+        chain.push(egress);
+        let p = Placement::new_unchecked(chain);
+        let cost = agg.comm_cost(dm, &p);
+        if best
+            .as_ref()
+            .map_or(true, |(c, bp)| cost < *c || (cost == *c && p.switches() < bp.switches()))
+        {
+            best = Some((cost, p));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdc_model::comm_cost;
+    use ppdc_topology::builders::{fat_tree, linear};
+
+    #[test]
+    fn example1_initial_placement() {
+        // Paper Fig. 3(a): λ = ⟨100, 1⟩ on the 5-switch linear PPDC.
+        // The optimal 2-VNF placement costs 410 (f1@s1, f2@s2 is one
+        // optimum; the mirrored f1@s5, f2@s4 is the other).
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h1, 100);
+        w.add_pair(h2, h2, 1);
+        let sfc = Sfc::of_len(2).unwrap();
+        let (p, cost) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        assert_eq!(cost, 410);
+        assert_eq!(cost, comm_cost(&dm, &w, &p));
+        // After the rate swap the optimum mirrors to 410 as well.
+        w.set_rates(&[1, 100]).unwrap();
+        let (p2, cost2) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        assert_eq!(cost2, 410);
+        assert_ne!(p.switches(), p2.switches());
+    }
+
+    #[test]
+    fn single_vnf_is_weighted_median() {
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 1);
+        let sfc = Sfc::of_len(1).unwrap();
+        let (p, cost) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        // Any switch on the h1–h2 line gives cost 6.
+        assert_eq!(cost, 6);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn three_vnfs_on_linear() {
+        let (g, h1, h2) = linear(5).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 10);
+        let sfc = Sfc::of_len(3).unwrap();
+        let (p, cost) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        // Three consecutive switches on the line: still the plain 6-hop
+        // route, cost 60.
+        assert_eq!(cost, 60);
+        assert_eq!(cost, comm_cost(&dm, &w, &p));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn reported_cost_is_exact_eq1_on_fat_tree() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], 9);
+        w.add_pair(hosts[2], hosts[13], 4);
+        w.add_pair(hosts[7], hosts[7], 70);
+        for n in 1..=5 {
+            let sfc = Sfc::of_len(n).unwrap();
+            let (p, cost) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+            assert_eq!(cost, comm_cost(&dm, &w, &p), "n={n}");
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_workload() {
+        let (g, ..) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let sfc = Sfc::of_len(2).unwrap();
+        assert!(matches!(
+            dp_placement(&g, &dm, &Workload::new(), &sfc),
+            Err(PlacementError::NoFlows)
+        ));
+    }
+
+    #[test]
+    fn rejects_too_long_sfc() {
+        let (g, h1, h2) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 1);
+        let sfc = Sfc::of_len(4).unwrap();
+        assert!(matches!(
+            dp_placement(&g, &dm, &w, &sfc),
+            Err(PlacementError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for i in 0..6 {
+            w.add_pair(hosts[i], hosts[15 - i], (i as u64 + 1) * 13);
+        }
+        let sfc = Sfc::of_len(4).unwrap();
+        let (p1, c1) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        let (p2, c2) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(p1.switches(), p2.switches());
+    }
+}

@@ -1,0 +1,20 @@
+//! PPDC lifetime simulation (the paper's Fig. 11 experiments).
+//!
+//! The framework's salient feature is lifetime optimization: **TOP** builds
+//! the initial traffic-optimal placement once, then **TOM** runs every hour
+//! as the diurnal rate vector shifts. [`simulate`] drives that loop for a
+//! chosen [`MigrationPolicy`] — mPareto, exact VNF migration, the PLAN/MCF
+//! VM-migration baselines, or NoMigration — and records per-hour costs and
+//! migration counts.
+//!
+//! [`stats`] provides the 20-run mean / 95 % confidence-interval summaries
+//! every plotted data point uses; [`report`] renders aligned tables and CSV
+//! for the experiment binaries.
+
+pub mod report;
+pub mod simulator;
+pub mod stats;
+
+pub use report::Table;
+pub use simulator::{simulate, HourRecord, MigrationPolicy, SimConfig, SimResult};
+pub use stats::{summarize, Summary};

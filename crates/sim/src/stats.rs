@@ -1,0 +1,107 @@
+//! Run statistics: mean and 95 % confidence intervals.
+//!
+//! "Each data point in the plots is an average of 20 runs with a 95 %
+//! confidence interval" — paper, Section VI. The half-width uses the
+//! Student-t quantile for the sample's degrees of freedom.
+
+/// Two-sided 95 % Student-t quantiles for df = 1..=30 (then ≈ normal).
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The t quantile for `df` degrees of freedom (95 %, two-sided).
+pub fn t_quantile_95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean and 95 % CI half-width over a set of run results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (0 for n < 2).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Lower edge of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// Summarizes samples into mean ± 95 % CI.
+///
+/// # Panics
+///
+/// Panics on an empty sample — a data point must come from somewhere.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize zero samples");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return Summary { mean, ci95: 0.0, n };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    Summary { mean, ci95: t_quantile_95(n - 1) * se, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_ci() {
+        let s = summarize(&[5.0; 20]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 20);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_interval() {
+        // Samples 1..=5: mean 3, sd sqrt(2.5), se sqrt(0.5), t(4)=2.776.
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        let expect = 2.776 * (0.5f64).sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9, "{} vs {expect}", s.ci95);
+        assert!((s.lo() - (3.0 - expect)).abs() < 1e-9);
+        assert!((s.hi() - (3.0 + expect)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_quantiles() {
+        assert!((t_quantile_95(19) - 2.093).abs() < 1e-9, "df for 20 runs");
+        assert_eq!(t_quantile_95(100), 1.96);
+        assert!(t_quantile_95(0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_rejected() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The **n-stroll problem** and its solvers (Section IV of the paper).
+//!
+//! Given a weighted graph, two terminals `s` and `t`, and an integer `n`,
+//! the n-stroll problem asks for a minimum-length `s`–`t` *walk* that visits
+//! at least `n` distinct nodes other than `s` and `t`. When `s = t` it is
+//! the n-tour problem. Theorem 1 of the paper shows the single-flow VNF
+//! placement problem (TOP-1) is exactly n-stroll on the subgraph induced by
+//! the two hosts and all switches, so this crate is the algorithmic core of
+//! the whole framework.
+//!
+//! Three solvers are provided, matching the paper's Table II:
+//!
+//! * [`dp::dp_stroll`] — **DP-Stroll** (Algorithm 2): an exact DP over the
+//!   *metric closure* for strolls of a fixed edge count, with the edge count
+//!   grown until `n` distinct nodes appear. A fast heuristic for n-stroll
+//!   that is optimal under the condition of Theorem 3 and lands within a few
+//!   percent of optimal empirically (Fig. 7).
+//! * [`exact::optimal_stroll`] — **Optimal**: exact branch-and-bound over
+//!   waypoint sequences in the metric closure (in a metric, some optimal
+//!   stroll is a simple waypoint path, so searching ordered subsets is
+//!   complete). Exponential worst case; used as the benchmark baseline.
+//! * [`primal_dual::primal_dual_stroll`] — **PrimalDual** (Algorithm 1): a
+//!   Goemans–Williamson moat-growing prize-collecting Steiner tree with a
+//!   binary search on the uniform node prize, doubled and shortcut into a
+//!   stroll; the `2 + ε` approximation of Chaudhuri et al. \[10\].
+//!
+//! All solvers consume a [`StrollInstance`] built on a
+//! [`ppdc_topology::MetricClosure`] and produce a [`StrollSolution`] whose
+//! invariants are machine-checkable with
+//! [`StrollSolution::validate`].
+
+pub mod dp;
+pub mod exact;
+pub mod instance;
+pub mod primal_dual;
+
+pub use dp::{dp_stroll, dp_stroll_all_sources, DpTables};
+pub use exact::{exhaustive_stroll, optimal_stroll, optimal_stroll_with_budget};
+pub use instance::{StrollInstance, StrollSolution};
+pub use primal_dual::{primal_dual_stroll, PrimalDualConfig};
+
+/// Errors produced by stroll solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrollError {
+    /// Fewer than `n` candidate intermediate nodes exist.
+    TooFewNodes { available: usize, needed: usize },
+    /// `s` or `t` is not a member of the closure.
+    TerminalNotInClosure,
+    /// Some required node is unreachable (infinite closure cost).
+    Unreachable,
+    /// The DP edge-count growth exceeded its safety cap without finding `n`
+    /// distinct nodes (cannot happen on connected metric closures with the
+    /// default cap; reported rather than looping).
+    NoConvergence { max_edges: usize },
+    /// The branch-and-bound node budget was exhausted before the search
+    /// completed; the result would not be provably optimal.
+    BudgetExhausted { budget: u64 },
+}
+
+impl std::fmt::Display for StrollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrollError::TooFewNodes { available, needed } => {
+                write!(f, "need {needed} distinct intermediate nodes, only {available} exist")
+            }
+            StrollError::TerminalNotInClosure => write!(f, "terminal not in metric closure"),
+            StrollError::Unreachable => write!(f, "graph is disconnected: some node unreachable"),
+            StrollError::NoConvergence { max_edges } => {
+                write!(f, "DP did not reach n distinct nodes within {max_edges} edges")
+            }
+            StrollError::BudgetExhausted { budget } => {
+                write!(f, "branch-and-bound budget of {budget} nodes exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrollError {}

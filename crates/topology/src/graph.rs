@@ -1,0 +1,372 @@
+//! The core undirected weighted graph over hosts and switches.
+
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// Exact integer edge/path cost.
+///
+/// Unweighted PPDCs use 1 per hop; weighted PPDCs store link delays in
+/// integer micro-units (e.g. 1.5 ms ⇒ 1500). All cost arithmetic in the
+/// workspace is exact, which keeps optimality comparisons in tests sharp.
+pub type Cost = u64;
+
+/// Sentinel for "unreachable". Large enough that no realistic experiment sum
+/// approaches it, small enough that `INFINITY + any realistic cost` cannot
+/// overflow `u64` when added carelessly once.
+pub const INFINITY: Cost = u64::MAX / 4;
+
+/// Index of a node in a [`Graph`]. Hosts and switches share one id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index, usable to address per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Index of an edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The raw index, usable to address per-edge arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a node is an end host or a switch.
+///
+/// In the paper's model (Section III), VMs live on hosts, while each switch
+/// has an attached server able to run one VNF of the SFC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A server that hosts VMs (`V_h` in the paper).
+    Host,
+    /// A switch with an attached NFV server (`V_s` in the paper).
+    Switch,
+}
+
+/// An undirected weighted graph `G(V = V_h ∪ V_s, E)`.
+///
+/// Nodes are typed ([`NodeKind`]); edges connect a switch to a switch or a
+/// switch to a host (host–host links are rejected, mirroring the paper's
+/// PPDC definition). Parallel edges are rejected; self loops are rejected.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    kinds: Vec<NodeKind>,
+    labels: Vec<String>,
+    adj: Vec<Vec<(NodeId, Cost)>>,
+    edges: Vec<(NodeId, NodeId, Cost)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host node and returns its id. `label` is for diagnostics only.
+    pub fn add_host(&mut self, label: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, label.into())
+    }
+
+    /// Adds a switch node and returns its id. `label` is for diagnostics only.
+    pub fn add_switch(&mut self, label: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, label.into())
+    }
+
+    fn add_node(&mut self, kind: NodeKind, label: String) -> NodeId {
+        let id = NodeId(u32::try_from(self.kinds.len()).expect("graph too large"));
+        self.kinds.push(kind);
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge of weight `w` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self loops, unknown endpoints, host–host links, and duplicate
+    /// edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Cost) -> Result<EdgeId, TopologyError> {
+        if u == v {
+            return Err(TopologyError::InvalidEdge(u, v));
+        }
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if self.kind(u) == NodeKind::Host && self.kind(v) == NodeKind::Host {
+            return Err(TopologyError::InvalidEdge(u, v));
+        }
+        if self.adj[u.index()].iter().any(|&(n, _)| n == v) {
+            return Err(TopologyError::InvalidEdge(u, v));
+        }
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("graph too large"));
+        self.edges.push((u, v, w));
+        self.adj[u.index()].push((v, w));
+        self.adj[v.index()].push((u, w));
+        Ok(id)
+    }
+
+    /// Adds a unit-weight edge (a hop), panicking on structural errors.
+    ///
+    /// This is a convenience for builders and tests where the structure is
+    /// known valid by construction.
+    pub fn link(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        self.add_edge(u, v, 1).expect("invalid link")
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {
+        if n.index() < self.kinds.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownNode(n))
+        }
+    }
+
+    /// Number of nodes (hosts + switches).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The kind of node `n`.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// The diagnostic label of node `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all host ids (`V_h`).
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.kind(n) == NodeKind::Host)
+    }
+
+    /// Iterates over all switch ids (`V_s`).
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.kind(n) == NodeKind::Switch)
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts().count()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches().count()
+    }
+
+    /// Neighbors of `n` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, Cost)] {
+        &self.adj[n.index()]
+    }
+
+    /// Degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Iterates over edges as `(u, v, w)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Cost)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Endpoints and weight of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId, Cost) {
+        self.edges[e.index()]
+    }
+
+    /// Overwrites the weight of edge `e` (both adjacency directions).
+    pub fn set_edge_weight(&mut self, e: EdgeId, w: Cost) {
+        let (u, v, _) = self.edges[e.index()];
+        self.edges[e.index()].2 = w;
+        for slot in self.adj[u.index()].iter_mut() {
+            if slot.0 == v {
+                slot.1 = w;
+            }
+        }
+        for slot in self.adj[v.index()].iter_mut() {
+            if slot.0 == u {
+                slot.1 = w;
+            }
+        }
+    }
+
+    /// Applies `f` to every edge weight (e.g. to randomize link delays).
+    pub fn map_edge_weights(&mut self, mut f: impl FnMut(NodeId, NodeId, Cost) -> Cost) {
+        for e in 0..self.edges.len() {
+            let (u, v, w) = self.edges[e];
+            let nw = f(u, v, w);
+            if nw != w {
+                self.set_edge_weight(EdgeId(e as u32), nw);
+            }
+        }
+    }
+
+    /// True if every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(n) = stack.pop() {
+            for &(m, _) in self.neighbors(n) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.num_nodes()
+    }
+
+    /// The switch a host hangs off (its unique switch neighbor), if any.
+    ///
+    /// Data-center hosts are single-homed in all builders in this crate; for
+    /// multi-homed hosts the lowest-id switch neighbor is returned.
+    pub fn top_of_rack(&self, host: NodeId) -> Option<NodeId> {
+        debug_assert_eq!(self.kind(host), NodeKind::Host);
+        self.adj[host.index()]
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| self.kind(n) == NodeKind::Switch)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let h = g.add_host("h1");
+        let s1 = g.add_switch("s1");
+        let s2 = g.add_switch("s2");
+        g.add_edge(h, s1, 1).unwrap();
+        g.add_edge(s1, s2, 3).unwrap();
+        (g, h, s1, s2)
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (g, ..) = tiny();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_hosts(), 1);
+        assert_eq!(g.num_switches(), 2);
+    }
+
+    #[test]
+    fn kinds_and_labels() {
+        let (g, h, s1, _) = tiny();
+        assert_eq!(g.kind(h), NodeKind::Host);
+        assert_eq!(g.kind(s1), NodeKind::Switch);
+        assert_eq!(g.label(h), "h1");
+        assert_eq!(g.label(s1), "s1");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (g, _, s1, s2) = tiny();
+        assert!(g.neighbors(s1).contains(&(s2, 3)));
+        assert!(g.neighbors(s2).contains(&(s1, 3)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let (mut g, _, s1, _) = tiny();
+        assert_eq!(g.add_edge(s1, s1, 1), Err(TopologyError::InvalidEdge(s1, s1)));
+    }
+
+    #[test]
+    fn rejects_host_host_edge() {
+        let mut g = Graph::new();
+        let h1 = g.add_host("h1");
+        let h2 = g.add_host("h2");
+        assert!(g.add_edge(h1, h2, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let (mut g, _, s1, s2) = tiny();
+        assert!(g.add_edge(s1, s2, 9).is_err());
+        assert!(g.add_edge(s2, s1, 9).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let (mut g, _, s1, _) = tiny();
+        let bogus = NodeId(99);
+        assert_eq!(g.add_edge(s1, bogus, 1), Err(TopologyError::UnknownNode(bogus)));
+    }
+
+    #[test]
+    fn set_edge_weight_updates_both_directions() {
+        let (mut g, _, s1, s2) = tiny();
+        let e = EdgeId(1);
+        assert_eq!(g.edge(e), (s1, s2, 3));
+        g.set_edge_weight(e, 7);
+        assert!(g.neighbors(s1).contains(&(s2, 7)));
+        assert!(g.neighbors(s2).contains(&(s1, 7)));
+        assert_eq!(g.edge(e).2, 7);
+    }
+
+    #[test]
+    fn map_edge_weights_applies_everywhere() {
+        let (mut g, ..) = tiny();
+        g.map_edge_weights(|_, _, w| w * 10);
+        let ws: Vec<Cost> = g.edges().map(|(_, _, w)| w).collect();
+        assert_eq!(ws, vec![10, 30]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (mut g, ..) = tiny();
+        assert!(g.is_connected());
+        g.add_switch("lonely");
+        assert!(!g.is_connected());
+        assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    fn top_of_rack_finds_unique_switch() {
+        let (g, h, s1, _) = tiny();
+        assert_eq!(g.top_of_rack(h), Some(s1));
+    }
+}

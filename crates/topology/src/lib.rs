@@ -1,0 +1,62 @@
+//! Network-topology substrate for policy-preserving data centers (PPDCs).
+//!
+//! This crate provides everything the placement/migration layers need to
+//! reason about a data-center fabric:
+//!
+//! * [`Graph`] — an undirected, weighted graph over typed nodes
+//!   (hosts and switches), stored as adjacency lists with `u32` node ids.
+//! * [`builders`] — canonical data-center topologies: k-ary fat-trees
+//!   (Al-Fares et al., SIGCOMM'08), linear chains (Fig. 1 of the paper),
+//!   leaf–spine fabrics, and stars.
+//! * [`shortest`] — single-source Dijkstra/BFS, all-pairs distance matrices
+//!   with path reconstruction, connectivity and diameter queries.
+//! * [`metric`] — metric closures over node subsets, the input of the
+//!   n-stroll dynamic program (Algorithm 2 of the paper).
+//!
+//! Costs are exact unsigned integers ([`Cost`]): a hop in an unweighted PPDC
+//! costs 1, a weighted link carries its delay in integer micro-units. Exact
+//! arithmetic keeps every algorithm deterministic and makes optimality
+//! assertions in tests meaningful.
+
+pub mod builders;
+pub mod graph;
+pub mod metric;
+pub mod shortest;
+
+pub use builders::{fat_tree, leaf_spine, linear, star, FatTree};
+pub use graph::{Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
+pub use metric::MetricClosure;
+pub use shortest::{DistanceMatrix, ShortestPaths};
+
+/// Errors produced by topology construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested fat-tree arity is invalid (must be even and ≥ 2).
+    InvalidArity(usize),
+    /// A node id was out of range for the graph it was used with.
+    UnknownNode(NodeId),
+    /// An edge endpoint pair was invalid (e.g. a self loop).
+    InvalidEdge(NodeId, NodeId),
+    /// The graph is disconnected where a connected one is required.
+    Disconnected,
+    /// A builder parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::InvalidArity(k) => {
+                write!(f, "invalid fat-tree arity k={k}: k must be even and >= 2")
+            }
+            TopologyError::UnknownNode(n) => write!(f, "unknown node id {}", n.index()),
+            TopologyError::InvalidEdge(u, v) => {
+                write!(f, "invalid edge ({}, {})", u.index(), v.index())
+            }
+            TopologyError::Disconnected => write!(f, "graph is disconnected"),
+            TopologyError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,112 @@
+//! The diurnal traffic model of Eq. 9 (after Eramo et al. \[20\]).
+//!
+//! The paper considers an `N = 12` hour day (6 AM → 6 PM): rates ramp up
+//! linearly from 6 AM to noon and back down to 6 PM, with a floor of
+//! `τ_min = 0.2` so the fabric never goes fully idle. Half of the flows
+//! (east-coast jobs) run three hours ahead of the other half.
+
+/// Hours the east-coast cohort runs ahead of the west-coast one.
+pub const EAST_COAST_OFFSET: i64 = 3;
+
+/// The Eq. 9 scale model: a triangular ramp over `n_hours` with floor
+/// `tau_min`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalModel {
+    /// Day length `N` in hours (paper: 12).
+    pub n_hours: u32,
+    /// Scale floor `τ_min` (paper: 0.2, following \[20\]).
+    pub tau_min: f64,
+}
+
+impl Default for DiurnalModel {
+    fn default() -> Self {
+        DiurnalModel { n_hours: 12, tau_min: 0.2 }
+    }
+}
+
+impl DiurnalModel {
+    /// The scale factor `τ_h` at hour `h ∈ [0, N]`:
+    ///
+    /// `τ_h = τ_min + (1 − τ_min) · tri(h)` with the Eq. 9 triangle
+    /// `tri(h) = 2h/N` for the rising half, `2(N−h)/N` for the falling
+    /// half. Outside the active day (`h < 0` or `h > N`, which happens for
+    /// the shifted cohort) the scale rests at the floor `τ_min`.
+    pub fn scale_at(&self, h: i64) -> f64 {
+        let n = self.n_hours as f64;
+        if h <= 0 || h >= self.n_hours as i64 * 2 {
+            // Eq. 9's boundary (τ_0 = 0) would silence the flow entirely;
+            // the floor keeps the PPDC's background traffic alive, which is
+            // how [20] uses τ_min.
+            return self.tau_min;
+        }
+        let h = h as f64;
+        let tri = if h <= n / 2.0 {
+            2.0 * h / n
+        } else {
+            (2.0 * (n - h) / n).max(0.0)
+        };
+        self.tau_min + (1.0 - self.tau_min) * tri
+    }
+
+    /// Samples the full day: `(hour, scale)` for `h = 0..=N`.
+    pub fn day_curve(&self) -> Vec<(u32, f64)> {
+        (0..=self.n_hours).map(|h| (h, self.scale_at(h as i64))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_peak() {
+        let m = DiurnalModel::default();
+        assert!((m.scale_at(0) - 0.2).abs() < 1e-12);
+        assert!((m.scale_at(6) - 1.0).abs() < 1e-12);
+        assert!((m.scale_at(12) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_is_symmetric_and_monotone() {
+        let m = DiurnalModel::default();
+        for h in 0..6 {
+            assert!(m.scale_at(h) < m.scale_at(h + 1), "rising at {h}");
+            assert!(
+                (m.scale_at(h) - m.scale_at(12 - h)).abs() < 1e-12,
+                "symmetry at {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn outside_day_rests_at_floor() {
+        let m = DiurnalModel::default();
+        assert_eq!(m.scale_at(-2), 0.2);
+        assert_eq!(m.scale_at(30), 0.2);
+    }
+
+    #[test]
+    fn scales_stay_in_unit_band() {
+        let m = DiurnalModel::default();
+        for h in -5..30 {
+            let s = m.scale_at(h);
+            assert!((0.2..=1.0).contains(&s), "h={h} s={s}");
+        }
+    }
+
+    #[test]
+    fn day_curve_has_n_plus_one_points() {
+        let m = DiurnalModel::default();
+        let curve = m.day_curve();
+        assert_eq!(curve.len(), 13);
+        assert_eq!(curve[0].0, 0);
+        assert_eq!(curve[12].0, 12);
+    }
+
+    #[test]
+    fn custom_day_length() {
+        let m = DiurnalModel { n_hours: 24, tau_min: 0.5 };
+        assert!((m.scale_at(12) - 1.0).abs() < 1e-12);
+        assert!((m.scale_at(0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! Workload generation for PPDC experiments (Section VI of the paper).
+//!
+//! Three ingredients, all seeded and exactly reproducible:
+//!
+//! * [`rates`] — the production flow-rate mix measured in Facebook data
+//!   centers \[43\] as the paper summarizes it: rates in `[0, 10000]` with
+//!   25 % light (`[0, 3000)`), 70 % medium (`[3000, 7000]`), and 5 % heavy
+//!   (`(7000, 10000]`) flows.
+//! * [`locality`] — VM pair placement with the rack locality of real
+//!   fabrics: 80 % of communicating pairs stay under one edge switch \[8\].
+//! * [`diurnal`] — the cycle-stationary daily pattern of Eq. 9
+//!   (triangular ramp over `N = 12` hours, floor `τ_min = 0.2`), with half
+//!   the flows shifted three hours to model the US east/west-coast split.
+//!
+//! [`DynamicTrace`] ties them together: a base workload whose rate vector
+//! is re-scaled every simulated hour, which is exactly what the TOM
+//! experiments (Fig. 11) consume.
+
+pub mod diurnal;
+pub mod locality;
+pub mod rates;
+
+pub use diurnal::{DiurnalModel, EAST_COAST_OFFSET};
+pub use locality::{generate_pairs, PairPlacement};
+pub use rates::{classify, sample_rate, FlowClass, RateMix, DEFAULT_MIX};
+
+use ppdc_model::Workload;
+use ppdc_topology::FatTree;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for a given experiment seed and run index.
+pub fn rng_for_run(seed: u64, run: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run))
+}
+
+/// A workload whose rates follow the diurnal model hour by hour, with
+/// per-flow churn.
+///
+/// Two dynamics compose, mirroring the paper's traffic story:
+///
+/// * the **diurnal envelope** (Eq. 9): every flow's rate is scaled by its
+///   cohort's hour-of-day factor; east-coast flows run three hours ahead,
+/// * **rate churn**: production flows are "highly diverse and dynamic"
+///   \[43\] — the paper's own running example swaps λ between flows
+///   entirely (Fig. 1, Fig. 3). Each hour a configurable fraction of
+///   flows redraws its base rate from the production mix, redistributing
+///   traffic across the fabric. Churn 0 reduces to pure scaling.
+#[derive(Debug, Clone)]
+pub struct DynamicTrace {
+    /// `base[h][i]`: flow `i`'s base rate at hour `h`.
+    base: Vec<Vec<u64>>,
+    east: Vec<bool>,
+    model: DiurnalModel,
+    /// Hours the east cohort runs ahead (default [`EAST_COAST_OFFSET`]).
+    offset: i64,
+}
+
+impl DynamicTrace {
+    /// Builds a trace over `w`'s flows with hourly churn.
+    ///
+    /// Hour 0 uses `w`'s current rates; each later hour redraws a
+    /// `churn` fraction of flows from `mix`. Cohorts are assigned
+    /// uniformly at random (≈ half and half).
+    pub fn with_churn(
+        w: &Workload,
+        model: DiurnalModel,
+        mix: &RateMix,
+        churn: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let east: Vec<bool> = (0..w.num_flows()).map(|_| rng.gen_bool(0.5)).collect();
+        Self::with_cohorts(w, model, mix, churn, east, rng)
+    }
+
+    /// Builds a trace with caller-chosen cohort membership.
+    ///
+    /// The standard Fig. 11 workload assigns cohorts **by location**
+    /// (east-coast jobs fill one half of the pods): cloud schedulers place
+    /// a user community's VMs with affinity, so the 3-hour cohort offset
+    /// makes the traffic's center of mass sweep across the fabric during
+    /// the day — the drift TOM exists to chase. Spatially random cohorts
+    /// (`with_churn`) scale the whole fabric uniformly instead and leave
+    /// the optimal placement still.
+    ///
+    /// # Panics
+    ///
+    /// `east` must have one entry per flow.
+    pub fn with_cohorts(
+        w: &Workload,
+        model: DiurnalModel,
+        mix: &RateMix,
+        churn: f64,
+        east: Vec<bool>,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(east.len(), w.num_flows(), "one cohort flag per flow");
+        let mut base = Vec::with_capacity(model.n_hours as usize + 1);
+        base.push(w.rates().to_vec());
+        for _ in 1..=model.n_hours {
+            let prev = base.last().expect("hour 0 pushed");
+            let next: Vec<u64> = prev
+                .iter()
+                .map(|&r| {
+                    if churn > 0.0 && rng.gen_bool(churn.clamp(0.0, 1.0)) {
+                        sample_rate(mix, rng)
+                    } else {
+                        r
+                    }
+                })
+                .collect();
+            base.push(next);
+        }
+        DynamicTrace { base, east, model, offset: EAST_COAST_OFFSET }
+    }
+
+    /// Overrides the cohort offset (hours the east cohort runs ahead).
+    ///
+    /// The paper's US-coast model uses 3 h; `n_hours / 2` puts the two
+    /// cohorts in antiphase — the strongest daily traffic swing, used by
+    /// the hotspot-swing ablation.
+    pub fn with_offset(mut self, offset: i64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// The cohort offset in hours.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Builds a churn-free trace (pure diurnal scaling of `w`'s rates).
+    pub fn new(w: &Workload, model: DiurnalModel, rng: &mut impl Rng) -> Self {
+        Self::with_churn(w, model, &DEFAULT_MIX, 0.0, rng)
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.east.len()
+    }
+
+    /// The diurnal model in use.
+    pub fn model(&self) -> &DiurnalModel {
+        &self.model
+    }
+
+    /// True when flow `i` is in the east cohort.
+    pub fn is_east(&self, i: usize) -> bool {
+        self.east[i]
+    }
+
+    /// The base (pre-envelope) rate of flow `i` at hour `h`.
+    pub fn base_rate_at(&self, h: u32, i: usize) -> u64 {
+        self.base[(h as usize).min(self.base.len() - 1)][i]
+    }
+
+    /// The rate vector at hour `h` (0 = 6 AM in the paper's framing):
+    /// east-cohort flows are evaluated 3 hours later on the curve (their
+    /// day started earlier), west-cohort flows at `h` directly.
+    pub fn rates_at(&self, h: u32) -> Vec<u64> {
+        let row = &self.base[(h as usize).min(self.base.len() - 1)];
+        row.iter()
+            .zip(&self.east)
+            .map(|(&b, &east)| {
+                let scale = if east {
+                    self.model.scale_at(h as i64 + self.offset)
+                } else {
+                    self.model.scale_at(h as i64)
+                };
+                (b as f64 * scale).round() as u64
+            })
+            .collect()
+    }
+}
+
+/// Hourly churn fraction used by the standard dynamic workload: a quarter
+/// of the flows redistributes its traffic every hour, the "diverse and
+/// dynamic" regime the TOM experiments need (churn 0 makes every placement
+/// permanently optimal and no algorithm ever migrates).
+pub const STANDARD_CHURN: f64 = 0.25;
+
+/// Number of active (hotspot) racks in the standard dynamic workload.
+/// Tenant clusters concentrate traffic on a few racks; see
+/// [`PairPlacement::active_racks`] for why uniform spread makes TOM
+/// vacuous on hop-metric fat-trees.
+pub const STANDARD_ACTIVE_RACKS: usize = 8;
+
+/// Convenience: builds the paper's full Fig. 11 workload in one call —
+/// `num_pairs` VM pairs on [`STANDARD_ACTIVE_RACKS`] hotspot racks with
+/// 80 % rack locality, Facebook rate mix, and a diurnal trace with
+/// [`STANDARD_CHURN`] hourly churn and location-correlated cohorts
+/// (east-coast jobs occupy the first half of the racks, see
+/// [`DynamicTrace::with_cohorts`]).
+pub fn standard_workload(
+    ft: &FatTree,
+    num_pairs: usize,
+    seed: u64,
+    run: u64,
+) -> (Workload, DynamicTrace) {
+    let mut rng = rng_for_run(seed, run);
+    let placement = PairPlacement {
+        active_racks: Some(STANDARD_ACTIVE_RACKS.min(ft.num_racks())),
+        ..PairPlacement::default()
+    };
+    let w = generate_pairs(
+        ft,
+        &placement,
+        &DEFAULT_MIX,
+        num_pairs,
+        &mut rng,
+    );
+    let half = ft.num_racks() / 2;
+    let east: Vec<bool> = w
+        .flow_ids()
+        .map(|f| {
+            let (src, _) = w.endpoints(f);
+            ft.rack_of(src) < half
+        })
+        .collect();
+    let trace = DynamicTrace::with_cohorts(
+        &w,
+        DiurnalModel::default(),
+        &DEFAULT_MIX,
+        STANDARD_CHURN,
+        east,
+        &mut rng,
+    );
+    (w, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdc_topology::FatTree;
+
+    #[test]
+    fn trace_is_reproducible() {
+        let ft = FatTree::build(4).unwrap();
+        let (w1, t1) = standard_workload(&ft, 20, 7, 3);
+        let (w2, t2) = standard_workload(&ft, 20, 7, 3);
+        assert_eq!(w1.rates(), w2.rates());
+        for h in 0..=12 {
+            assert_eq!(t1.rates_at(h), t2.rates_at(h));
+        }
+        let (_, t3) = standard_workload(&ft, 20, 7, 4);
+        assert!((0..=12).any(|h| t1.rates_at(h) != t3.rates_at(h)));
+    }
+
+    #[test]
+    fn rates_respect_diurnal_envelope() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = standard_workload(&ft, 50, 42, 0);
+        for h in 0..=12u32 {
+            let rates = trace.rates_at(h);
+            assert_eq!(rates.len(), w.num_flows());
+            for (i, &r) in rates.iter().enumerate() {
+                let b = trace.base_rate_at(h, i);
+                assert!(
+                    r <= b + 1,
+                    "hour {h} flow {i}: scaled {r} above base {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_redistributes_rates() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = standard_workload(&ft, 100, 42, 0);
+        // Hour 0 base is the workload's own rates.
+        for i in 0..w.num_flows() {
+            assert_eq!(trace.base_rate_at(0, i), w.rates()[i]);
+        }
+        // Roughly a quarter of flows changed base by hour 1.
+        let changed = (0..w.num_flows())
+            .filter(|&i| trace.base_rate_at(1, i) != trace.base_rate_at(0, i))
+            .count();
+        assert!(changed > 5 && changed < 60, "changed {changed} of 100");
+        // A churn-free trace never changes the base.
+        let mut rng = rng_for_run(1, 1);
+        let t0 = DynamicTrace::new(&w, DiurnalModel::default(), &mut rng);
+        for h in 0..=12 {
+            for i in 0..w.num_flows() {
+                assert_eq!(t0.base_rate_at(h, i), w.rates()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cohorts_split_roughly_in_half() {
+        let ft = FatTree::build(4).unwrap();
+        let (_, trace) = standard_workload(&ft, 400, 1, 0);
+        let east = (0..trace.num_flows()).filter(|&i| trace.is_east(i)).count();
+        assert!(east > 120 && east < 280, "east cohort {east} of 400");
+    }
+
+    #[test]
+    fn peak_hours_differ_between_cohorts() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = standard_workload(&ft, 100, 5, 0);
+        // At the west peak (h = 6), west flows run at full base rate.
+        let at6 = trace.rates_at(6);
+        for i in 0..w.num_flows() {
+            if !trace.is_east(i) {
+                assert_eq!(at6[i], trace.base_rate_at(6, i));
+            }
+        }
+        // East flows peak 3 hours earlier (h = 3).
+        let at3 = trace.rates_at(3);
+        for i in 0..w.num_flows() {
+            if trace.is_east(i) {
+                assert_eq!(at3[i], trace.base_rate_at(3, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The production flow-rate mix (Facebook data centers, Roy et al. \[43\],
+//! as summarized by the paper's experiment setup).
+
+use rand::Rng;
+
+/// Traffic class of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// Rate in `[0, 3000)` — 25 % of flows.
+    Light,
+    /// Rate in `[3000, 7000]` — 70 % of flows.
+    Medium,
+    /// Rate in `(7000, 10000]` — 5 % of flows.
+    Heavy,
+}
+
+/// A three-class rate mix over `[0, 10000]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMix {
+    /// Probability of a light flow.
+    pub light: f64,
+    /// Probability of a medium flow.
+    pub medium: f64,
+    /// Probability of a heavy flow (the three must sum to 1).
+    pub heavy: f64,
+}
+
+/// The paper's mix: 25 % light, 70 % medium, 5 % heavy.
+pub const DEFAULT_MIX: RateMix = RateMix { light: 0.25, medium: 0.70, heavy: 0.05 };
+
+impl RateMix {
+    /// Checks the probabilities sum to 1 (within float dust).
+    pub fn is_valid(&self) -> bool {
+        self.light >= 0.0
+            && self.medium >= 0.0
+            && self.heavy >= 0.0
+            && (self.light + self.medium + self.heavy - 1.0).abs() < 1e-9
+    }
+}
+
+/// Classifies a rate into its class.
+pub fn classify(rate: u64) -> FlowClass {
+    if rate < 3000 {
+        FlowClass::Light
+    } else if rate <= 7000 {
+        FlowClass::Medium
+    } else {
+        FlowClass::Heavy
+    }
+}
+
+/// Samples one rate from the mix: a class by its probability, then a
+/// uniform rate within the class range.
+pub fn sample_rate(mix: &RateMix, rng: &mut impl Rng) -> u64 {
+    debug_assert!(mix.is_valid());
+    let u: f64 = rng.gen();
+    if u < mix.light {
+        rng.gen_range(0..3000)
+    } else if u < mix.light + mix.medium {
+        rng.gen_range(3000..=7000)
+    } else {
+        rng.gen_range(7001..=10000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(classify(0), FlowClass::Light);
+        assert_eq!(classify(2999), FlowClass::Light);
+        assert_eq!(classify(3000), FlowClass::Medium);
+        assert_eq!(classify(7000), FlowClass::Medium);
+        assert_eq!(classify(7001), FlowClass::Heavy);
+        assert_eq!(classify(10000), FlowClass::Heavy);
+    }
+
+    #[test]
+    fn default_mix_is_valid() {
+        assert!(DEFAULT_MIX.is_valid());
+        assert!(!RateMix { light: 0.5, medium: 0.5, heavy: 0.5 }.is_valid());
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_match_classes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..5000 {
+            let r = sample_rate(&DEFAULT_MIX, &mut rng);
+            assert!(r <= 10000);
+        }
+    }
+
+    #[test]
+    fn empirical_mix_matches_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match classify(sample_rate(&DEFAULT_MIX, &mut rng)) {
+                FlowClass::Light => counts[0] += 1,
+                FlowClass::Medium => counts[1] += 1,
+                FlowClass::Heavy => counts[2] += 1,
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.25).abs() < 0.02, "light {:?}", counts);
+        assert!((frac(counts[1]) - 0.70).abs() < 0.02, "medium {:?}", counts);
+        assert!((frac(counts[2]) - 0.05).abs() < 0.01, "heavy {:?}", counts);
+    }
+
+    #[test]
+    fn degenerate_mixes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let all_heavy = RateMix { light: 0.0, medium: 0.0, heavy: 1.0 };
+        for _ in 0..100 {
+            assert_eq!(classify(sample_rate(&all_heavy, &mut rng)), FlowClass::Heavy);
+        }
+        let all_light = RateMix { light: 1.0, medium: 0.0, heavy: 0.0 };
+        for _ in 0..100 {
+            assert_eq!(classify(sample_rate(&all_light, &mut rng)), FlowClass::Light);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over randomly generated PPDCs and workloads.
+
+use proptest::prelude::*;
+use ppdc::model::{comm_cost, comm_cost_flow, total_cost, Placement, Sfc, Workload};
+use ppdc::placement::{
+    dp_placement, exhaustive_placement, greedy_placement, optimal_placement,
+    steering_placement, AttachAggregates,
+};
+use ppdc::stroll::{dp_stroll, exhaustive_stroll, optimal_stroll, StrollInstance};
+use ppdc::topology::{DistanceMatrix, Graph, MetricClosure, NodeId};
+
+/// A random connected PPDC: a switch spanning tree plus extra switch-switch
+/// edges, with one host per leaf-ish switch.
+fn arb_ppdc() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
+    (3usize..9, 0usize..6, 1u64..5, any::<u64>()).prop_map(
+        |(switches, extra_edges, weight_scale, seed)| {
+            let mut g = Graph::new();
+            let sw: Vec<NodeId> = (0..switches)
+                .map(|i| g.add_switch(format!("s{i}")))
+                .collect();
+            let mut x = seed | 1;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            // Random spanning tree over switches.
+            for i in 1..switches {
+                let parent = (next() as usize) % i;
+                let w = 1 + (next() % weight_scale);
+                g.add_edge(sw[i], sw[parent], w).unwrap();
+            }
+            for _ in 0..extra_edges {
+                let a = (next() as usize) % switches;
+                let b = (next() as usize) % switches;
+                if a != b {
+                    let w = 1 + (next() % weight_scale);
+                    let _ = g.add_edge(sw[a], sw[b], w);
+                }
+            }
+            // Two hosts on random switches.
+            let h1 = g.add_host("h1");
+            g.add_edge(h1, sw[(next() as usize) % switches], 1).unwrap();
+            let h2 = g.add_host("h2");
+            g.add_edge(h2, sw[(next() as usize) % switches], 1).unwrap();
+            (g, vec![h1, h2])
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DP-Stroll produces a valid solution whose cost is at least the
+    /// exact optimum and, empirically on these sizes, within 2× of it.
+    #[test]
+    fn dp_stroll_bounded_by_optimal((g, hosts) in arb_ppdc(), n in 1usize..4) {
+        let dm = DistanceMatrix::build(&g);
+        let mut members = hosts.clone();
+        members.extend(g.switches());
+        let mc = MetricClosure::over(&dm, &members);
+        prop_assume!(g.num_switches() >= n);
+        let inst = StrollInstance::new(&mc, hosts[0], hosts[1], n).unwrap();
+        let dp = dp_stroll(&inst).unwrap();
+        dp.validate(&inst).unwrap();
+        let opt = optimal_stroll(&inst).unwrap();
+        opt.validate(&inst).unwrap();
+        prop_assert!(opt.cost <= dp.cost);
+        prop_assert!(dp.cost <= 2 * opt.cost + 1, "dp {} opt {}", dp.cost, opt.cost);
+    }
+
+    /// The branch-and-bound stroll equals the plain exhaustive enumeration.
+    #[test]
+    fn bb_stroll_equals_exhaustive((g, hosts) in arb_ppdc(), n in 1usize..4) {
+        let dm = DistanceMatrix::build(&g);
+        let mut members = hosts.clone();
+        members.extend(g.switches());
+        let mc = MetricClosure::over(&dm, &members);
+        prop_assume!(g.num_switches() >= n);
+        let inst = StrollInstance::new(&mc, hosts[0], hosts[1], n).unwrap();
+        let bb = optimal_stroll(&inst).unwrap();
+        let ex = exhaustive_stroll(&inst).unwrap();
+        prop_assert_eq!(bb.cost, ex.cost);
+    }
+
+    /// The placement branch-and-bound equals exhaustive enumeration, and
+    /// no algorithm beats it.
+    #[test]
+    fn placement_optimality_chain(
+        (g, hosts) in arb_ppdc(),
+        n in 1usize..4,
+        rate1 in 1u64..1000,
+        rate2 in 1u64..1000,
+    ) {
+        prop_assume!(g.num_switches() >= n);
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], rate1);
+        w.add_pair(hosts[1], hosts[0], rate2);
+        let sfc = Sfc::of_len(n).unwrap();
+        let (_, bb) = optimal_placement(&g, &dm, &w, &sfc).unwrap();
+        let (_, ex) = exhaustive_placement(&g, &dm, &w, &sfc).unwrap();
+        prop_assert_eq!(bb, ex, "b&b vs exhaustive");
+        for (name, res) in [
+            ("dp", dp_placement(&g, &dm, &w, &sfc)),
+            ("steering", steering_placement(&g, &dm, &w, &sfc)),
+            ("greedy", greedy_placement(&g, &dm, &w, &sfc)),
+        ] {
+            let (p, cost) = res.unwrap();
+            prop_assert!(bb <= cost, "{} beat optimal: {} < {}", name, cost, bb);
+            prop_assert_eq!(cost, comm_cost(&dm, &w, &p), "{} cost accounting", name);
+        }
+    }
+
+    /// Attach aggregates reproduce Eq. 1 exactly for arbitrary placements.
+    #[test]
+    fn aggregates_match_eq1(
+        (g, hosts) in arb_ppdc(),
+        n in 1usize..4,
+        rate in 1u64..10_000,
+        pick in any::<u64>(),
+    ) {
+        prop_assume!(g.num_switches() >= n);
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], rate);
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        // A pseudo-random valid placement.
+        let switches: Vec<NodeId> = g.switches().collect();
+        let mut chosen = Vec::new();
+        let mut x = pick | 1;
+        while chosen.len() < n {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let s = switches[(x as usize) % switches.len()];
+            if !chosen.contains(&s) {
+                chosen.push(s);
+            }
+        }
+        let sfc = Sfc::of_len(n).unwrap();
+        let p = Placement::new(&g, &sfc, chosen).unwrap();
+        prop_assert_eq!(agg.comm_cost(&dm, &p), comm_cost(&dm, &w, &p));
+    }
+
+    /// Cost identities: C_t = C_b + C_a; rate scaling is linear; the
+    /// identity migration is free.
+    #[test]
+    fn cost_identities(
+        (g, hosts) in arb_ppdc(),
+        n in 1usize..4,
+        rate in 1u64..500,
+        mu in 0u64..10_000,
+    ) {
+        prop_assume!(g.num_switches() >= 2 * n);
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], rate);
+        let sfc = Sfc::of_len(n).unwrap();
+        let switches: Vec<NodeId> = g.switches().collect();
+        let p = Placement::new(&g, &sfc, switches[..n].to_vec()).unwrap();
+        let m = Placement::new(&g, &sfc, switches[n..2 * n].to_vec()).unwrap();
+        let ct = total_cost(&dm, &w, &p, &m, mu);
+        prop_assert_eq!(
+            ct,
+            ppdc::model::migration_cost(&dm, &p, &m, mu) + comm_cost(&dm, &w, &m)
+        );
+        prop_assert_eq!(total_cost(&dm, &w, &p, &p, mu), comm_cost(&dm, &w, &p));
+        // Linear in the rate.
+        let single = comm_cost_flow(&dm, hosts[0], hosts[1], 1, &p);
+        prop_assert_eq!(comm_cost_flow(&dm, hosts[0], hosts[1], rate, &p), rate * single);
+    }
+
+    /// mPareto's outcome always satisfies Eq. 8 accounting and never loses
+    /// to staying put.
+    #[test]
+    fn mpareto_never_worse_than_staying(
+        (g, hosts) in arb_ppdc(),
+        n in 1usize..4,
+        r1 in 1u64..1000,
+        r2 in 1u64..1000,
+        mu in 0u64..200,
+    ) {
+        prop_assume!(g.num_switches() >= n);
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], r1);
+        w.add_pair(hosts[1], hosts[0], r2);
+        let sfc = Sfc::of_len(n).unwrap();
+        let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        w.set_rates(&[r2, r1]).unwrap();
+        let out = ppdc::migration::mpareto(&g, &dm, &w, &sfc, &p, mu).unwrap();
+        prop_assert_eq!(out.total_cost, total_cost(&dm, &w, &p, &out.migration, mu));
+        prop_assert!(out.total_cost <= comm_cost(&dm, &w, &p));
+    }
+}
