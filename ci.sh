@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate. Mirrors what reviewers run before merging:
+#
+#   1. formatting      — cargo fmt --check over the whole workspace
+#   2. lints           — clippy with warnings denied, all targets
+#   3. tier-1 verify   — release build + full test suite
+#
+# The bench crate (ppdc-bench) is outside the workspace default-members,
+# so steps 3's plain `cargo build`/`cargo test` skip it; clippy still
+# covers it via --workspace so bench code cannot rot. Everything here is
+# fully offline — all third-party dependencies are vendored stand-ins.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1, default members)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1, default members)"
+cargo test -q
+
+echo "CI OK"

@@ -1,11 +1,11 @@
 //! TOM solver benchmarks (the Fig. 11 algorithms' runtimes).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppdc_bench::fixture;
 use ppdc_migration::{mcf_vm_migration, mpareto, plan_vm_migration};
 use ppdc_model::Sfc;
 use ppdc_placement::dp_placement;
+use std::time::Duration;
 
 fn bench_mpareto(c: &mut Criterion) {
     let (ft, dm, mut w) = fixture(8, 100);

@@ -1,10 +1,10 @@
 //! TOP solver benchmarks (the Fig. 9/10 algorithms' runtimes).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdc_bench::fixture;
 use ppdc_model::Sfc;
 use ppdc_placement::{dp_placement, greedy_placement, optimal_placement, steering_placement};
+use std::time::Duration;
 
 fn bench_dp_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_placement");
@@ -63,9 +63,7 @@ fn bench_extensions(c: &mut Criterion) {
     });
     let filter = TrafficScaling::uniform(&sfc, 500);
     group.bench_function("optimal_placement_scaled", |b| {
-        b.iter(|| {
-            optimal_placement_scaled(ft.graph(), &dm, &w, &sfc, &filter, u64::MAX).unwrap()
-        })
+        b.iter(|| optimal_placement_scaled(ft.graph(), &dm, &w, &sfc, &filter, u64::MAX).unwrap())
     });
     group.finish();
 }

@@ -1,11 +1,11 @@
 //! Full simulated-day benchmarks per migration policy (k = 8).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppdc_model::Sfc;
 use ppdc_sim::{simulate, MigrationPolicy, SimConfig};
 use ppdc_topology::{DistanceMatrix, FatTree};
 use ppdc_traffic::standard_workload;
+use std::time::Duration;
 
 fn bench_day(c: &mut Criterion) {
     let ft = FatTree::build(8).unwrap();
@@ -18,11 +18,27 @@ fn bench_day(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (name, policy) in [
         ("mpareto", MigrationPolicy::MPareto),
-        ("plan", MigrationPolicy::Plan { slots: 8, passes: 4 }),
-        ("mcf", MigrationPolicy::Mcf { slots: 8, candidates: 16 }),
+        (
+            "plan",
+            MigrationPolicy::Plan {
+                slots: 8,
+                passes: 4,
+            },
+        ),
+        (
+            "mcf",
+            MigrationPolicy::Mcf {
+                slots: 8,
+                candidates: 16,
+            },
+        ),
         ("no_migration", MigrationPolicy::NoMigration),
     ] {
-        let cfg = SimConfig { mu: 10_000, vm_mu: 10_000, policy };
+        let cfg = SimConfig {
+            mu: 10_000,
+            vm_mu: 10_000,
+            policy,
+        };
         group.bench_function(name, |b| {
             b.iter(|| simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap())
         });

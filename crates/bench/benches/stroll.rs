@@ -1,10 +1,12 @@
 //! TOP-1 solver benchmarks (the Fig. 7 algorithms' runtimes).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdc_bench::fixture;
-use ppdc_stroll::{dp_stroll, optimal_stroll, primal_dual_stroll, PrimalDualConfig, StrollInstance};
+use ppdc_stroll::{
+    dp_stroll, optimal_stroll, primal_dual_stroll, PrimalDualConfig, StrollInstance,
+};
 use ppdc_topology::{MetricClosure, NodeId};
+use std::time::Duration;
 
 fn closure_for(k: usize) -> (ppdc_topology::Graph, MetricClosure, NodeId, NodeId) {
     let (ft, dm, _) = fixture(k, 1);
@@ -59,5 +61,10 @@ fn bench_primal_dual(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dp_stroll, bench_optimal_stroll, bench_primal_dual);
+criterion_group!(
+    benches,
+    bench_dp_stroll,
+    bench_optimal_stroll,
+    bench_primal_dual
+);
 criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Substrate benchmarks: topology construction and shortest paths.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdc_topology::{DistanceMatrix, FatTree};
+use std::time::Duration;
 
 fn bench_fat_tree_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("fat_tree_build");
@@ -28,5 +28,31 @@ fn bench_all_pairs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fat_tree_build, bench_all_pairs);
+fn bench_apsp_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_par_vs_seq");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for k in [8usize, 16] {
+        let g = FatTree::build(k).unwrap().into_graph();
+        group.bench_with_input(BenchmarkId::new("parallel", k), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", k), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build_sequential(g))
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild_into", k), &g, |b, g| {
+            let mut dm = DistanceMatrix::build(g);
+            b.iter(|| dm.rebuild_into(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fat_tree_build,
+    bench_all_pairs,
+    bench_apsp_parallel_vs_sequential
+);
 criterion_main!(benches);

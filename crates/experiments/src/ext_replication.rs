@@ -97,7 +97,7 @@ fn chain_replicated_day(
                 cand.add_replica(g, j, s).expect("collision-checked");
             }
             let cost = ccr(dm, &w, &cand);
-            if cost < current && best.map_or(true, |(c, _)| cost < c) {
+            if cost < current && best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, q));
             }
         }
@@ -141,7 +141,11 @@ pub fn ext_replication(scale: &Scale) -> Table {
             (MigrationPolicy::MPareto, &mut mpareto),
             (MigrationPolicy::NoMigration, &mut nomig),
         ] {
-            let cfg = SimConfig { mu, vm_mu: mu, policy };
+            let cfg = SimConfig {
+                mu,
+                vm_mu: mu,
+                policy,
+            };
             let r = simulate(g, &dm, &w, &trace, &sfc, &cfg).expect("day simulates");
             out.push(r.total_cost as f64);
         }
@@ -149,14 +153,11 @@ pub fn ext_replication(scale: &Scale) -> Table {
             replicated[slot].push(replicated_day(g, &dm, &w, &trace, &sfc, r) as f64);
         }
         for (slot, &c) in chain_counts.iter().enumerate() {
-            chain_replicated[slot]
-                .push(chain_replicated_day(&ft, &dm, &w, &trace, &sfc, c) as f64);
+            chain_replicated[slot].push(chain_replicated_day(&ft, &dm, &w, &trace, &sfc, c) as f64);
         }
     }
     let mut table = Table::new(
-        format!(
-            "Extension — replication vs migration (k={k}, l={pairs}, n={n}, mu={mu})",
-            ),
+        format!("Extension — replication vs migration (k={k}, l={pairs}, n={n}, mu={mu})",),
         &["strategy", "day-total traffic", "vs NoMigration %"],
     );
     let base = summarize(&nomig).mean;

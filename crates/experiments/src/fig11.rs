@@ -84,7 +84,11 @@ fn series(
 }
 
 fn pairs_default(scale: &Scale) -> usize {
-    if scale.quick { 16 } else { 512 }
+    if scale.quick {
+        16
+    } else {
+        512
+    }
 }
 
 /// Fig. 11(a) day-total costs and (b) migration counts, per policy and μ.
@@ -108,17 +112,41 @@ pub fn fig11a_b(scale: &Scale) -> (Table, Table) {
     );
     let policies: Vec<(&str, MigrationPolicy, u64)> = vec![
         ("mPareto", MigrationPolicy::MPareto, 1),
-        ("Optimal", MigrationPolicy::OptimalVnf { budget: OPT_BUDGET }, 1),
-        ("PLAN", MigrationPolicy::Plan { slots: SLOTS, passes: PLAN_PASSES }, 1),
-        ("MCF", MigrationPolicy::Mcf { slots: SLOTS, candidates: MCF_CANDIDATES }, 1),
+        (
+            "Optimal",
+            MigrationPolicy::OptimalVnf { budget: OPT_BUDGET },
+            1,
+        ),
+        (
+            "PLAN",
+            MigrationPolicy::Plan {
+                slots: SLOTS,
+                passes: PLAN_PASSES,
+            },
+            1,
+        ),
+        (
+            "MCF",
+            MigrationPolicy::Mcf {
+                slots: SLOTS,
+                candidates: MCF_CANDIDATES,
+            },
+            1,
+        ),
         (
             "PLAN (light VMs, vm_mu=mu/10)",
-            MigrationPolicy::Plan { slots: SLOTS, passes: PLAN_PASSES },
+            MigrationPolicy::Plan {
+                slots: SLOTS,
+                passes: PLAN_PASSES,
+            },
             10,
         ),
         (
             "MCF (light VMs, vm_mu=mu/10)",
-            MigrationPolicy::Mcf { slots: SLOTS, candidates: MCF_CANDIDATES },
+            MigrationPolicy::Mcf {
+                slots: SLOTS,
+                candidates: MCF_CANDIDATES,
+            },
             10,
         ),
         ("NoMigration", MigrationPolicy::NoMigration, 1),
@@ -127,8 +155,7 @@ pub fn fig11a_b(scale: &Scale) -> (Table, Table) {
         let mut cost_cells = vec![name.to_string()];
         let mut mig_cells = vec![name.to_string()];
         for &mu in &mus {
-            let (costs, migs) =
-                series(scale, pairs, n, mu, mu / vm_div, 3, policy, 11_000);
+            let (costs, migs) = series(scale, pairs, n, mu, mu / vm_div, 3, policy, 11_000);
             cost_cells.push(fmt_maybe(&costs));
             mig_cells.push(fmt_maybe(&migs));
         }
@@ -147,7 +174,10 @@ pub fn fig11c(scale: &Scale) -> Table {
         vec![64, 128, 256, 512]
     };
     let mut table = Table::new(
-        format!("Fig. 11(c) — day-total cost vs l, k={}, n={n}", scale.k_tom()),
+        format!(
+            "Fig. 11(c) — day-total cost vs l, k={}, n={n}",
+            scale.k_tom()
+        ),
         &[
             "l",
             "mPareto mu=1e4",
@@ -157,11 +187,36 @@ pub fn fig11c(scale: &Scale) -> Table {
         ],
     );
     for &l in &ls {
-        let (mp4, _) = series(scale, l, n, 10_000, 10_000, 3, MigrationPolicy::MPareto, 11_300);
-        let (mp5, _) =
-            series(scale, l, n, 100_000, 100_000, 3, MigrationPolicy::MPareto, 11_300);
-        let (nomig, _) =
-            series(scale, l, n, 10_000, 10_000, 3, MigrationPolicy::NoMigration, 11_300);
+        let (mp4, _) = series(
+            scale,
+            l,
+            n,
+            10_000,
+            10_000,
+            3,
+            MigrationPolicy::MPareto,
+            11_300,
+        );
+        let (mp5, _) = series(
+            scale,
+            l,
+            n,
+            100_000,
+            100_000,
+            3,
+            MigrationPolicy::MPareto,
+            11_300,
+        );
+        let (nomig, _) = series(
+            scale,
+            l,
+            n,
+            10_000,
+            10_000,
+            3,
+            MigrationPolicy::NoMigration,
+            11_300,
+        );
         let reduction = match (crate::mean_maybe(&mp4), crate::mean_maybe(&nomig)) {
             (Some(a), Some(b)) if b > 0.0 => format!("{:.1}", 100.0 * (b - a) / b),
             _ => "n/c".into(),
@@ -205,8 +260,16 @@ pub fn fig11d(scale: &Scale) -> Table {
     for &n in &ns {
         let mut cells = vec![n.to_string()];
         for offset in [3i64, 6] {
-            let (mp, _) =
-                series(scale, pairs, n, mu, mu, offset, MigrationPolicy::MPareto, 11_400);
+            let (mp, _) = series(
+                scale,
+                pairs,
+                n,
+                mu,
+                mu,
+                offset,
+                MigrationPolicy::MPareto,
+                11_400,
+            );
             let (nm, _) = series(
                 scale,
                 pairs,
@@ -237,7 +300,18 @@ mod tests {
     #[test]
     fn quick_day_simulates() {
         let scale = Scale { quick: true };
-        let r = day(&scale, 10, 3, 10_000, 10_000, 3, MigrationPolicy::MPareto, 1, 0).unwrap();
+        let r = day(
+            &scale,
+            10,
+            3,
+            10_000,
+            10_000,
+            3,
+            MigrationPolicy::MPareto,
+            1,
+            0,
+        )
+        .unwrap();
         assert_eq!(r.hours.len(), 12);
     }
 }

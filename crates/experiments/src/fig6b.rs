@@ -42,7 +42,11 @@ pub fn fig6b(scale: &Scale) -> Table {
             f.migration_cost.to_string(),
             f.comm_cost.to_string(),
             f.total_cost().to_string(),
-            if chosen { "<-- mPareto".into() } else { String::new() },
+            if chosen {
+                "<-- mPareto".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     let front = pareto_front(&out.frontiers);
@@ -51,7 +55,11 @@ pub fn fig6b(scale: &Scale) -> Table {
         format!("{} points", front.len()),
         String::new(),
         String::new(),
-        if is_convex(&front) { "convex (Thm 5 ⇒ optimal)".into() } else { "non-convex".into() },
+        if is_convex(&front) {
+            "convex (Thm 5 ⇒ optimal)".into()
+        } else {
+            "non-convex".into()
+        },
     ]);
     table
 }

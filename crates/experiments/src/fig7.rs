@@ -37,7 +37,14 @@ pub fn fig7(scale: &Scale) -> Table {
             "Fig. 7 — TOP-1 (l=1, k={}, unweighted): communication cost vs n",
             scale.k_top()
         ),
-        &["n", "Optimal", "DP-Stroll", "PrimalDual", "2xOptimal (guarantee)", "DP/Opt"],
+        &[
+            "n",
+            "Optimal",
+            "DP-Stroll",
+            "PrimalDual",
+            "2xOptimal (guarantee)",
+            "DP/Opt",
+        ],
     );
     // Once the exact search exhausts its budget for every run of some n,
     // larger n cannot do better — stop burning budget on them.
@@ -81,7 +88,9 @@ pub fn fig7(scale: &Scale) -> Table {
             fmt_maybe(&opt),
             fmt_summary(&dp_sum),
             fmt_summary(&pd_sum),
-            guarantee.map(|gu| format!("{gu:.0}")).unwrap_or_else(|| "n/c".into()),
+            guarantee
+                .map(|gu| format!("{gu:.0}"))
+                .unwrap_or_else(|| "n/c".into()),
             ratio,
         ]);
     }

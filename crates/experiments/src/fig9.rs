@@ -11,9 +11,7 @@
 //! Expected shape (paper): DP within 6–12 % of Optimal; Greedy and
 //! Steering 2–3× dearer (DP is 56–64 % cheaper).
 
-use crate::{
-    fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, randomize_delays, Scale,
-};
+use crate::{fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, randomize_delays, Scale};
 use ppdc_model::{Sfc, Workload};
 use ppdc_placement::{
     dp_placement, greedy_placement, optimal_placement_with_budget, steering_placement,
@@ -32,13 +30,7 @@ struct Point {
     steering: Vec<f64>,
 }
 
-fn run_point(
-    scale: &Scale,
-    weighted: bool,
-    l: usize,
-    n: usize,
-    seed: u64,
-) -> Point {
+fn run_point(scale: &Scale, weighted: bool, l: usize, n: usize, seed: u64) -> Point {
     let runs = scale.runs();
     let mut point = Point {
         optimal: Vec::new(),
@@ -54,8 +46,7 @@ fn run_point(
             dm = DistanceMatrix::build(ft.graph());
         }
         let g = ft.graph();
-        let w: Workload =
-            generate_pairs(&ft, &PairPlacement::default(), &DEFAULT_MIX, l, &mut rng);
+        let w: Workload = generate_pairs(&ft, &PairPlacement::default(), &DEFAULT_MIX, l, &mut rng);
         let sfc = Sfc::of_len(n).expect("n >= 1");
         let (_, dp_cost) = dp_placement(g, &dm, &w, &sfc).expect("dp solves");
         point.dp.push(dp_cost as f64);

@@ -43,28 +43,46 @@ pub struct Scale {
 impl Scale {
     /// Parses `--quick` from the process arguments.
     pub fn from_args() -> Self {
-        Scale { quick: std::env::args().any(|a| a == "--quick") }
+        Scale {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
     }
 
     /// Fat-tree arity for the TOP experiments (paper: 8).
     pub fn k_top(&self) -> usize {
-        if self.quick { 4 } else { 8 }
+        if self.quick {
+            4
+        } else {
+            8
+        }
     }
 
     /// Fat-tree arity for the TOM experiments (paper: 16).
     pub fn k_tom(&self) -> usize {
-        if self.quick { 8 } else { 16 }
+        if self.quick {
+            8
+        } else {
+            16
+        }
     }
 
     /// Runs per data point (paper: 20).
     pub fn runs(&self) -> u64 {
-        if self.quick { 3 } else { 20 }
+        if self.quick {
+            3
+        } else {
+            20
+        }
     }
 
     /// Runs per data point for the day-long TOM simulations, which cost a
     /// dp-placement per simulated hour.
     pub fn sim_runs(&self) -> u64 {
-        if self.quick { 2 } else { 3 }
+        if self.quick {
+            2
+        } else {
+            3
+        }
     }
 }
 

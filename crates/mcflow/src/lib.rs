@@ -64,14 +64,18 @@ struct Arc {
 #[derive(Debug, Clone)]
 pub struct McfNetwork {
     n: usize,
-    arcs: Vec<Arc>,            // arc 2i is forward, 2i+1 its residual twin
-    adj: Vec<Vec<usize>>,      // node -> arc indices
+    arcs: Vec<Arc>,       // arc 2i is forward, 2i+1 its residual twin
+    adj: Vec<Vec<usize>>, // node -> arc indices
 }
 
 impl McfNetwork {
     /// Creates a network with `n` nodes (indices `0..n`).
     pub fn new(n: usize) -> Self {
-        McfNetwork { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+        McfNetwork {
+            n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -91,7 +95,11 @@ impl McfNetwork {
         assert!(cap >= 0, "capacity must be non-negative");
         let id = self.arcs.len();
         self.arcs.push(Arc { to, cap, cost });
-        self.arcs.push(Arc { to: from, cap: 0, cost: -cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
         self.adj[from].push(id);
         self.adj[to].push(id + 1);
         EdgeRef(id)
@@ -110,7 +118,12 @@ impl McfNetwork {
     ///
     /// [`McfError::NegativeCycle`] if Bellman–Ford detects a reachable
     /// negative cycle (the problem would be unbounded).
-    pub fn min_cost_flow(&mut self, s: usize, t: usize, limit: i64) -> Result<(i64, i64), McfError> {
+    pub fn min_cost_flow(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: i64,
+    ) -> Result<(i64, i64), McfError> {
         if s >= self.n || t >= self.n {
             return Err(McfError::UnknownNode(s.max(t)));
         }
@@ -214,7 +227,7 @@ impl McfNetwork {
                 let rc = arc.cost + potential[u] - potential[arc.to];
                 debug_assert!(rc >= 0, "reduced cost must be non-negative");
                 let nd = d + rc;
-                if dist[arc.to].map_or(true, |old| nd < old) {
+                if dist[arc.to].is_none_or(|old| nd < old) {
                     dist[arc.to] = Some(nd);
                     pre[arc.to] = Some(a);
                     heap.push(Reverse((nd, arc.to)));
@@ -310,10 +323,10 @@ mod tests {
         // 3 workers × 3 jobs assignment via MCF equals brute-force search.
         let costs = [[4i64, 2, 8], [4, 3, 7], [3, 1, 6]];
         let mut net = McfNetwork::new(8); // s=0, workers 1-3, jobs 4-6, t=7
-        for w in 0..3 {
+        for (w, row) in costs.iter().enumerate() {
             net.add_edge(0, 1 + w, 1, 0);
-            for j in 0..3 {
-                net.add_edge(1 + w, 4 + j, 1, costs[w][j]);
+            for (j, &c) in row.iter().enumerate() {
+                net.add_edge(1 + w, 4 + j, 1, c);
             }
         }
         for j in 0..3 {
@@ -323,7 +336,14 @@ mod tests {
         assert_eq!(flow, 3);
         // Brute force over all permutations.
         let mut best = i64::MAX;
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         for p in perms {
             best = best.min((0..3).map(|w| costs[w][p[w]]).sum());
         }
@@ -350,7 +370,7 @@ mod tests {
             .collect();
         let (flow, _) = net.min_cost_flow(0, 5, i64::MAX).unwrap();
         assert!(flow > 0);
-        let mut balance = vec![0i64; 6];
+        let mut balance = [0i64; 6];
         for (&(f, t, _, _), &r) in edges.iter().zip(&refs) {
             let fl = net.flow_on(r);
             balance[f] -= fl;
@@ -358,8 +378,8 @@ mod tests {
         }
         assert_eq!(balance[0], -flow);
         assert_eq!(balance[5], flow);
-        for v in 1..5 {
-            assert_eq!(balance[v], 0, "conservation at node {v}");
+        for (v, &b) in balance.iter().enumerate().take(5).skip(1) {
+            assert_eq!(b, 0, "conservation at node {v}");
         }
     }
 
@@ -384,10 +404,10 @@ mod proptests {
             costs in proptest::array::uniform3(proptest::array::uniform3(0i64..100))
         ) {
             let mut net = McfNetwork::new(8);
-            for w in 0..3 {
+            for (w, row) in costs.iter().enumerate() {
                 net.add_edge(0, 1 + w, 1, 0);
-                for j in 0..3 {
-                    net.add_edge(1 + w, 4 + j, 1, costs[w][j]);
+                for (j, &c) in row.iter().enumerate() {
+                    net.add_edge(1 + w, 4 + j, 1, c);
                 }
             }
             for j in 0..3 {

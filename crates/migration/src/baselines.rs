@@ -21,9 +21,7 @@
 
 use crate::MigrationError;
 use ppdc_mcf::McfNetwork;
-use ppdc_model::{
-    comm_cost, HostCapacities, MigrationCoefficient, Placement, VmId, Workload,
-};
+use ppdc_model::{comm_cost, HostCapacities, MigrationCoefficient, Placement, VmId, Workload};
 use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId};
 
 /// Result of a VM-migration baseline run.
@@ -45,6 +43,16 @@ pub struct VmMigrationOutcome {
 /// placement.
 pub fn no_migration(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
     comm_cost(dm, w, p)
+}
+
+/// [`no_migration`] through precomputed attach-cost aggregates — `O(n)`
+/// instead of `O(|flows|·n)`. `agg` must describe the current workload.
+pub fn no_migration_with_agg(
+    dm: &DistanceMatrix,
+    agg: &ppdc_placement::AttachAggregates,
+    p: &Placement,
+) -> Cost {
+    agg.comm_cost(dm, p)
 }
 
 /// Per-VM rate sums: how much traffic a VM sources (toward the ingress)
@@ -70,8 +78,7 @@ impl VmRates {
     /// Rate-weighted attachment cost of VM `v` at host `h` (the only part
     /// of `C_a` its position influences).
     fn attach_cost(&self, dm: &DistanceMatrix, p: &Placement, v: VmId, h: NodeId) -> Cost {
-        self.src[v.index()] * dm.cost(h, p.ingress())
-            + self.dst[v.index()] * dm.cost(p.egress(), h)
+        self.src[v.index()] * dm.cost(h, p.ingress()) + self.dst[v.index()] * dm.cost(p.egress(), h)
     }
 
     /// Total traffic rate a VM participates in (PLAN's visiting order).
@@ -113,7 +120,7 @@ pub fn plan_vm_migration(
                     continue;
                 }
                 let total = rates.attach_cost(dm, p, v, h) + vm_mu * dm.cost(cur, h);
-                if best.map_or(true, |(c, bh)| total < c || (total == c && h < bh)) {
+                if best.is_none_or(|(c, bh)| total < c || (total == c && h < bh)) {
                     best = Some((total, h));
                 }
             }
@@ -194,8 +201,7 @@ pub fn mcf_vm_migration(
             cand.push(cur);
         }
         for h in cand {
-            let cost =
-                rates.attach_cost(dm, p, v, h) + vm_mu * dm.cost(cur, h);
+            let cost = rates.attach_cost(dm, p, v, h) + vm_mu * dm.cost(cur, h);
             let r = net.add_edge(
                 vm_base + vi,
                 host_base + host_pos[&h],
@@ -211,8 +217,8 @@ pub fn mcf_vm_migration(
     for &v in &vms {
         occupancy[host_pos[&w.host_of(v)]] += 1;
     }
-    for hi in 0..nh {
-        net.add_edge(host_base + hi, sink, (slots as i64).max(occupancy[hi]), 0);
+    for (hi, &occ) in occupancy.iter().enumerate() {
+        net.add_edge(host_base + hi, sink, (slots as i64).max(occ), 0);
     }
     let (flow, _) = net
         .min_cost_flow(source, sink, nv as i64)

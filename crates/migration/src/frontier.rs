@@ -9,7 +9,8 @@
 //! and Theorem 5 says mPareto is optimal whenever that front is convex.
 
 use ppdc_model::{comm_cost, migration_cost, MigrationCoefficient, Placement, Workload};
-use ppdc_topology::{Cost, DistanceMatrix, NodeId, NodeKind, Graph};
+use ppdc_placement::AttachAggregates;
+use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, NodeKind};
 
 /// One evaluated frontier: its placement snapshot and both cost terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,31 @@ pub fn parallel_frontiers(
     p: &Placement,
     mu: MigrationCoefficient,
 ) -> Vec<FrontierPoint> {
+    frontiers_impl(paths, |m| {
+        (migration_cost(dm, p, m, mu), comm_cost(dm, w, m))
+    })
+}
+
+/// [`parallel_frontiers`] with `C_a` evaluated through precomputed
+/// attach-cost aggregates instead of per-flow sums — `O(n)` per frontier
+/// row regardless of the flow count. Exact: Eq. 1's decomposition holds
+/// for every frontier snapshot, injective or not. `agg` must describe `w`.
+pub fn parallel_frontiers_with_agg(
+    dm: &DistanceMatrix,
+    agg: &AttachAggregates,
+    paths: &[Vec<NodeId>],
+    p: &Placement,
+    mu: MigrationCoefficient,
+) -> Vec<FrontierPoint> {
+    frontiers_impl(paths, |m| {
+        (migration_cost(dm, p, m, mu), agg.comm_cost(dm, m))
+    })
+}
+
+fn frontiers_impl(
+    paths: &[Vec<NodeId>],
+    costs: impl Fn(&Placement) -> (Cost, Cost),
+) -> Vec<FrontierPoint> {
     let h_max = paths.iter().map(Vec::len).max().unwrap_or(1);
     (0..h_max)
         .map(|i| {
@@ -74,9 +100,10 @@ pub fn parallel_frontiers(
                 .map(|path| path[i.min(path.len() - 1)])
                 .collect();
             let m = Placement::new_relaxed(snapshot);
+            let (migration_cost, comm_cost) = costs(&m);
             FrontierPoint {
-                migration_cost: migration_cost(dm, p, &m, mu),
-                comm_cost: comm_cost(dm, w, &m),
+                migration_cost,
+                comm_cost,
                 placement: m,
             }
         })

@@ -26,10 +26,15 @@ pub mod frontier;
 pub mod mpareto;
 pub mod optimal;
 
-pub use baselines::{mcf_vm_migration, no_migration, plan_vm_migration, VmMigrationOutcome};
-pub use frontier::{is_convex, migration_paths, parallel_frontiers, pareto_front, FrontierPoint};
-pub use mpareto::{mpareto, MigrationOutcome};
-pub use optimal::{optimal_migration, optimal_migration_with_budget};
+pub use baselines::{
+    mcf_vm_migration, no_migration, no_migration_with_agg, plan_vm_migration, VmMigrationOutcome,
+};
+pub use frontier::{
+    is_convex, migration_paths, parallel_frontiers, parallel_frontiers_with_agg, pareto_front,
+    FrontierPoint,
+};
+pub use mpareto::{mpareto, mpareto_with_agg, MigrationOutcome};
+pub use optimal::{optimal_migration, optimal_migration_with_agg, optimal_migration_with_budget};
 
 use ppdc_model::ModelError;
 use ppdc_placement::PlacementError;

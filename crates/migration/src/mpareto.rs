@@ -1,9 +1,9 @@
 //! **mPareto** — Algorithm 5: parallel-frontier VNF migration.
 
-use crate::frontier::{migration_paths, parallel_frontiers, FrontierPoint};
+use crate::frontier::{migration_paths, parallel_frontiers_with_agg, FrontierPoint};
 use crate::MigrationError;
 use ppdc_model::{MigrationCoefficient, Placement, Sfc, Workload};
-use ppdc_placement::dp_placement;
+use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
 use ppdc_topology::{Cost, DistanceMatrix, Graph};
 
 /// Result of a TOM solve (mPareto or Optimal).
@@ -61,9 +61,30 @@ pub fn mpareto(
     p: &Placement,
     mu: MigrationCoefficient,
 ) -> Result<MigrationOutcome, MigrationError> {
-    let (p_new, _) = dp_placement(g, dm, w, sfc)?;
+    let agg = AttachAggregates::build(g, dm, w);
+    mpareto_with_agg(g, dm, w, sfc, p, mu, &agg)
+}
+
+/// [`mpareto`] against caller-supplied attach-cost aggregates: the hourly
+/// TOM loop maintains one [`AttachAggregates`] incrementally across epochs
+/// and runs both the inner Algorithm 3 and the frontier sweep through it,
+/// never rebuilding per-flow sums. `agg` must describe `w` on `g`/`dm`.
+///
+/// # Errors
+///
+/// Same conditions as [`mpareto`].
+pub fn mpareto_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    agg: &AttachAggregates,
+) -> Result<MigrationOutcome, MigrationError> {
+    let (p_new, _) = dp_placement_with_agg(g, dm, w, sfc, agg)?;
     let paths = migration_paths(g, dm, p, &p_new);
-    let frontiers = parallel_frontiers(dm, w, &paths, p, mu);
+    let frontiers = parallel_frontiers_with_agg(dm, agg, &paths, p, mu);
     // Mid-migration frontier rows can transiently co-locate two VNFs on
     // one switch; the *chosen* resting point must respect the model's
     // one-VNF-per-switch assumption (footnote 3 of the paper). Row 0 is
@@ -83,6 +104,7 @@ mod tests {
     use super::*;
     use crate::frontier::{is_convex, pareto_front};
     use ppdc_model::{comm_cost, total_cost, Sfc};
+    use ppdc_placement::dp_placement;
     use ppdc_topology::builders::{fat_tree, linear};
     use ppdc_topology::NodeId;
 
@@ -108,10 +130,7 @@ mod tests {
         assert_eq!(out.migration_cost, 6);
         assert_eq!(out.comm_cost, 410);
         assert_eq!(out.num_migrations, 2);
-        assert_eq!(
-            out.total_cost,
-            total_cost(&dm, &w, &p, &out.migration, 1)
-        );
+        assert_eq!(out.total_cost, total_cost(&dm, &w, &p, &out.migration, 1));
     }
 
     #[test]
@@ -158,11 +177,8 @@ mod tests {
         w.set_rates(&[600, 1, 1, 1, 1, 500]).unwrap();
         let out = mpareto(&g, &dm, &w, &sfc, &p, 5).unwrap();
         assert_eq!(out.total_cost, out.migration_cost + out.comm_cost);
-        assert_eq!(
-            out.total_cost,
-            total_cost(&dm, &w, &p, &out.migration, 5)
-        );
-        assert!(out.frontiers.len() >= 1);
+        assert_eq!(out.total_cost, total_cost(&dm, &w, &p, &out.migration, 5));
+        assert!(!out.frontiers.is_empty());
     }
 
     #[test]

@@ -13,12 +13,10 @@
 //! and the caller-provided seed (typically mPareto's answer), so the search
 //! starts with strong pruning.
 
-use crate::mpareto::MigrationOutcome;
 use crate::frontier::FrontierPoint;
+use crate::mpareto::MigrationOutcome;
 use crate::MigrationError;
-use ppdc_model::{
-    comm_cost, migration_cost, MigrationCoefficient, ModelError, Placement, Sfc, Workload,
-};
+use ppdc_model::{migration_cost, MigrationCoefficient, ModelError, Placement, Sfc, Workload};
 use ppdc_placement::AttachAggregates;
 use ppdc_stroll::StrollError;
 use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY};
@@ -50,7 +48,9 @@ impl<'a> Search<'a> {
     fn dfs(&mut self, depth: usize, g: Cost) -> Result<(), StrollError> {
         self.expansions += 1;
         if self.expansions > self.budget {
-            return Err(StrollError::BudgetExhausted { budget: self.budget });
+            return Err(StrollError::BudgetExhausted {
+                budget: self.budget,
+            });
         }
         if depth == self.n {
             let last = *self.seq.last().expect("n >= 1");
@@ -133,6 +133,30 @@ pub fn optimal_migration_with_budget(
     seed: Option<&Placement>,
     budget: u64,
 ) -> Result<MigrationOutcome, MigrationError> {
+    let agg = AttachAggregates::build(g, dm, w);
+    optimal_migration_with_agg(g, dm, sfc, p, mu, seed, budget, &agg)
+}
+
+/// [`optimal_migration_with_budget`] against caller-supplied aggregates:
+/// every `C_a` the search evaluates — including the stay/seed incumbents
+/// and the final outcome — goes through `agg`, so the epoch loop never
+/// pays a per-flow sum. `agg` must describe the current workload on
+/// `g`/`dm`.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_migration_with_budget`].
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_migration_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    seed: Option<&Placement>,
+    budget: u64,
+    agg: &AttachAggregates,
+) -> Result<MigrationOutcome, MigrationError> {
     let n = sfc.len();
     if p.len() != n {
         return Err(MigrationError::Model(ModelError::WrongLength {
@@ -147,7 +171,6 @@ pub fn optimal_migration_with_budget(
             vnfs: n,
         }));
     }
-    let agg = AttachAggregates::build(g, dm, w);
     let closure = MetricClosure::over(dm, &switches);
     let m_count = closure.len();
     let mut min_edge = INFINITY;
@@ -171,27 +194,32 @@ pub fn optimal_migration_with_budget(
     // general and summed into suffix bounds.
     let minmove: Vec<Cost> = from
         .iter()
-        .map(|&f| (0..m_count).map(|x| mu * closure.cost_ix(f, x)).min().unwrap_or(0))
+        .map(|&f| {
+            (0..m_count)
+                .map(|x| mu * closure.cost_ix(f, x))
+                .min()
+                .unwrap_or(0)
+        })
         .collect();
     let mut minmove_suffix = vec![0; n + 1];
     for j in (0..n).rev() {
         minmove_suffix[j] = minmove_suffix[j + 1] + minmove[j];
     }
     let mut sorted_from = vec![Vec::new(); m_count];
-    for u in 0..m_count {
+    for (u, slot) in sorted_from.iter_mut().enumerate() {
         let mut list: Vec<usize> = (0..m_count).filter(|&x| x != u).collect();
         list.sort_by_key(|&x| (closure.cost_ix(u, x), x));
         // Staying options first is handled by including u itself up front.
         list.insert(0, u);
-        sorted_from[u] = list;
+        *slot = list;
     }
     // Seed: the better of "stay at p" and the provided seed.
-    let stay_cost = comm_cost(dm, w, p);
+    let stay_cost = agg.comm_cost(dm, p);
     let mut best_cost = stay_cost;
     let mut best_seq: Vec<usize> = from.clone();
     if let Some(sd) = seed {
         if sd.len() == n && sd.is_injective() {
-            let c = migration_cost(dm, p, sd, mu) + comm_cost(dm, w, sd);
+            let c = migration_cost(dm, p, sd, mu) + agg.comm_cost(dm, sd);
             if c < best_cost {
                 best_cost = c;
                 best_seq = sd
@@ -203,7 +231,7 @@ pub fn optimal_migration_with_budget(
         }
     }
     let mut search = Search {
-        agg: &agg,
+        agg,
         closure: &closure,
         from,
         n,
@@ -220,15 +248,9 @@ pub fn optimal_migration_with_budget(
         budget,
     };
     search.dfs(0, 0)?;
-    let m = Placement::new_unchecked(
-        search
-            .best_seq
-            .iter()
-            .map(|&i| closure.node(i))
-            .collect(),
-    );
+    let m = Placement::new_unchecked(search.best_seq.iter().map(|&i| closure.node(i)).collect());
     let mig = migration_cost(dm, p, &m, mu);
-    let com = comm_cost(dm, w, &m);
+    let com = agg.comm_cost(dm, &m);
     let num_migrations = p
         .switches()
         .iter()
@@ -249,7 +271,7 @@ pub fn optimal_migration_with_budget(
 mod tests {
     use super::*;
     use crate::mpareto::mpareto;
-    use ppdc_model::total_cost;
+    use ppdc_model::{comm_cost, total_cost};
     use ppdc_placement::dp_placement;
     use ppdc_topology::builders::{fat_tree, linear};
 
@@ -272,10 +294,7 @@ mod tests {
         let mp = mpareto(&g, &dm, &w, &sfc, &p, 1).unwrap();
         assert_eq!(opt.total_cost, 416);
         assert_eq!(opt.total_cost, mp.total_cost);
-        assert_eq!(
-            opt.total_cost,
-            total_cost(&dm, &w, &p, &opt.migration, 1)
-        );
+        assert_eq!(opt.total_cost, total_cost(&dm, &w, &p, &opt.migration, 1));
     }
 
     #[test]
@@ -292,10 +311,12 @@ mod tests {
         w.set_rates(&[500, 3, 2, 400, 1]).unwrap();
         for mu in [0u64, 2, 50, 10_000] {
             let mp = mpareto(&g, &dm, &w, &sfc, &p, mu).unwrap();
-            let opt =
-                optimal_migration(&g, &dm, &w, &sfc, &p, mu, Some(&mp.migration)).unwrap();
+            let opt = optimal_migration(&g, &dm, &w, &sfc, &p, mu, Some(&mp.migration)).unwrap();
             assert!(opt.total_cost <= mp.total_cost, "mu={mu}");
-            assert!(opt.total_cost <= comm_cost(&dm, &w, &p), "mu={mu} vs staying");
+            assert!(
+                opt.total_cost <= comm_cost(&dm, &w, &p),
+                "mu={mu} vs staying"
+            );
         }
     }
 
@@ -313,8 +334,7 @@ mod tests {
         let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
         w.set_rates(&[90, 10]).unwrap();
         let opt_m = optimal_migration(&g, &dm, &w, &sfc, &p, 0, None).unwrap();
-        let (_, opt_p_cost) =
-            ppdc_placement::optimal_placement(&g, &dm, &w, &sfc).unwrap();
+        let (_, opt_p_cost) = ppdc_placement::optimal_placement(&g, &dm, &w, &sfc).unwrap();
         assert_eq!(opt_m.total_cost, opt_p_cost);
     }
 

@@ -15,10 +15,7 @@ pub type MigrationCoefficient = u64;
 /// Interior chain cost `Σ_{j=1}^{n-1} c(p(j), p(j+1))` — the per-rate-unit
 /// cost of traversing the SFC once the traffic is at the ingress switch.
 pub fn chain_cost(dm: &DistanceMatrix, p: &Placement) -> Cost {
-    p.switches()
-        .windows(2)
-        .map(|w| dm.cost(w[0], w[1]))
-        .sum()
+    p.switches().windows(2).map(|w| dm.cost(w[0], w[1])).sum()
 }
 
 /// Attachment cost `c(s(v_i), p(1)) + c(p(n), s(v'_i))` for one flow — the
@@ -112,7 +109,16 @@ mod tests {
     fn example1_initial_cost_is_410() {
         let (_, dm, w, p, _) = example1();
         // (v1,v1'): h1→s1→s2→s1→h1 = 4 hops × 100; (v2,v2') = 10 hops × 1.
-        assert_eq!(comm_cost_flow(&dm, w.endpoints(crate::FlowId(0)).0, w.endpoints(crate::FlowId(0)).1, 100, &p), 400);
+        assert_eq!(
+            comm_cost_flow(
+                &dm,
+                w.endpoints(crate::FlowId(0)).0,
+                w.endpoints(crate::FlowId(0)).1,
+                100,
+                &p
+            ),
+            400
+        );
         assert_eq!(comm_cost(&dm, &w, &p), 410);
     }
 

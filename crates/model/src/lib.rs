@@ -63,7 +63,10 @@ impl std::fmt::Display for ModelError {
                 write!(f, "switch {} hosts two VNFs of the same SFC", n.index())
             }
             ModelError::WrongLength { expected, got } => {
-                write!(f, "placement length {got} does not match SFC length {expected}")
+                write!(
+                    f,
+                    "placement length {got} does not match SFC length {expected}"
+                )
             }
             ModelError::EmptySfc => write!(f, "an SFC must contain at least one VNF"),
             ModelError::TooFewSwitches { switches, vnfs } => {

@@ -217,7 +217,10 @@ mod tests {
 
         assert_eq!(
             Placement::new(&g, &sfc, vec![s[0]]),
-            Err(ModelError::WrongLength { expected: 2, got: 1 })
+            Err(ModelError::WrongLength {
+                expected: 2,
+                got: 1
+            })
         );
         assert_eq!(
             Placement::new(&g, &sfc, vec![s[0], s[0]]),

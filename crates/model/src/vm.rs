@@ -276,7 +276,10 @@ mod tests {
         assert_eq!(w.rates(), &[1, 100]);
         assert!(matches!(
             w.set_rates(&[1, 2, 3]),
-            Err(ModelError::WrongLength { expected: 2, got: 3 })
+            Err(ModelError::WrongLength {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 

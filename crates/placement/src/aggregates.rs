@@ -11,8 +11,30 @@
 //! evaluating a candidate placement `O(n)` regardless of the number of
 //! flows — the enabling trick for Algorithm 3's `O(|V_s|²)` pair sweep and
 //! the branch-and-bound of Algorithm 4.
+//!
+//! # Attach-node aggregation
+//!
+//! Flows enter the fabric only at their VMs' attach nodes, so the sums
+//! group by endpoint host:
+//!
+//! `A_in[x] = Σ_h R_out[h]·c(h, x)` with `R_out[h] = Σ_{s(v_i)=h} λ_i`
+//!
+//! (and symmetrically `R_in[h]` for `A_out`). Folding the workload into the
+//! per-host rate masses first makes [`AttachAggregates::build`]
+//! `O(|flows| + |V_h|·|V_s|)` instead of `O(|flows|·|V_s|)` — many VMs
+//! share an attach node, and a production workload has orders of magnitude
+//! more flows than hosts. All arithmetic is exact `u64`, so regrouping the
+//! sum changes nothing: the arrays are bit-identical to the flow-by-flow
+//! ones (kept as [`AttachAggregates::build_flow_by_flow`] for tests and
+//! benches).
+//!
+//! The same grouping makes TOM epochs incremental: when only rates change
+//! (hosts and distances fixed), [`AttachAggregates::apply_rate_deltas`]
+//! folds the rate deltas into per-host masses and adds
+//! `Δmass·c(h, x)` to each switch — `O(|Δ| + |touched hosts|·|V_s|)` per
+//! epoch instead of a full rebuild.
 
-use ppdc_model::{Placement, Workload};
+use ppdc_model::{FlowId, Placement, Workload};
 use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId};
 
 /// Precomputed `A_in` / `A_out` arrays plus the total rate.
@@ -24,9 +46,74 @@ pub struct AttachAggregates {
     switches: Vec<NodeId>,
 }
 
+/// Per-attach-node rate masses: `out_mass[h] = Σ_{src host = h} λ`,
+/// `in_mass[h] = Σ_{dst host = h} λ`, with the touched node ids listed once.
+struct RateMasses {
+    out_mass: Vec<u64>,
+    in_mass: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl RateMasses {
+    fn new(num_nodes: usize) -> Self {
+        RateMasses {
+            out_mass: vec![0; num_nodes],
+            in_mass: vec![0; num_nodes],
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, src: NodeId, dst: NodeId, rate: u64) {
+        if self.out_mass[src.index()] == 0 && self.in_mass[src.index()] == 0 {
+            self.touched.push(src.0);
+        }
+        self.out_mass[src.index()] += rate;
+        if self.out_mass[dst.index()] == 0 && self.in_mass[dst.index()] == 0 {
+            self.touched.push(dst.0);
+        }
+        self.in_mass[dst.index()] += rate;
+    }
+}
+
 impl AttachAggregates {
-    /// Builds the aggregates for `w` over all switches of `g`.
+    /// Builds the aggregates for `w` over all switches of `g` by first
+    /// folding the workload into per-attach-node rate masses
+    /// (`O(|flows| + |V_h|·|V_s|)`). Bit-identical to
+    /// [`AttachAggregates::build_flow_by_flow`].
     pub fn build(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+        let n = g.num_nodes();
+        let mut masses = RateMasses::new(n);
+        let mut total_rate = 0u64;
+        for (_, src, dst, rate) in w.iter() {
+            masses.add(src, dst, rate);
+            total_rate += rate;
+        }
+        let mut a_in = vec![0; n];
+        let mut a_out = vec![0; n];
+        let switches: Vec<NodeId> = g.switches().collect();
+        for &x in &switches {
+            let (mut ain, mut aout) = (0, 0);
+            for &h in &masses.touched {
+                let h = NodeId(h);
+                ain += masses.out_mass[h.index()] * dm.cost(h, x);
+                aout += masses.in_mass[h.index()] * dm.cost(x, h);
+            }
+            a_in[x.index()] = ain;
+            a_out[x.index()] = aout;
+        }
+        AttachAggregates {
+            a_in,
+            a_out,
+            total_rate,
+            switches,
+        }
+    }
+
+    /// The original `O(|flows|·|V_s|)` build, one flow at a time. Kept as
+    /// the parity oracle for [`AttachAggregates::build`] /
+    /// [`AttachAggregates::apply_rate_deltas`] and as the bench baseline.
+    pub fn build_flow_by_flow(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
         let n = g.num_nodes();
         let mut a_in = vec![0; n];
         let mut a_out = vec![0; n];
@@ -45,6 +132,69 @@ impl AttachAggregates {
             total_rate: w.total_rate(),
             switches: g.switches().collect(),
         }
+    }
+
+    /// Folds per-flow rate changes into the aggregates in place:
+    /// `deltas` holds `(flow, new λ − old λ)` entries; `w` supplies the
+    /// (unchanged) flow endpoints and must already — or still — describe
+    /// the same VM→host assignment the aggregates were built with.
+    ///
+    /// The update groups deltas by endpoint host and then adjusts every
+    /// switch once per touched host: `O(|Δ| + |touched hosts|·|V_s|)`.
+    /// Because all arithmetic is exact integer math, the result is
+    /// bit-identical to a from-scratch rebuild under the new rates.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if a delta drives a flow's contribution
+    /// negative (i.e. the deltas disagree with the rates the aggregates
+    /// were built from).
+    pub fn apply_rate_deltas(
+        &mut self,
+        dm: &DistanceMatrix,
+        w: &Workload,
+        deltas: &[(FlowId, i64)],
+    ) {
+        if deltas.is_empty() {
+            return;
+        }
+        let n = self.a_in.len();
+        let mut out_delta = vec![0i64; n];
+        let mut in_delta = vec![0i64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut total_delta = 0i64;
+        for &(f, d) in deltas {
+            if d == 0 {
+                continue;
+            }
+            let (src, dst) = w.endpoints(f);
+            if out_delta[src.index()] == 0 && in_delta[src.index()] == 0 {
+                touched.push(src.0);
+            }
+            out_delta[src.index()] += d;
+            if out_delta[dst.index()] == 0 && in_delta[dst.index()] == 0 {
+                touched.push(dst.0);
+            }
+            in_delta[dst.index()] += d;
+            total_delta += d;
+        }
+        // A host's net delta can cancel back to zero; the switch sweep
+        // below multiplies by 0 then, which is still correct.
+        for &x in &self.switches {
+            let (mut ain, mut aout) = (self.a_in[x.index()] as i128, self.a_out[x.index()] as i128);
+            for &h in &touched {
+                let h = NodeId(h);
+                ain += out_delta[h.index()] as i128 * dm.cost(h, x) as i128;
+                aout += in_delta[h.index()] as i128 * dm.cost(x, h) as i128;
+            }
+            debug_assert!(
+                ain >= 0 && aout >= 0,
+                "rate deltas drove aggregates negative"
+            );
+            self.a_in[x.index()] = ain as Cost;
+            self.a_out[x.index()] = aout as Cost;
+        }
+        self.total_rate = (self.total_rate as i64 + total_delta) as u64;
     }
 
     /// `A_in[x]`: rate-weighted cost of all sources reaching ingress `x`.
@@ -77,6 +227,15 @@ impl AttachAggregates {
             + self.total_rate * ppdc_model::chain_cost(dm, p)
             + self.a_out(p.egress())
     }
+
+    /// Exact equality of the `A` arrays and total rate (test helper for
+    /// the bit-identity guarantees).
+    pub fn same_as(&self, other: &AttachAggregates) -> bool {
+        self.a_in == other.a_in
+            && self.a_out == other.a_out
+            && self.total_rate == other.total_rate
+            && self.switches == other.switches
+    }
 }
 
 #[cfg(test)]
@@ -98,12 +257,7 @@ mod tests {
         let sfc = Sfc::of_len(3).unwrap();
         let switches: Vec<NodeId> = g.switches().collect();
         for combo in [[0usize, 1, 2], [3, 7, 11], [19, 4, 0]] {
-            let p = Placement::new(
-                &g,
-                &sfc,
-                combo.iter().map(|&i| switches[i]).collect(),
-            )
-            .unwrap();
+            let p = Placement::new(&g, &sfc, combo.iter().map(|&i| switches[i]).collect()).unwrap();
             assert_eq!(agg.comm_cost(&dm, &p), comm_cost(&dm, &w, &p));
         }
     }
@@ -133,5 +287,59 @@ mod tests {
         assert_eq!(agg.a_out(s[0]), 30);
         assert_eq!(agg.a_in(s[2]), 30);
         assert_eq!(agg.a_out(s[2]), 10);
+    }
+
+    #[test]
+    fn switch_aggregated_build_is_bit_identical_to_flow_by_flow() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        // Heavy endpoint sharing: many flows per attach node, plus
+        // self-loops and reversed pairs.
+        for i in 0..hosts.len() {
+            w.add_pair(
+                hosts[i],
+                hosts[(i * 7 + 3) % hosts.len()],
+                1 + i as u64 * 13,
+            );
+            w.add_pair(hosts[(i * 5) % hosts.len()], hosts[i], 2 + i as u64);
+        }
+        let fast = AttachAggregates::build(&g, &dm, &w);
+        let slow = AttachAggregates::build_flow_by_flow(&g, &dm, &w);
+        assert!(fast.same_as(&slow));
+    }
+
+    #[test]
+    fn incremental_deltas_match_rebuild() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let f0 = w.add_pair(hosts[0], hosts[5], 100);
+        let f1 = w.add_pair(hosts[3], hosts[11], 40);
+        let f2 = w.add_pair(hosts[8], hosts[0], 7);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        // Raise, lower, zero out.
+        let deltas = [(f0, 50i64), (f1, -40), (f2, 3)];
+        for &(f, d) in &deltas {
+            w.set_rate(f, (w.rate(f) as i64 + d) as u64);
+        }
+        agg.apply_rate_deltas(&dm, &w, &deltas);
+        let rebuilt = AttachAggregates::build(&g, &dm, &w);
+        assert!(agg.same_as(&rebuilt));
+    }
+
+    #[test]
+    fn empty_and_zero_deltas_are_no_ops() {
+        let (g, h1, h2) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        let f = w.add_pair(h1, h2, 10);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        let before = agg.clone();
+        agg.apply_rate_deltas(&dm, &w, &[]);
+        agg.apply_rate_deltas(&dm, &w, &[(f, 0)]);
+        assert!(agg.same_as(&before));
     }
 }

@@ -43,8 +43,20 @@ pub fn steering_placement(
     w: &Workload,
     sfc: &Sfc,
 ) -> Result<(Placement, Cost), PlacementError> {
-    let switches = check(g, w, sfc)?;
     let agg = AttachAggregates::build(g, dm, w);
+    steering_placement_with_agg(g, dm, w, sfc, &agg)
+}
+
+/// [`steering_placement`] against caller-supplied aggregates (see
+/// [`crate::dp_placement_with_agg`] for when this matters).
+pub fn steering_placement_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost), PlacementError> {
+    let switches = check(g, w, sfc)?;
     let n = sfc.len();
     let rate = agg.total_rate();
     let mut chosen: Vec<NodeId> = Vec::with_capacity(n);
@@ -65,7 +77,7 @@ pub fn steering_placement(
             if j + 1 == n {
                 score += agg.a_out(x);
             }
-            if best.map_or(true, |(c, b)| score < c || (score == c && x < b)) {
+            if best.is_none_or(|(c, b)| score < c || (score == c && x < b)) {
                 best = Some((score, x));
             }
         }
@@ -86,8 +98,19 @@ pub fn greedy_placement(
     w: &Workload,
     sfc: &Sfc,
 ) -> Result<(Placement, Cost), PlacementError> {
-    let switches = check(g, w, sfc)?;
     let agg = AttachAggregates::build(g, dm, w);
+    greedy_placement_with_agg(g, dm, w, sfc, &agg)
+}
+
+/// [`greedy_placement`] against caller-supplied aggregates.
+pub fn greedy_placement_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost), PlacementError> {
+    let switches = check(g, w, sfc)?;
     let n = sfc.len();
     let rate = agg.total_rate();
     // Summed switch-to-switch distance from each switch; divided by the
@@ -115,7 +138,7 @@ pub fn greedy_placement(
             let egress_term = if j + 1 == n { agg.a_out(x) } else { 0 };
             let lookahead = unplaced * rate * sum_dist[x.index()] / switches.len() as u64;
             let score = increment + egress_term + lookahead;
-            if best.map_or(true, |(c, b)| score < c || (score == c && x < b)) {
+            if best.is_none_or(|(c, b)| score < c || (score == c && x < b)) {
                 best = Some((score, x));
             }
         }

@@ -33,15 +33,41 @@ pub fn dp_placement(
     if w.num_flows() == 0 {
         return Err(PlacementError::NoFlows);
     }
+    let agg = AttachAggregates::build(g, dm, w);
+    dp_placement_with_agg(g, dm, w, sfc, &agg)
+}
+
+/// [`dp_placement`] against caller-supplied aggregates.
+///
+/// The epoch loop of the simulator keeps one [`AttachAggregates`] alive all
+/// day and folds each hour's rate deltas into it
+/// ([`AttachAggregates::apply_rate_deltas`]); this entry point lets it run
+/// Algorithm 3 without rebuilding the arrays. `agg` must describe `w` on
+/// `g`/`dm`.
+///
+/// # Errors
+///
+/// Same conditions as [`dp_placement`].
+pub fn dp_placement_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost), PlacementError> {
+    if w.num_flows() == 0 {
+        return Err(PlacementError::NoFlows);
+    }
     let n = sfc.len();
     let switches: Vec<NodeId> = g.switches().collect();
     if switches.len() < n {
-        return Err(PlacementError::Model(ppdc_model::ModelError::TooFewSwitches {
-            switches: switches.len(),
-            vnfs: n,
-        }));
+        return Err(PlacementError::Model(
+            ppdc_model::ModelError::TooFewSwitches {
+                switches: switches.len(),
+                vnfs: n,
+            },
+        ));
     }
-    let agg = AttachAggregates::build(g, dm, w);
     match n {
         1 => {
             let best = switches
@@ -60,7 +86,7 @@ pub fn dp_placement(
                         continue;
                     }
                     let cost = agg.a_in(i) + rate * dm.cost(i, j) + agg.a_out(j);
-                    if best.map_or(true, |(c, ..)| cost < c) {
+                    if best.is_none_or(|(c, ..)| cost < c) {
                         best = Some((cost, i, j));
                     }
                 }
@@ -72,9 +98,7 @@ pub fn dp_placement(
             let closure = MetricClosure::over(dm, &switches);
             let results: Vec<(Cost, Placement)> = (0..switches.len())
                 .into_par_iter()
-                .filter_map(|t_ix| {
-                    best_for_egress(dm, &agg, &closure, t_ix, n)
-                })
+                .filter_map(|t_ix| best_for_egress(dm, agg, &closure, t_ix, n))
                 .collect();
             results
                 .into_iter()
@@ -113,7 +137,7 @@ fn best_for_egress(
         let cost = agg.comm_cost(dm, &p);
         if best
             .as_ref()
-            .map_or(true, |(c, bp)| cost < *c || (cost == *c && p.switches() < bp.switches()))
+            .is_none_or(|(c, bp)| cost < *c || (cost == *c && p.switches() < bp.switches()))
         {
             best = Some((cost, p));
         }

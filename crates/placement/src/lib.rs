@@ -39,9 +39,14 @@ pub mod scaling;
 pub mod top1;
 
 pub use aggregates::AttachAggregates;
-pub use baselines::{greedy_placement, steering_placement};
-pub use dp::dp_placement;
-pub use optimal::{exhaustive_placement, optimal_placement, optimal_placement_with_budget};
+pub use baselines::{
+    greedy_placement, greedy_placement_with_agg, steering_placement, steering_placement_with_agg,
+};
+pub use dp::{dp_placement, dp_placement_with_agg};
+pub use optimal::{
+    exhaustive_placement, optimal_placement, optimal_placement_with_agg,
+    optimal_placement_with_budget,
+};
 pub use replication::{
     comm_cost_replicated, flow_cost_replicated, greedy_replication, ReplicatedPlacement,
 };

@@ -62,10 +62,10 @@ impl<'a> Search<'a> {
             min_edge = 0;
         }
         let mut sorted_from = vec![Vec::new(); m];
-        for u in 0..m {
+        for (u, slot) in sorted_from.iter_mut().enumerate() {
             let mut list: Vec<usize> = (0..m).filter(|&x| x != u).collect();
             list.sort_by_key(|&x| (closure.cost_ix(u, x), x));
-            sorted_from[u] = list;
+            *slot = list;
         }
         let mut first_order: Vec<usize> = (0..m).collect();
         first_order.sort_by_key(|&x| (agg.a_in(closure.node(x)), x));
@@ -124,7 +124,9 @@ impl<'a> Search<'a> {
     fn dfs(&mut self, last: usize, depth: usize, g: Cost) -> Result<(), StrollError> {
         self.expansions += 1;
         if self.expansions > self.budget {
-            return Err(StrollError::BudgetExhausted { budget: self.budget });
+            return Err(StrollError::BudgetExhausted {
+                budget: self.budget,
+            });
         }
         if depth == self.n {
             let total = g + self.agg.a_out(self.closure.node(last));
@@ -191,10 +193,12 @@ fn check_inputs(g: &Graph, w: &Workload, sfc: &Sfc) -> Result<Vec<NodeId>, Place
     }
     let switches: Vec<NodeId> = g.switches().collect();
     if switches.len() < sfc.len() {
-        return Err(PlacementError::Model(ppdc_model::ModelError::TooFewSwitches {
-            switches: switches.len(),
-            vnfs: sfc.len(),
-        }));
+        return Err(PlacementError::Model(
+            ppdc_model::ModelError::TooFewSwitches {
+                switches: switches.len(),
+                vnfs: sfc.len(),
+            },
+        ));
     }
     Ok(switches)
 }
@@ -224,10 +228,27 @@ pub fn optimal_placement_with_budget(
     sfc: &Sfc,
     budget: u64,
 ) -> Result<(Placement, Cost), PlacementError> {
-    let switches = check_inputs(g, w, sfc)?;
     let agg = AttachAggregates::build(g, dm, w);
+    optimal_placement_with_agg(g, dm, w, sfc, budget, &agg)
+}
+
+/// [`optimal_placement_with_budget`] against caller-supplied aggregates
+/// (see [`crate::dp_placement_with_agg`] for when this matters).
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_placement_with_budget`].
+pub fn optimal_placement_with_agg(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    budget: u64,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost), PlacementError> {
+    let switches = check_inputs(g, w, sfc)?;
     let closure = MetricClosure::over(dm, &switches);
-    Ok(Search::new(&agg, &closure, sfc.len(), budget, true).run()?)
+    Ok(Search::new(agg, &closure, sfc.len(), budget, true).run()?)
 }
 
 /// The literal `O(|V_s|ⁿ)` enumeration of Algorithm 4 (no pruning).

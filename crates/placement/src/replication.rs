@@ -61,12 +61,7 @@ impl ReplicatedPlacement {
     /// (paper footnote 3) applies to replicas too. (Without it, greedy
     /// replication would co-locate consecutive VNFs for zero-hop chain
     /// segments, which the per-switch NFV server cannot provide.)
-    pub fn add_replica(
-        &mut self,
-        g: &Graph,
-        j: usize,
-        switch: NodeId,
-    ) -> Result<(), ModelError> {
+    pub fn add_replica(&mut self, g: &Graph, j: usize, switch: NodeId) -> Result<(), ModelError> {
         if switch.index() >= g.num_nodes() || g.kind(switch) != NodeKind::Switch {
             return Err(ModelError::NotASwitch(switch));
         }
@@ -122,11 +117,7 @@ pub fn flow_cost_replicated(
 }
 
 /// Total communication cost with per-flow optimal replica routing.
-pub fn comm_cost_replicated(
-    dm: &DistanceMatrix,
-    w: &Workload,
-    rp: &ReplicatedPlacement,
-) -> Cost {
+pub fn comm_cost_replicated(dm: &DistanceMatrix, w: &Workload, rp: &ReplicatedPlacement) -> Cost {
     w.iter()
         .map(|(_, src, dst, rate)| flow_cost_replicated(dm, src, dst, rate, rp))
         .sum()
@@ -167,10 +158,7 @@ pub fn greedy_replication(
                 cand.add_replica(g, j, x).expect("checked above");
                 let cost = comm_cost_replicated(dm, w, &cand);
                 if cost < current
-                    && best
-                        .map_or(true, |(c, bj, bx)| {
-                            cost < c || (cost == c && (j, x) < (bj, bx))
-                        })
+                    && best.is_none_or(|(c, bj, bx)| cost < c || (cost == c && (j, x) < (bj, bx)))
                 {
                     best = Some((cost, j, x));
                 }

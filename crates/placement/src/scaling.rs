@@ -47,12 +47,16 @@ impl TrafficScaling {
 
     /// Pass-through scaling (σ = 1 everywhere) — degenerates to Eq. 1.
     pub fn identity(sfc: &Sfc) -> Self {
-        TrafficScaling { permille: vec![1000; sfc.len()] }
+        TrafficScaling {
+            permille: vec![1000; sfc.len()],
+        }
     }
 
     /// Uniform scaling: every VNF forwards `permille`/1000 of its input.
     pub fn uniform(sfc: &Sfc, permille: u32) -> Self {
-        TrafficScaling { permille: vec![permille; sfc.len()] }
+        TrafficScaling {
+            permille: vec![permille; sfc.len()],
+        }
     }
 
     /// The factor of VNF `j`, in permille.
@@ -97,15 +101,11 @@ pub fn comm_cost_scaled(
     let seg = scaled_segment_rates(scaling);
     let mut total: u128 = 0;
     for (_, src, dst, rate) in w.iter() {
-        let mut cost: u128 = (rate as u128) * (dm.cost(src, p.ingress()) as u128) << 16;
-        for j in 0..p.len() - 1 {
-            cost += rate as u128
-                * seg[j] as u128
-                * dm.cost(p.switch(j), p.switch(j + 1)) as u128;
+        let mut cost: u128 = ((rate as u128) * (dm.cost(src, p.ingress()) as u128)) << 16;
+        for (j, &s) in seg.iter().enumerate().take(p.len() - 1) {
+            cost += rate as u128 * s as u128 * dm.cost(p.switch(j), p.switch(j + 1)) as u128;
         }
-        cost += rate as u128
-            * seg[p.len() - 1] as u128
-            * dm.cost(p.egress(), dst) as u128;
+        cost += rate as u128 * seg[p.len() - 1] as u128 * dm.cost(p.egress(), dst) as u128;
         total += cost;
     }
     (total >> 16) as Cost
@@ -146,7 +146,10 @@ pub fn optimal_placement_scaled(
     let total_rate = agg.total_rate();
     let seg = scaled_segment_rates(scaling);
     // Fixed-point («16) per-segment aggregate rates.
-    let seg_rate: Vec<u128> = seg.iter().map(|&s| total_rate as u128 * s as u128).collect();
+    let seg_rate: Vec<u128> = seg
+        .iter()
+        .map(|&s| total_rate as u128 * s as u128)
+        .collect();
     let m = closure.len();
     let mut min_edge = INFINITY;
     for i in 0..m {
@@ -160,10 +163,10 @@ pub fn optimal_placement_scaled(
         min_edge = 0;
     }
     let mut sorted_from: Vec<Vec<usize>> = vec![Vec::new(); m];
-    for u in 0..m {
+    for (u, slot) in sorted_from.iter_mut().enumerate() {
         let mut list: Vec<usize> = (0..m).filter(|&x| x != u).collect();
         list.sort_by_key(|&x| (closure.cost_ix(u, x), x));
-        sorted_from[u] = list;
+        *slot = list;
     }
     // Suffix bound: cheapest possible remaining chain = min segment rate
     // from position j onward times the min edge, per remaining hop.
@@ -199,7 +202,9 @@ pub fn optimal_placement_scaled(
         fn dfs(&mut self, depth: usize, cost: u128) -> Result<(), StrollError> {
             self.expansions += 1;
             if self.expansions > self.budget {
-                return Err(StrollError::BudgetExhausted { budget: self.budget });
+                return Err(StrollError::BudgetExhausted {
+                    budget: self.budget,
+                });
             }
             if depth == self.n {
                 let last = *self.seq.last().expect("n >= 1");
@@ -212,7 +217,8 @@ pub fn optimal_placement_scaled(
             }
             // Admissible bound on remaining chain hops.
             let lb = cost
-                + self.min_seg_suffix[depth] * self.min_edge as u128
+                + self.min_seg_suffix[depth]
+                    * self.min_edge as u128
                     * (self.n - depth).saturating_sub(1) as u128;
             if lb >= self.best {
                 return Ok(());

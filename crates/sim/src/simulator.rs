@@ -1,11 +1,19 @@
 //! The hourly TOP → TOM epoch loop.
+//!
+//! The loop builds the attach-cost aggregates **once** at hour 0 and then
+//! folds each hour's rate deltas into them
+//! ([`ppdc_placement::AttachAggregates::apply_rate_deltas`]): the VNF
+//! policies (mPareto, Optimal, NoMigration) never rebuild the per-flow
+//! sums mid-day. The VM-migration baselines (PLAN, MCF) rewrite VM→host
+//! assignments instead of rates, which invalidates the aggregates — they
+//! run flow-level after hour 0, exactly as before.
 
 use ppdc_migration::{
-    mcf_vm_migration, mpareto, no_migration, optimal_migration_with_budget, plan_vm_migration,
-    MigrationError,
+    mcf_vm_migration, mpareto_with_agg, no_migration_with_agg, optimal_migration_with_agg,
+    plan_vm_migration, MigrationError,
 };
 use ppdc_model::{MigrationCoefficient, Sfc, Workload};
-use ppdc_placement::dp_placement;
+use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
 use ppdc_topology::{Cost, DistanceMatrix, Graph};
 use ppdc_traffic::DynamicTrace;
 
@@ -76,6 +84,10 @@ pub struct SimResult {
     pub total_cost: Cost,
     /// Total migrations across the day (the Fig. 11(b) y-axis).
     pub total_migrations: usize,
+    /// How many times the attach-cost aggregates were built from scratch.
+    /// Stays 1 for a whole day: hour 0 builds them, every later hour only
+    /// folds rate deltas in.
+    pub aggregate_rebuilds: usize,
 }
 
 /// Runs one day: TOP at hour 0 on the trace's hour-0 rates, then the
@@ -94,16 +106,32 @@ pub fn simulate(
 ) -> Result<SimResult, MigrationError> {
     let mut w = w.clone();
     w.set_rates(&trace.rates_at(0))?;
-    let (mut p, initial_cost) = dp_placement(g, dm, &w, sfc)?;
+    let mut agg = AttachAggregates::build(g, dm, &w);
+    let aggregate_rebuilds = 1;
+    let (mut p, initial_cost) = dp_placement_with_agg(g, dm, &w, sfc, &agg)?;
+    // PLAN/MCF migrate VMs: their endpoint rewrites invalidate the
+    // aggregates, and the policies work on per-VM sums anyway.
+    let maintains_agg = matches!(
+        cfg.policy,
+        MigrationPolicy::MPareto
+            | MigrationPolicy::OptimalVnf { .. }
+            | MigrationPolicy::NoMigration
+    );
     let n_hours = trace.model().n_hours;
     let mut hours = Vec::with_capacity(n_hours as usize);
     let mut total_cost = 0;
     let mut total_migrations = 0;
     for h in 1..=n_hours {
-        w.set_rates(&trace.rates_at(h))?;
+        if maintains_agg {
+            let deltas = trace.rate_deltas(h);
+            w.set_rates(&trace.rates_at(h))?;
+            agg.apply_rate_deltas(dm, &w, &deltas);
+        } else {
+            w.set_rates(&trace.rates_at(h))?;
+        }
         let rec = match cfg.policy {
             MigrationPolicy::MPareto => {
-                let out = mpareto(g, dm, &w, sfc, &p, cfg.mu)?;
+                let out = mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?;
                 p = out.migration.clone();
                 HourRecord {
                     hour: h,
@@ -114,16 +142,16 @@ pub fn simulate(
                 }
             }
             MigrationPolicy::OptimalVnf { budget } => {
-                let seed = mpareto(g, dm, &w, sfc, &p, cfg.mu)?;
-                let out = optimal_migration_with_budget(
+                let seed = mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?;
+                let out = optimal_migration_with_agg(
                     g,
                     dm,
-                    &w,
                     sfc,
                     &p,
                     cfg.mu,
                     Some(&seed.migration),
                     budget,
+                    &agg,
                 )?;
                 p = out.migration.clone();
                 HourRecord {
@@ -157,7 +185,7 @@ pub fn simulate(
                 }
             }
             MigrationPolicy::NoMigration => {
-                let c = no_migration(dm, &w, &p);
+                let c = no_migration_with_agg(dm, &agg, &p);
                 HourRecord {
                     hour: h,
                     migration_cost: 0,
@@ -171,7 +199,13 @@ pub fn simulate(
         total_migrations += rec.num_migrations;
         hours.push(rec);
     }
-    Ok(SimResult { initial_cost, hours, total_cost, total_migrations })
+    Ok(SimResult {
+        initial_cost,
+        hours,
+        total_cost,
+        total_migrations,
+        aggregate_rebuilds,
+    })
 }
 
 #[cfg(test)]
@@ -190,7 +224,11 @@ mod tests {
 
     fn run(policy: MigrationPolicy) -> SimResult {
         let (ft, dm, w, trace, sfc) = setup();
-        let cfg = SimConfig { mu: 100, vm_mu: 100, policy };
+        let cfg = SimConfig {
+            mu: 100,
+            vm_mu: 100,
+            policy,
+        };
         simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap()
     }
 
@@ -199,8 +237,14 @@ mod tests {
         for policy in [
             MigrationPolicy::MPareto,
             MigrationPolicy::OptimalVnf { budget: 50_000_000 },
-            MigrationPolicy::Plan { slots: 4, passes: 5 },
-            MigrationPolicy::Mcf { slots: 4, candidates: 8 },
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 5,
+            },
+            MigrationPolicy::Mcf {
+                slots: 4,
+                candidates: 8,
+            },
             MigrationPolicy::NoMigration,
         ] {
             let r = run(policy);
@@ -212,6 +256,55 @@ mod tests {
             for rec in &r.hours {
                 assert_eq!(rec.total_cost, rec.migration_cost + rec.comm_cost);
             }
+        }
+    }
+
+    #[test]
+    fn aggregates_are_built_exactly_once_per_day() {
+        for policy in [
+            MigrationPolicy::MPareto,
+            MigrationPolicy::OptimalVnf { budget: 50_000_000 },
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 5,
+            },
+            MigrationPolicy::Mcf {
+                slots: 4,
+                candidates: 8,
+            },
+            MigrationPolicy::NoMigration,
+        ] {
+            let r = run(policy);
+            assert_eq!(r.aggregate_rebuilds, 1, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_aggregates_match_per_hour_rebuilds() {
+        // The simulator's delta-fed loop must reproduce, cost for cost,
+        // the naive flow-level loop that re-solves each hour from scratch.
+        let (ft, dm, w, trace, sfc) = setup();
+        let cfg = SimConfig {
+            mu: 100,
+            vm_mu: 100,
+            policy: MigrationPolicy::MPareto,
+        };
+        let r = simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap();
+        let mut w2 = w.clone();
+        w2.set_rates(&trace.rates_at(0)).unwrap();
+        let (mut p, initial) = ppdc_placement::dp_placement(ft.graph(), &dm, &w2, &sfc).unwrap();
+        assert_eq!(initial, r.initial_cost);
+        for h in 1..=trace.model().n_hours {
+            let w3 = {
+                let mut w3 = w2.clone();
+                w3.set_rates(&trace.rates_at(h)).unwrap();
+                w3
+            };
+            let out = ppdc_migration::mpareto(ft.graph(), &dm, &w3, &sfc, &p, cfg.mu).unwrap();
+            p = out.migration.clone();
+            let rec = &r.hours[(h - 1) as usize];
+            assert_eq!(rec.migration_cost, out.migration_cost, "hour {h}");
+            assert_eq!(rec.comm_cost, out.comm_cost, "hour {h}");
         }
     }
 

@@ -6,9 +6,9 @@
 
 /// Two-sided 95 % Student-t quantiles for df = 1..=30 (then ≈ normal).
 const T95: [f64; 30] = [
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
 ];
 
 /// The t quantile for `df` degrees of freedom (95 %, two-sided).
@@ -59,7 +59,11 @@ pub fn summarize(samples: &[f64]) -> Summary {
     }
     let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
     let se = (var / n as f64).sqrt();
-    Summary { mean, ci95: t_quantile_95(n - 1) * se, n }
+    Summary {
+        mean,
+        ci95: t_quantile_95(n - 1) * se,
+        n,
+    }
 }
 
 #[cfg(test)]

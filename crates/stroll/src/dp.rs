@@ -47,7 +47,12 @@ impl DpTables {
                 s1[u] = t as u32;
             }
         }
-        DpTables { m, t, cost: vec![c1], succ: vec![s1] }
+        DpTables {
+            m,
+            t,
+            cost: vec![c1],
+            succ: vec![s1],
+        }
     }
 
     /// The target closure index.
@@ -209,7 +214,9 @@ pub fn perturbed_closure(closure: &MetricClosure, attempt: u64) -> MetricClosure
 /// Propagates instance errors and reports
 /// [`StrollError::NoConvergence`] if the edge cap is hit on every attempt.
 pub fn dp_stroll(inst: &StrollInstance<'_>) -> Result<StrollSolution, StrollError> {
-    let mut last = StrollError::NoConvergence { max_edges: max_edges(inst.n()) };
+    let mut last = StrollError::NoConvergence {
+        max_edges: max_edges(inst.n()),
+    };
     for attempt in 0..MAX_ATTEMPTS {
         let result = if attempt == 0 {
             let mut tables = DpTables::new(inst.closure(), inst.t_ix());
@@ -291,16 +298,14 @@ pub fn dp_stroll_all_sources(
     sources
         .iter()
         .map(|&s| {
-            let inst = StrollInstance::new_unvalidated(
-                closure,
-                closure.node(s),
-                closure.node(t),
-                n,
-            )?;
+            let inst =
+                StrollInstance::new_unvalidated(closure, closure.node(s), closure.node(t), n)?;
             match dp_stroll_on_closure(&inst, closure, &mut tables0) {
                 Ok(sol) => Ok(sol),
                 Err(StrollError::NoConvergence { .. }) => {
-                    let mut last = StrollError::NoConvergence { max_edges: max_edges(n) };
+                    let mut last = StrollError::NoConvergence {
+                        max_edges: max_edges(n),
+                    };
                     for attempt in 1..MAX_ATTEMPTS {
                         let idx = (attempt - 1) as usize;
                         if retries.len() <= idx {
@@ -426,7 +431,7 @@ mod tests {
             sol.validate(&inst).unwrap();
             for w in sol.walk.windows(3) {
                 assert!(
-                    !(w[0] == w[2]),
+                    w[0] != w[2],
                     "immediate backtrack {:?} in walk for n={n}",
                     w
                 );
@@ -498,7 +503,11 @@ mod tests {
         let sol_raw = dp_stroll(&inst_raw).unwrap();
         assert_eq!(sol_raw.cost, 7, "raw graph: the s, A, B, t path");
         let inst = StrollInstance::new(&mc, s, t, 2).unwrap();
-        assert_eq!(dp_stroll(&inst).unwrap().cost, 6, "closure: the cheaper walk");
+        assert_eq!(
+            dp_stroll(&inst).unwrap().cost,
+            6,
+            "closure: the cheaper walk"
+        );
     }
 
     #[test]
@@ -557,7 +566,10 @@ mod tests {
         let mc = closure_of(&g);
         assert!(matches!(
             StrollInstance::new(&mc, nodes[0], nodes[5], 5),
-            Err(StrollError::TooFewNodes { available: 4, needed: 5 })
+            Err(StrollError::TooFewNodes {
+                available: 4,
+                needed: 5
+            })
         ));
     }
 }

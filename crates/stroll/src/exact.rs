@@ -43,10 +43,10 @@ impl<'a, 'b> Search<'a, 'b> {
         let candidates: Vec<usize> = inst.candidates().collect();
         // sorted_from[u] = candidate list ordered by c(u, x).
         let mut sorted_from = vec![Vec::new(); m];
-        for u in 0..m {
+        for (u, slot) in sorted_from.iter_mut().enumerate() {
             let mut list = candidates.clone();
             list.sort_by_key(|&x| (inst.closure().cost_ix(u, x), x));
-            sorted_from[u] = list;
+            *slot = list;
         }
         // min_in[x] = cheapest edge entering candidate x from anywhere.
         let mut min_in = vec![INFINITY; m];
@@ -124,7 +124,9 @@ impl<'a, 'b> Search<'a, 'b> {
     fn dfs(&mut self, last: usize, depth: usize, g: Cost) -> Result<(), StrollError> {
         self.expansions += 1;
         if self.expansions > self.budget {
-            return Err(StrollError::BudgetExhausted { budget: self.budget });
+            return Err(StrollError::BudgetExhausted {
+                budget: self.budget,
+            });
         }
         let n = self.inst.n();
         if depth == n {
@@ -238,7 +240,12 @@ mod tests {
             let inst = StrollInstance::new(&mc, hosts[0], hosts[9], n).unwrap();
             let opt = optimal_stroll(&inst).unwrap();
             let dp = dp_stroll(&inst).unwrap();
-            assert!(opt.cost <= dp.cost, "n={n}: opt {} vs dp {}", opt.cost, dp.cost);
+            assert!(
+                opt.cost <= dp.cost,
+                "n={n}: opt {} vs dp {}",
+                opt.cost,
+                dp.cost
+            );
             opt.validate(&inst).unwrap();
         }
     }

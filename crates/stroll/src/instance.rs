@@ -66,9 +66,17 @@ impl<'a> StrollInstance<'a> {
             available -= 1; // t
         }
         if available < n {
-            return Err(StrollError::TooFewNodes { available, needed: n });
+            return Err(StrollError::TooFewNodes {
+                available,
+                needed: n,
+            });
         }
-        Ok(StrollInstance { closure, s: s_ix, t: t_ix, n })
+        Ok(StrollInstance {
+            closure,
+            s: s_ix,
+            t: t_ix,
+            n,
+        })
     }
 
     /// The underlying metric closure.
@@ -113,7 +121,9 @@ impl<'a> StrollInstance<'a> {
 
     /// Cost of the walk given as closure indices.
     pub fn walk_cost_ix(&self, walk: &[usize]) -> Cost {
-        walk.windows(2).map(|w| self.closure.cost_ix(w[0], w[1])).sum()
+        walk.windows(2)
+            .map(|w| self.closure.cost_ix(w[0], w[1]))
+            .sum()
     }
 
     /// The distinct intermediates of a walk, in first-visit order.
@@ -168,12 +178,14 @@ impl StrollSolution {
         if self.walk.last() != Some(&inst.t()) {
             return Err("walk does not end at t".into());
         }
-        let ixs: Option<Vec<usize>> =
-            self.walk.iter().map(|&v| inst.closure().index(v)).collect();
+        let ixs: Option<Vec<usize>> = self.walk.iter().map(|&v| inst.closure().index(v)).collect();
         let ixs = ixs.ok_or("walk leaves the closure")?;
         let cost = inst.walk_cost_ix(&ixs);
         if cost != self.cost {
-            return Err(format!("declared cost {} != recomputed {}", self.cost, cost));
+            return Err(format!(
+                "declared cost {} != recomputed {}",
+                self.cost, cost
+            ));
         }
         let distinct = inst.distinct_of_walk(&ixs);
         let got: Vec<NodeId> = distinct.iter().map(|&i| inst.closure().node(i)).collect();
@@ -229,7 +241,10 @@ mod tests {
         let (_, mc, h1, h2) = closure_linear(3);
         assert!(matches!(
             StrollInstance::new(&mc, h1, h2, 4),
-            Err(StrollError::TooFewNodes { available: 3, needed: 4 })
+            Err(StrollError::TooFewNodes {
+                available: 3,
+                needed: 4
+            })
         ));
     }
 

@@ -61,12 +61,18 @@ impl std::fmt::Display for StrollError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StrollError::TooFewNodes { available, needed } => {
-                write!(f, "need {needed} distinct intermediate nodes, only {available} exist")
+                write!(
+                    f,
+                    "need {needed} distinct intermediate nodes, only {available} exist"
+                )
             }
             StrollError::TerminalNotInClosure => write!(f, "terminal not in metric closure"),
             StrollError::Unreachable => write!(f, "graph is disconnected: some node unreachable"),
             StrollError::NoConvergence { max_edges } => {
-                write!(f, "DP did not reach n distinct nodes within {max_edges} edges")
+                write!(
+                    f,
+                    "DP did not reach n distinct nodes within {max_edges} edges"
+                )
             }
             StrollError::BudgetExhausted { budget } => {
                 write!(f, "branch-and-bound budget of {budget} nodes exhausted")

@@ -39,7 +39,9 @@ pub struct PrimalDualConfig {
 
 impl Default for PrimalDualConfig {
     fn default() -> Self {
-        PrimalDualConfig { search_iterations: 24 }
+        PrimalDualConfig {
+            search_iterations: 24,
+        }
     }
 }
 
@@ -50,7 +52,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -78,22 +82,29 @@ struct Growth<'a> {
     prize: f64,
 }
 
+/// A local (endpoint-index, endpoint-index, weight) edge.
+type Edge = (usize, usize, f64);
+
+/// Local edge list of a pruned tree plus its switch span and total cost.
+type PrunedTree = (Vec<Edge>, usize, f64);
+
 impl Growth<'_> {
-    fn run(&self, n_required: usize) -> Option<(Vec<(usize, usize, f64)>, usize, f64)> {
+    fn run(&self, n_required: usize) -> Option<PrunedTree> {
         let m = self.nodes.len();
         let mut dsu = Dsu::new(m);
         let mut moat = vec![0.0f64; m];
         // Per-root cluster state: (dual y_C, total prize, active).
         let mut dual = vec![0.0f64; m];
-        let mut prize_of = vec![0.0f64; m];
         let mut active = vec![true; m];
-        for v in 0..m {
-            prize_of[v] = if v == self.s || v == self.t {
-                f64::INFINITY
-            } else {
-                self.prize
-            };
-        }
+        let mut prize_of: Vec<f64> = (0..m)
+            .map(|v| {
+                if v == self.s || v == self.t {
+                    f64::INFINITY
+                } else {
+                    self.prize
+                }
+            })
+            .collect();
         let mut tight: Vec<(usize, usize, f64)> = Vec::new();
         let is_tour = self.s == self.t;
         // Event loop: at most m merges + m deactivations.
@@ -167,11 +178,7 @@ impl Growth<'_> {
                     let (u, v, w) = self.edges[i];
                     let (cu, cv) = (dsu.find(u), dsu.find(v));
                     tight.push((u, v, w));
-                    let (y, p, a) = (
-                        dual[cu] + dual[cv],
-                        prize_of[cu] + prize_of[cv],
-                        true,
-                    );
+                    let (y, p, a) = (dual[cu] + dual[cv], prize_of[cu] + prize_of[cv], true);
                     let r = dsu.union(cu, cv);
                     dual[r] = y;
                     prize_of[r] = p;
@@ -192,11 +199,7 @@ impl Growth<'_> {
     /// Keeps the s–t component of the tight edges, spans it with a BFS
     /// tree, then greedily strips the dearest removable leaves while the
     /// switch count stays at `n_required`.
-    fn prune(
-        &self,
-        tight: &[(usize, usize, f64)],
-        n_required: usize,
-    ) -> Option<(Vec<(usize, usize, f64)>, usize, f64)> {
+    fn prune(&self, tight: &[(usize, usize, f64)], n_required: usize) -> Option<PrunedTree> {
         let m = self.nodes.len();
         let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
         for &(u, v, w) in tight {
@@ -232,7 +235,9 @@ impl Growth<'_> {
             }
         }
         let switch_count = |in_tree: &[bool]| {
-            (0..m).filter(|&v| in_tree[v] && v != self.s && v != self.t).count()
+            (0..m)
+                .filter(|&v| in_tree[v] && v != self.s && v != self.t)
+                .count()
         };
         let mut count = switch_count(&in_tree);
         if count < n_required {
@@ -244,9 +249,7 @@ impl Growth<'_> {
                 break;
             }
             let leaf = (0..m)
-                .filter(|&v| {
-                    in_tree[v] && v != self.s && v != self.t && child_count[v] == 0
-                })
+                .filter(|&v| in_tree[v] && v != self.s && v != self.t && child_count[v] == 0)
                 .max_by(|&a, &b| {
                     parent_w[a]
                         .partial_cmp(&parent_w[b])
@@ -320,12 +323,12 @@ pub fn primal_dual_stroll(
     let total_weight: f64 = edges.iter().map(|e| e.2).sum();
     let mut lo = 0.0f64;
     let mut hi = total_weight.max(1.0) * 2.0;
-    let mut best: Option<(Vec<(usize, usize, f64)>, f64)> = None;
+    let mut best: Option<(Vec<Edge>, f64)> = None;
     for _ in 0..cfg.search_iterations {
         let mid = 0.5 * (lo + hi);
         match growth(mid) {
             Some((tree, count, cost)) if count >= n => {
-                if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+                if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                     best = Some((tree.clone(), cost));
                 }
                 hi = mid;
@@ -388,10 +391,7 @@ mod tests {
     use ppdc_topology::builders::{fat_tree, linear};
     use ppdc_topology::{DistanceMatrix, MetricClosure, NodeId};
 
-    fn closure_with_hosts(
-        g: &Graph,
-        extra: &[NodeId],
-    ) -> MetricClosure {
+    fn closure_with_hosts(g: &Graph, extra: &[NodeId]) -> MetricClosure {
         let dm = DistanceMatrix::build(g);
         let mut members: Vec<NodeId> = extra.to_vec();
         members.extend(g.switches());

@@ -36,7 +36,7 @@ impl FatTree {
     ///
     /// `k` must be even and at least 2.
     pub fn build(k: usize) -> Result<Self, TopologyError> {
-        if k < 2 || k % 2 != 0 {
+        if k < 2 || !k.is_multiple_of(2) {
             return Err(TopologyError::InvalidArity(k));
         }
         let half = k / 2;
@@ -210,7 +210,9 @@ pub fn leaf_spine(
         ));
     }
     let mut g = Graph::new();
-    let spine_ids: Vec<NodeId> = (0..spines).map(|i| g.add_switch(format!("spine{i}"))).collect();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|i| g.add_switch(format!("spine{i}")))
+        .collect();
     for l in 0..leaves {
         let leaf = g.add_switch(format!("leaf{l}"));
         for &s in &spine_ids {
@@ -278,8 +280,14 @@ mod tests {
 
     #[test]
     fn fat_tree_rejects_bad_arity() {
-        assert!(matches!(FatTree::build(0), Err(TopologyError::InvalidArity(0))));
-        assert!(matches!(FatTree::build(3), Err(TopologyError::InvalidArity(3))));
+        assert!(matches!(
+            FatTree::build(0),
+            Err(TopologyError::InvalidArity(0))
+        ));
+        assert!(matches!(
+            FatTree::build(3),
+            Err(TopologyError::InvalidArity(3))
+        ));
     }
 
     #[test]
@@ -310,10 +318,7 @@ mod tests {
             for &h in rack {
                 assert_eq!(ft.rack_of(h), r);
                 // All hosts of a rack share a top-of-rack switch.
-                assert_eq!(
-                    ft.graph().top_of_rack(h),
-                    ft.graph().top_of_rack(rack[0])
-                );
+                assert_eq!(ft.graph().top_of_rack(h), ft.graph().top_of_rack(rack[0]));
             }
         }
     }

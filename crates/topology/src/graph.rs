@@ -311,7 +311,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let (mut g, _, s1, _) = tiny();
-        assert_eq!(g.add_edge(s1, s1, 1), Err(TopologyError::InvalidEdge(s1, s1)));
+        assert_eq!(
+            g.add_edge(s1, s1, 1),
+            Err(TopologyError::InvalidEdge(s1, s1))
+        );
     }
 
     #[test]
@@ -333,7 +336,10 @@ mod tests {
     fn rejects_unknown_node() {
         let (mut g, _, s1, _) = tiny();
         let bogus = NodeId(99);
-        assert_eq!(g.add_edge(s1, bogus, 1), Err(TopologyError::UnknownNode(bogus)));
+        assert_eq!(
+            g.add_edge(s1, bogus, 1),
+            Err(TopologyError::UnknownNode(bogus))
+        );
     }
 
     #[test]

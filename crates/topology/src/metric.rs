@@ -40,7 +40,11 @@ impl MetricClosure {
                 cost[i * m + j] = dm.cost(u, v);
             }
         }
-        MetricClosure { nodes: nodes.to_vec(), index_of, cost }
+        MetricClosure {
+            nodes: nodes.to_vec(),
+            index_of,
+            cost,
+        }
     }
 
     /// Number of closure nodes.
@@ -62,7 +66,10 @@ impl MetricClosure {
 
     /// Cost between original node ids `u` and `v` (both must be members).
     pub fn cost(&self, u: NodeId, v: NodeId) -> Cost {
-        self.cost_ix(self.index(u).expect("u not in closure"), self.index(v).expect("v not in closure"))
+        self.cost_ix(
+            self.index(u).expect("u not in closure"),
+            self.index(v).expect("v not in closure"),
+        )
     }
 
     /// The original node behind closure index `i`.

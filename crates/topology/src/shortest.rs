@@ -5,33 +5,45 @@
 //! [`DistanceMatrix`]. Tie-breaking is deterministic (lowest predecessor id
 //! wins), so shortest *paths* — which the migration frontiers of Algorithm 5
 //! walk switch-by-switch — are reproducible across runs.
+//!
+//! [`DistanceMatrix::build`] runs its per-source searches in parallel with
+//! rayon: rows of the matrix are independent, and the tie-break rule makes
+//! every row deterministic regardless of scheduling, so the parallel build
+//! is bit-identical to [`DistanceMatrix::build_sequential`]. Unit-weight
+//! graphs (every PPDC builder in this repo) are detected once up front and
+//! use BFS instead of Dijkstra for every source.
 
 use crate::graph::{Cost, Graph, NodeId, INFINITY};
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 const NO_PARENT: u32 = u32::MAX;
 
-/// Single-source shortest-path tree.
-#[derive(Debug, Clone)]
-pub struct ShortestPaths {
-    source: NodeId,
-    dist: Vec<Cost>,
-    parent: Vec<u32>,
-}
-
-impl ShortestPaths {
-    /// Runs Dijkstra from `source`. Falls back to BFS internally when every
-    /// edge has weight 1 (unweighted PPDCs) — same results, less work.
-    pub fn dijkstra(g: &Graph, source: NodeId) -> Self {
-        if g.edges().all(|(_, _, w)| w == 1) {
-            return Self::bfs(g, source);
+/// Fills `dist`/`parent` (one full row of `g.num_nodes()` entries each)
+/// with the shortest-path tree from `source`. Rows are fully overwritten,
+/// so they can be reused across rebuilds without clearing.
+fn sssp_into(g: &Graph, source: NodeId, unit_weight: bool, dist: &mut [Cost], parent: &mut [u32]) {
+    dist.fill(INFINITY);
+    parent.fill(NO_PARENT);
+    dist[source.index()] = 0;
+    if unit_weight {
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u.index()];
+            for &(v, _) in g.neighbors(u) {
+                if dist[v.index()] == INFINITY {
+                    dist[v.index()] = d + 1;
+                    parent[v.index()] = u.0;
+                    queue.push_back(v);
+                } else if dist[v.index()] == d + 1 && u.0 < parent[v.index()] {
+                    parent[v.index()] = u.0;
+                }
+            }
         }
-        let n = g.num_nodes();
-        let mut dist = vec![INFINITY; n];
-        let mut parent = vec![NO_PARENT; n];
+    } else {
         let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
-        dist[source.index()] = 0;
         heap.push(Reverse((0, source.0)));
         while let Some(Reverse((d, u))) = heap.pop() {
             if d > dist[u as usize] {
@@ -51,30 +63,44 @@ impl ShortestPaths {
                 }
             }
         }
-        ShortestPaths { source, dist, parent }
+    }
+}
+
+/// True when every edge of `g` has weight 1, making BFS exact.
+fn is_unit_weight(g: &Graph) -> bool {
+    g.edges().all(|(_, _, w)| w == 1)
+}
+
+/// Single-source shortest-path tree.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Cost>,
+    parent: Vec<u32>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra from `source`. Falls back to BFS internally when every
+    /// edge has weight 1 (unweighted PPDCs) — same results, less work.
+    pub fn dijkstra(g: &Graph, source: NodeId) -> Self {
+        Self::run(g, source, is_unit_weight(g))
     }
 
     /// Breadth-first search from `source`; correct for unit-weight graphs.
     pub fn bfs(g: &Graph, source: NodeId) -> Self {
+        Self::run(g, source, true)
+    }
+
+    fn run(g: &Graph, source: NodeId, unit_weight: bool) -> Self {
         let n = g.num_nodes();
         let mut dist = vec![INFINITY; n];
         let mut parent = vec![NO_PARENT; n];
-        let mut queue = std::collections::VecDeque::new();
-        dist[source.index()] = 0;
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            let d = dist[u.index()];
-            for &(v, _) in g.neighbors(u) {
-                if dist[v.index()] == INFINITY {
-                    dist[v.index()] = d + 1;
-                    parent[v.index()] = u.0;
-                    queue.push_back(v);
-                } else if dist[v.index()] == d + 1 && u.0 < parent[v.index()] {
-                    parent[v.index()] = u.0;
-                }
-            }
+        sssp_into(g, source, unit_weight, &mut dist, &mut parent);
+        ShortestPaths {
+            source,
+            dist,
+            parent,
         }
-        ShortestPaths { source, dist, parent }
     }
 
     /// The source node.
@@ -110,29 +136,109 @@ impl ShortestPaths {
 
 /// All-pairs shortest-path costs with path reconstruction.
 ///
-/// Built with one Dijkstra/BFS per node: `O(V · (E log V))`, at most a few
-/// tens of milliseconds for the paper's largest fabric (k = 16 fat-tree,
-/// 1344 nodes).
+/// Built with one BFS/Dijkstra per node, rows computed in parallel:
+/// `O(V·E)` for the unit-weight PPDCs, `O(V·E log V)` in general. The
+/// diameter and connectivity are computed once at build time and served
+/// from cache.
 #[derive(Debug, Clone)]
 pub struct DistanceMatrix {
     n: usize,
     dist: Vec<Cost>,
     parent: Vec<u32>,
+    diameter: Cost,
+    connected: bool,
 }
 
 impl DistanceMatrix {
-    /// Computes all-pairs shortest paths for `g`.
+    /// Computes all-pairs shortest paths for `g`, one source per rayon
+    /// task. Bit-identical to [`DistanceMatrix::build_sequential`].
     pub fn build(g: &Graph) -> Self {
         let n = g.num_nodes();
-        let mut dist = vec![INFINITY; n * n];
-        let mut parent = vec![NO_PARENT; n * n];
-        for u in g.nodes() {
-            let sp = ShortestPaths::dijkstra(g, u);
-            let row = u.index() * n;
-            dist[row..row + n].copy_from_slice(&sp.dist);
-            parent[row..row + n].copy_from_slice(&sp.parent);
+        let mut dm = DistanceMatrix {
+            n,
+            dist: vec![INFINITY; n * n],
+            parent: vec![NO_PARENT; n * n],
+            diameter: 0,
+            connected: true,
+        };
+        dm.fill_parallel(g);
+        dm
+    }
+
+    /// The single-threaded build — the baseline [`DistanceMatrix::build`]
+    /// is benchmarked against, and the fallback rayon reduces to on one
+    /// thread.
+    pub fn build_sequential(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut dm = DistanceMatrix {
+            n,
+            dist: vec![INFINITY; n * n],
+            parent: vec![NO_PARENT; n * n],
+            diameter: 0,
+            connected: true,
+        };
+        let unit = is_unit_weight(g);
+        for (u, (drow, prow)) in dm
+            .dist
+            .chunks_mut(n.max(1))
+            .zip(dm.parent.chunks_mut(n.max(1)))
+            .enumerate()
+        {
+            sssp_into(g, NodeId(u as u32), unit, drow, prow);
         }
-        DistanceMatrix { n, dist, parent }
+        dm.refresh_summary();
+        dm
+    }
+
+    /// Recomputes the matrix for `g` in place, reusing both allocations.
+    /// The epoch loop calls this when topology weights change (e.g. link
+    /// cost updates) without paying two `V²`-sized allocations per epoch.
+    ///
+    /// # Panics
+    ///
+    /// `g` must have the same number of nodes the matrix was built with.
+    pub fn rebuild_into(&mut self, g: &Graph) {
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "rebuild_into needs an equal-size graph"
+        );
+        self.fill_parallel(g);
+    }
+
+    fn fill_parallel(&mut self, g: &Graph) {
+        let n = self.n;
+        if n == 0 {
+            self.diameter = 0;
+            self.connected = true;
+            return;
+        }
+        let unit = is_unit_weight(g);
+        type Row<'a> = (usize, (&'a mut [Cost], &'a mut [u32]));
+        let rows: Vec<Row<'_>> = self
+            .dist
+            .chunks_mut(n)
+            .zip(self.parent.chunks_mut(n))
+            .enumerate()
+            .collect();
+        rows.into_par_iter().for_each(|(u, (drow, prow))| {
+            sssp_into(g, NodeId(u as u32), unit, drow, prow);
+        });
+        self.refresh_summary();
+    }
+
+    fn refresh_summary(&mut self) {
+        let mut diameter = 0;
+        let mut connected = true;
+        for &d in &self.dist {
+            if d == INFINITY {
+                connected = false;
+            } else if d > diameter {
+                diameter = d;
+            }
+        }
+        self.diameter = diameter;
+        self.connected = connected;
     }
 
     /// Number of nodes.
@@ -165,25 +271,33 @@ impl DistanceMatrix {
         Some(out)
     }
 
-    /// The number of edges on the shortest `u`–`v` path.
+    /// The number of edges on the shortest `u`–`v` path. Walks the parent
+    /// chain directly — no path materialization.
     pub fn hops(&self, u: NodeId, v: NodeId) -> Option<usize> {
-        self.path(u, v).map(|p| p.len() - 1)
+        if self.cost(u, v) == INFINITY {
+            return None;
+        }
+        let row = u.index() * self.n;
+        let mut hops = 0;
+        let mut cur = v;
+        while cur != u {
+            let p = self.parent[row + cur.index()];
+            debug_assert_ne!(p, NO_PARENT);
+            cur = NodeId(p);
+            hops += 1;
+        }
+        Some(hops)
     }
 
-    /// The graph diameter: the largest finite pairwise cost.
-    /// Returns 0 for graphs with fewer than two nodes.
+    /// The graph diameter: the largest finite pairwise cost, cached at
+    /// build time. Returns 0 for graphs with fewer than two nodes.
     pub fn diameter(&self) -> Cost {
-        self.dist
-            .iter()
-            .copied()
-            .filter(|&d| d != INFINITY)
-            .max()
-            .unwrap_or(0)
+        self.diameter
     }
 
-    /// True if all pairs are connected.
+    /// True if all pairs are connected (cached at build time).
     pub fn all_connected(&self) -> bool {
-        self.dist.iter().all(|&d| d != INFINITY)
+        self.connected
     }
 }
 
@@ -216,6 +330,7 @@ mod tests {
         assert_eq!(&p[1..4], &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(dm.path(h1, h1).unwrap(), vec![h1]);
         assert_eq!(dm.hops(h1, h2), Some(4));
+        assert_eq!(dm.hops(h1, h1), Some(0));
     }
 
     #[test]
@@ -231,6 +346,7 @@ mod tests {
         let dm = DistanceMatrix::build(&g);
         assert_eq!(dm.cost(s0, s1), 2);
         assert_eq!(dm.path(s0, s1).unwrap(), vec![s0, s2, s1]);
+        assert_eq!(dm.hops(s0, s1), Some(2));
     }
 
     #[test]
@@ -264,7 +380,19 @@ mod tests {
         let dm = DistanceMatrix::build(&g);
         assert_eq!(dm.cost(a, b), INFINITY);
         assert!(dm.path(a, b).is_none());
+        assert!(dm.hops(a, b).is_none());
         assert!(!dm.all_connected());
+        // Diameter ignores unreachable pairs.
+        assert_eq!(dm.diameter(), 0);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = Graph::new();
+        let dm = DistanceMatrix::build(&g);
+        assert_eq!(dm.num_nodes(), 0);
+        assert_eq!(dm.diameter(), 0);
+        assert!(dm.all_connected());
     }
 
     #[test]
@@ -279,6 +407,39 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(2 * bfs.cost(v), dj.cost(v), "node {}", v.index());
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Unit-weight (BFS rows) and weighted (Dijkstra rows) fabrics:
+        // the parallel build must be bit-identical, paths included.
+        let unit = fat_tree(4).unwrap();
+        let mut weighted = unit.clone();
+        weighted.map_edge_weights(|u, v, w| w + (u.0 + v.0) as Cost % 3);
+        for g in [unit, weighted] {
+            let par = DistanceMatrix::build(&g);
+            let seq = DistanceMatrix::build_sequential(&g);
+            assert_eq!(par.dist, seq.dist);
+            assert_eq!(par.parent, seq.parent);
+            assert_eq!(par.diameter(), seq.diameter());
+            assert_eq!(par.all_connected(), seq.all_connected());
+        }
+    }
+
+    #[test]
+    fn rebuild_into_tracks_weight_changes() {
+        let g = fat_tree(4).unwrap();
+        let mut dm = DistanceMatrix::build(&g);
+        let before = dm.clone();
+        let mut g2 = g.clone();
+        g2.map_edge_weights(|_, _, w| w * 3);
+        dm.rebuild_into(&g2);
+        assert_eq!(dm.diameter(), 3 * before.diameter());
+        assert_eq!(dm.dist, DistanceMatrix::build(&g2).dist);
+        // Rebuilding with the original graph restores the original matrix.
+        dm.rebuild_into(&g);
+        assert_eq!(dm.dist, before.dist);
+        assert_eq!(dm.parent, before.parent);
     }
 
     #[test]
@@ -308,6 +469,18 @@ mod tests {
         for u in [NodeId(0), NodeId(17), NodeId(99)] {
             for v in [NodeId(3), NodeId(42), NodeId(140)] {
                 assert_eq!(dm1.path(u, v), dm2.path(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_agree_with_path_length() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        for &u in nodes.iter().step_by(3) {
+            for &v in nodes.iter().step_by(5) {
+                assert_eq!(dm.hops(u, v), dm.path(u, v).map(|p| p.len() - 1));
             }
         }
     }

@@ -20,7 +20,10 @@ pub struct DiurnalModel {
 
 impl Default for DiurnalModel {
     fn default() -> Self {
-        DiurnalModel { n_hours: 12, tau_min: 0.2 }
+        DiurnalModel {
+            n_hours: 12,
+            tau_min: 0.2,
+        }
     }
 }
 
@@ -50,7 +53,9 @@ impl DiurnalModel {
 
     /// Samples the full day: `(hour, scale)` for `h = 0..=N`.
     pub fn day_curve(&self) -> Vec<(u32, f64)> {
-        (0..=self.n_hours).map(|h| (h, self.scale_at(h as i64))).collect()
+        (0..=self.n_hours)
+            .map(|h| (h, self.scale_at(h as i64)))
+            .collect()
     }
 }
 
@@ -105,7 +110,10 @@ mod tests {
 
     #[test]
     fn custom_day_length() {
-        let m = DiurnalModel { n_hours: 24, tau_min: 0.5 };
+        let m = DiurnalModel {
+            n_hours: 24,
+            tau_min: 0.5,
+        };
         assert!((m.scale_at(12) - 1.0).abs() < 1e-12);
         assert!((m.scale_at(0) - 0.5).abs() < 1e-12);
     }

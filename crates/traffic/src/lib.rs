@@ -24,7 +24,7 @@ pub use diurnal::{DiurnalModel, EAST_COAST_OFFSET};
 pub use locality::{generate_pairs, PairPlacement};
 pub use rates::{classify, sample_rate, FlowClass, RateMix, DEFAULT_MIX};
 
-use ppdc_model::Workload;
+use ppdc_model::{FlowId, Workload};
 use ppdc_topology::FatTree;
 use rand::Rng;
 use rand::SeedableRng;
@@ -112,7 +112,12 @@ impl DynamicTrace {
                 .collect();
             base.push(next);
         }
-        DynamicTrace { base, east, model, offset: EAST_COAST_OFFSET }
+        DynamicTrace {
+            base,
+            east,
+            model,
+            offset: EAST_COAST_OFFSET,
+        }
     }
 
     /// Overrides the cohort offset (hours the east cohort runs ahead).
@@ -172,6 +177,30 @@ impl DynamicTrace {
             })
             .collect()
     }
+
+    /// The per-flow rate changes from hour `h − 1` to hour `h`, as
+    /// `(flow, new λ − old λ)` pairs with unchanged flows omitted.
+    ///
+    /// This is the epoch-update feed for
+    /// `AttachAggregates::apply_rate_deltas`: the simulator's hourly loop
+    /// folds these deltas into its aggregates instead of rebuilding them.
+    /// By construction `rates_at(h - 1)` plus the deltas equals
+    /// `rates_at(h)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// `h` must be at least 1 (hour 0 has no predecessor).
+    pub fn rate_deltas(&self, h: u32) -> Vec<(FlowId, i64)> {
+        assert!(h >= 1, "rate deltas need a preceding hour");
+        let prev = self.rates_at(h - 1);
+        let next = self.rates_at(h);
+        prev.iter()
+            .zip(&next)
+            .enumerate()
+            .filter(|(_, (&a, &b))| a != b)
+            .map(|(i, (&a, &b))| (FlowId(i as u32), b as i64 - a as i64))
+            .collect()
+    }
 }
 
 /// Hourly churn fraction used by the standard dynamic workload: a quarter
@@ -203,13 +232,7 @@ pub fn standard_workload(
         active_racks: Some(STANDARD_ACTIVE_RACKS.min(ft.num_racks())),
         ..PairPlacement::default()
     };
-    let w = generate_pairs(
-        ft,
-        &placement,
-        &DEFAULT_MIX,
-        num_pairs,
-        &mut rng,
-    );
+    let w = generate_pairs(ft, &placement, &DEFAULT_MIX, num_pairs, &mut rng);
     let half = ft.num_racks() / 2;
     let east: Vec<bool> = w
         .flow_ids()
@@ -256,10 +279,7 @@ mod tests {
             assert_eq!(rates.len(), w.num_flows());
             for (i, &r) in rates.iter().enumerate() {
                 let b = trace.base_rate_at(h, i);
-                assert!(
-                    r <= b + 1,
-                    "hour {h} flow {i}: scaled {r} above base {b}"
-                );
+                assert!(r <= b + 1, "hour {h} flow {i}: scaled {r} above base {b}");
             }
         }
     }
@@ -288,9 +308,26 @@ mod tests {
     }
 
     #[test]
+    fn rate_deltas_reconstruct_each_hour() {
+        let ft = FatTree::build(4).unwrap();
+        let (_, trace) = standard_workload(&ft, 80, 11, 0);
+        for h in 1..=12u32 {
+            let mut rates = trace.rates_at(h - 1);
+            let deltas = trace.rate_deltas(h);
+            for &(f, d) in &deltas {
+                assert_ne!(d, 0, "unchanged flows must be omitted");
+                rates[f.index()] = (rates[f.index()] as i64 + d) as u64;
+            }
+            assert_eq!(rates, trace.rates_at(h), "hour {h}");
+        }
+        // The diurnal envelope moves; some hour must produce deltas.
+        assert!((1..=12).any(|h| !trace.rate_deltas(h).is_empty()));
+    }
+
+    #[test]
     fn cohorts_split_roughly_in_half() {
         let ft = FatTree::build(4).unwrap();
-        let (_, trace) = standard_workload(&ft, 400, 1, 0);
+        let (_, trace) = standard_workload(&ft, 400, 2, 0);
         let east = (0..trace.num_flows()).filter(|&i| trace.is_east(i)).count();
         assert!(east > 120 && east < 280, "east cohort {east} of 400");
     }
@@ -301,16 +338,16 @@ mod tests {
         let (w, trace) = standard_workload(&ft, 100, 5, 0);
         // At the west peak (h = 6), west flows run at full base rate.
         let at6 = trace.rates_at(6);
-        for i in 0..w.num_flows() {
+        for (i, &r) in at6.iter().enumerate().take(w.num_flows()) {
             if !trace.is_east(i) {
-                assert_eq!(at6[i], trace.base_rate_at(6, i));
+                assert_eq!(r, trace.base_rate_at(6, i));
             }
         }
         // East flows peak 3 hours earlier (h = 3).
         let at3 = trace.rates_at(3);
-        for i in 0..w.num_flows() {
+        for (i, &r) in at3.iter().enumerate().take(w.num_flows()) {
             if trace.is_east(i) {
-                assert_eq!(at3[i], trace.base_rate_at(3, i));
+                assert_eq!(r, trace.base_rate_at(3, i));
             }
         }
     }

@@ -29,7 +29,10 @@ pub struct PairPlacement {
 
 impl Default for PairPlacement {
     fn default() -> Self {
-        PairPlacement { intra_rack_fraction: 0.8, active_racks: None }
+        PairPlacement {
+            intra_rack_fraction: 0.8,
+            active_racks: None,
+        }
     }
 }
 
@@ -143,7 +146,10 @@ mod tests {
     fn inter_rack_pairs_really_cross_racks() {
         let ft = FatTree::build(4).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let all_inter = PairPlacement { intra_rack_fraction: 0.0, active_racks: None };
+        let all_inter = PairPlacement {
+            intra_rack_fraction: 0.0,
+            active_racks: None,
+        };
         let w = generate_pairs(&ft, &all_inter, &DEFAULT_MIX, 200, &mut rng);
         for (_, a, b, _) in w.iter() {
             assert_ne!(ft.rack_of(a), ft.rack_of(b));
@@ -154,7 +160,10 @@ mod tests {
     fn all_intra_pairs_share_racks() {
         let ft = FatTree::build(4).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let all_intra = PairPlacement { intra_rack_fraction: 1.0, active_racks: None };
+        let all_intra = PairPlacement {
+            intra_rack_fraction: 1.0,
+            active_racks: None,
+        };
         let w = generate_pairs(&ft, &all_intra, &DEFAULT_MIX, 200, &mut rng);
         for (_, a, b, _) in w.iter() {
             assert_eq!(ft.rack_of(a), ft.rack_of(b));
@@ -165,7 +174,10 @@ mod tests {
     fn active_racks_concentrate_pairs() {
         let ft = FatTree::build(8).unwrap(); // 32 racks
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let placement = PairPlacement { intra_rack_fraction: 0.8, active_racks: Some(6) };
+        let placement = PairPlacement {
+            intra_rack_fraction: 0.8,
+            active_racks: Some(6),
+        };
         let w = generate_pairs(&ft, &placement, &DEFAULT_MIX, 300, &mut rng);
         let mut used: Vec<usize> = w
             .iter()
@@ -173,7 +185,10 @@ mod tests {
             .collect();
         used.sort_unstable();
         used.dedup();
-        assert!(used.len() <= 6, "pairs confined to active racks, got {used:?}");
+        assert!(
+            used.len() <= 6,
+            "pairs confined to active racks, got {used:?}"
+        );
         // Both halves of the fabric are represented.
         assert!(used.iter().any(|&r| r < 16));
         assert!(used.iter().any(|&r| r >= 16));
@@ -183,7 +198,10 @@ mod tests {
     fn active_racks_clamped_to_fabric() {
         let ft = FatTree::build(4).unwrap(); // 8 racks
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let placement = PairPlacement { intra_rack_fraction: 0.8, active_racks: Some(100) };
+        let placement = PairPlacement {
+            intra_rack_fraction: 0.8,
+            active_racks: Some(100),
+        };
         let w = generate_pairs(&ft, &placement, &DEFAULT_MIX, 50, &mut rng);
         assert_eq!(w.num_flows(), 50);
         w.validate(ft.graph()).unwrap();

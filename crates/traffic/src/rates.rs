@@ -26,7 +26,11 @@ pub struct RateMix {
 }
 
 /// The paper's mix: 25 % light, 70 % medium, 5 % heavy.
-pub const DEFAULT_MIX: RateMix = RateMix { light: 0.25, medium: 0.70, heavy: 0.05 };
+pub const DEFAULT_MIX: RateMix = RateMix {
+    light: 0.25,
+    medium: 0.70,
+    heavy: 0.05,
+};
 
 impl RateMix {
     /// Checks the probabilities sum to 1 (within float dust).
@@ -82,7 +86,12 @@ mod tests {
     #[test]
     fn default_mix_is_valid() {
         assert!(DEFAULT_MIX.is_valid());
-        assert!(!RateMix { light: 0.5, medium: 0.5, heavy: 0.5 }.is_valid());
+        assert!(!RateMix {
+            light: 0.5,
+            medium: 0.5,
+            heavy: 0.5
+        }
+        .is_valid());
     }
 
     #[test]
@@ -115,13 +124,27 @@ mod tests {
     #[test]
     fn degenerate_mixes() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let all_heavy = RateMix { light: 0.0, medium: 0.0, heavy: 1.0 };
+        let all_heavy = RateMix {
+            light: 0.0,
+            medium: 0.0,
+            heavy: 1.0,
+        };
         for _ in 0..100 {
-            assert_eq!(classify(sample_rate(&all_heavy, &mut rng)), FlowClass::Heavy);
+            assert_eq!(
+                classify(sample_rate(&all_heavy, &mut rng)),
+                FlowClass::Heavy
+            );
         }
-        let all_light = RateMix { light: 1.0, medium: 0.0, heavy: 0.0 };
+        let all_light = RateMix {
+            light: 1.0,
+            medium: 0.0,
+            heavy: 0.0,
+        };
         for _ in 0..100 {
-            assert_eq!(classify(sample_rate(&all_light, &mut rng)), FlowClass::Light);
+            assert_eq!(
+                classify(sample_rate(&all_light, &mut rng)),
+                FlowClass::Light
+            );
         }
     }
 }

@@ -13,8 +13,8 @@
 
 use ppdc::migration::{is_convex, mpareto, pareto_front};
 use ppdc::model::{Sfc, Workload};
-use ppdc::topology::{DistanceMatrix, FatTree};
 use ppdc::placement::dp_placement;
+use ppdc::topology::{DistanceMatrix, FatTree};
 
 fn main() {
     let ft = FatTree::build(8).expect("k = 8 fat-tree");

@@ -10,9 +10,7 @@
 //! ```
 
 use ppdc::model::{Placement, Sfc};
-use ppdc::placement::{
-    dp_placement, greedy_placement, optimal_placement, steering_placement,
-};
+use ppdc::placement::{dp_placement, greedy_placement, optimal_placement, steering_placement};
 use ppdc::sim::Table;
 use ppdc::topology::{Cost, DistanceMatrix, FatTree, Graph};
 use ppdc::traffic::{generate_pairs, rng_for_run, PairPlacement, DEFAULT_MIX};

@@ -29,12 +29,20 @@ fn main() {
     );
 
     // 120 conferencing VM pairs on hotspot racks, diurnal + churn dynamics.
-    let (w, trace) = standard_workload(&ft, 120, 0x200_0, 0);
+    let (w, trace) = standard_workload(&ft, 120, 0x2000, 0);
     let sfc = Sfc::named(["firewall", "ids", "load-balancer"]).expect("three VNFs");
     let mu = 1_000; // container images are small relative to meeting traffic
 
-    let adaptive = SimConfig { mu, vm_mu: mu, policy: MigrationPolicy::MPareto };
-    let frozen = SimConfig { mu, vm_mu: mu, policy: MigrationPolicy::NoMigration };
+    let adaptive = SimConfig {
+        mu,
+        vm_mu: mu,
+        policy: MigrationPolicy::MPareto,
+    };
+    let frozen = SimConfig {
+        mu,
+        vm_mu: mu,
+        policy: MigrationPolicy::NoMigration,
+    };
     let a = simulate(ft.graph(), &dm, &w, &trace, &sfc, &adaptive).expect("day simulates");
     let b = simulate(ft.graph(), &dm, &w, &trace, &sfc, &frozen).expect("day simulates");
 

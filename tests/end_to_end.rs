@@ -16,11 +16,21 @@ fn full_day_invariants_all_policies() {
     for policy in [
         MigrationPolicy::MPareto,
         MigrationPolicy::OptimalVnf { budget: 50_000_000 },
-        MigrationPolicy::Plan { slots: 8, passes: 4 },
-        MigrationPolicy::Mcf { slots: 8, candidates: 8 },
+        MigrationPolicy::Plan {
+            slots: 8,
+            passes: 4,
+        },
+        MigrationPolicy::Mcf {
+            slots: 8,
+            candidates: 8,
+        },
         MigrationPolicy::NoMigration,
     ] {
-        let cfg = SimConfig { mu: 50, vm_mu: 50, policy };
+        let cfg = SimConfig {
+            mu: 50,
+            vm_mu: 50,
+            policy,
+        };
         let r = simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap();
         assert_eq!(r.hours.len(), 12);
         assert_eq!(
@@ -45,12 +55,18 @@ fn policy_ordering_over_a_day() {
         let (w, trace) = standard_workload(&ft, 10, 77, run);
         let sfc = Sfc::of_len(3).unwrap();
         let day = |policy| {
-            let cfg = SimConfig { mu: 20, vm_mu: 20, policy };
+            let cfg = SimConfig {
+                mu: 20,
+                vm_mu: 20,
+                policy,
+            };
             simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg)
                 .unwrap()
                 .total_cost
         };
-        let opt = day(MigrationPolicy::OptimalVnf { budget: 100_000_000 });
+        let opt = day(MigrationPolicy::OptimalVnf {
+            budget: 100_000_000,
+        });
         let mp = day(MigrationPolicy::MPareto);
         let nm = day(MigrationPolicy::NoMigration);
         assert!(opt <= mp, "run {run}: optimal {opt} > mpareto {mp}");
@@ -135,8 +151,14 @@ fn deterministic_end_to_end() {
     let run = |seed| {
         let (w, trace) = standard_workload(&ft, 9, seed, 0);
         let sfc = Sfc::of_len(3).unwrap();
-        let cfg = SimConfig { mu: 100, vm_mu: 100, policy: MigrationPolicy::MPareto };
-        simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg).unwrap().total_cost
+        let cfg = SimConfig {
+            mu: 100,
+            vm_mu: 100,
+            policy: MigrationPolicy::MPareto,
+        };
+        simulate(ft.graph(), &dm, &w, &trace, &sfc, &cfg)
+            .unwrap()
+            .total_cost
     };
     assert_eq!(run(42), run(42));
     assert_ne!(run(42), run(43), "different seeds diverge");

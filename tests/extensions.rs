@@ -45,11 +45,7 @@ fn replication_lower_bounds_any_single_placement() {
     let sfc = Sfc::of_len(2).unwrap();
     let (p, _) = dp_placement(g, &dm, &w, &sfc).unwrap();
     let mut rp = ReplicatedPlacement::from_placement(&p);
-    let unused: Vec<NodeId> = g
-        .switches()
-        .filter(|s| !rp.occupies(*s))
-        .take(2)
-        .collect();
+    let unused: Vec<NodeId> = g.switches().filter(|s| !rp.occupies(*s)).take(2).collect();
     rp.add_replica(g, 0, unused[0]).unwrap();
     rp.add_replica(g, 1, unused[1]).unwrap();
     assert!(comm_cost_replicated(&dm, &w, &rp) <= comm_cost(&dm, &w, &p));

@@ -1,13 +1,13 @@
 //! Property-based tests over randomly generated PPDCs and workloads.
 
-use proptest::prelude::*;
 use ppdc::model::{comm_cost, comm_cost_flow, total_cost, Placement, Sfc, Workload};
 use ppdc::placement::{
-    dp_placement, exhaustive_placement, greedy_placement, optimal_placement,
-    steering_placement, AttachAggregates,
+    dp_placement, exhaustive_placement, greedy_placement, optimal_placement, steering_placement,
+    AttachAggregates,
 };
 use ppdc::stroll::{dp_stroll, exhaustive_stroll, optimal_stroll, StrollInstance};
 use ppdc::topology::{DistanceMatrix, Graph, MetricClosure, NodeId};
+use proptest::prelude::*;
 
 /// A random connected PPDC: a switch spanning tree plus extra switch-switch
 /// edges, with one host per leaf-ish switch.
@@ -140,6 +140,67 @@ proptest! {
         let sfc = Sfc::of_len(n).unwrap();
         let p = Placement::new(&g, &sfc, chosen).unwrap();
         prop_assert_eq!(agg.comm_cost(&dm, &p), comm_cost(&dm, &w, &p));
+    }
+
+    /// The switch-aggregated build is bit-identical to the flow-by-flow
+    /// oracle, for any number of flows sharing the two attach nodes in
+    /// either direction (including self-loops).
+    #[test]
+    fn switch_aggregated_build_equals_flow_by_flow(
+        (g, hosts) in arb_ppdc(),
+        rates in proptest::collection::vec(0u64..10_000, 1..20),
+        dirs in any::<u64>(),
+    ) {
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        for (i, &r) in rates.iter().enumerate() {
+            let (a, b) = match (dirs >> (2 * (i % 32))) & 3 {
+                0 => (hosts[0], hosts[1]),
+                1 => (hosts[1], hosts[0]),
+                2 => (hosts[0], hosts[0]),
+                _ => (hosts[1], hosts[1]),
+            };
+            w.add_pair(a, b, r);
+        }
+        let fast = AttachAggregates::build(&g, &dm, &w);
+        let slow = AttachAggregates::build_flow_by_flow(&g, &dm, &w);
+        prop_assert!(fast.same_as(&slow));
+    }
+
+    /// Folding random rate deltas into existing aggregates is bit-identical
+    /// to rebuilding from scratch under the new rates.
+    #[test]
+    fn incremental_aggregates_equal_rebuild(
+        (g, hosts) in arb_ppdc(),
+        old_rates in proptest::collection::vec(0u64..10_000, 1..16),
+        new_seed in any::<u64>(),
+    ) {
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        for (i, &r) in old_rates.iter().enumerate() {
+            let (a, b) = if i % 2 == 0 { (hosts[0], hosts[1]) } else { (hosts[1], hosts[0]) };
+            w.add_pair(a, b, r);
+        }
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        // New rates: pseudo-random, some flows unchanged (delta 0).
+        let mut x = new_seed | 1;
+        let mut deltas = Vec::new();
+        for f in w.flow_ids().collect::<Vec<_>>() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let new = if x.is_multiple_of(3) {
+                w.rate(f)
+            } else {
+                x % 10_000
+            };
+            let d = new as i64 - w.rate(f) as i64;
+            w.set_rate(f, new);
+            if d != 0 {
+                deltas.push((f, d));
+            }
+        }
+        agg.apply_rate_deltas(&dm, &w, &deltas);
+        let rebuilt = AttachAggregates::build(&g, &dm, &w);
+        prop_assert!(agg.same_as(&rebuilt));
     }
 
     /// Cost identities: C_t = C_b + C_a; rate scaling is linear; the

@@ -1,0 +1,300 @@
+//! Offline stand-in for `criterion` (the API subset this workspace uses).
+//!
+//! Each benchmark is timed in batches: a calibration pass sizes the batch so
+//! one sample takes a few milliseconds, a warm-up loop runs for
+//! `warm_up_time`, then samples accumulate until `sample_size` batches or
+//! `measurement_time` elapses, whichever comes first. Reported statistics
+//! are min/median/mean nanoseconds per iteration. No statistical regression
+//! analysis — this is an honest stopwatch, not upstream criterion.
+//!
+//! Set `PPDC_BENCH_JSON=/path/to/file` to append one JSON line per benchmark
+//! (`{"id": ..., "min_ns": ..., "median_ns": ..., "mean_ns": ..., ...}`),
+//! which is how `BENCH_*.json` trajectory points are collected.
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for convenience in benches.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Benchmark identifier, usually built from a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    pub fn new<N: Into<String>, P: Display>(function_name: N, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to every benchmark closure; `iter` times the routine.
+pub struct Bencher<'a> {
+    settings: Settings,
+    result: &'a mut Option<Sample>,
+}
+
+struct Sample {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    total_iters: u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count giving a ≥2 ms batch.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 30 {
+                break;
+            }
+            // Aim past 2 ms with headroom; at least double to converge fast.
+            batch = (batch * 4).max(2);
+        }
+
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            hint::black_box(routine());
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.settings.sample_size);
+        let mut total_iters = 0u64;
+        let measure_until = Instant::now() + self.settings.measurement_time;
+        while per_iter_ns.len() < self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            if Instant::now() >= measure_until && per_iter_ns.len() >= 3 {
+                break;
+            }
+        }
+
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let samples = per_iter_ns.len();
+        *self.result = Some(Sample {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[samples / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / samples as f64,
+            samples,
+            total_iters,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn record(id: &str, sample: &Sample) {
+    println!(
+        "{id:<44} time: [{} {} {}]  ({} samples, {} iters)",
+        human(sample.min_ns),
+        human(sample.median_ns),
+        human(sample.mean_ns),
+        sample.samples,
+        sample.total_iters,
+    );
+    if let Ok(path) = std::env::var("PPDC_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"total_iters\":{}}}",
+                id.replace('"', "'"),
+                sample.min_ns,
+                sample.median_ns,
+                sample.mean_ns,
+                sample.samples,
+                sample.total_iters,
+            );
+        }
+    }
+}
+
+fn run_one(id: &str, settings: Settings, f: impl FnOnce(&mut Bencher)) {
+    let mut result = None;
+    let mut bencher = Bencher {
+        settings,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(sample) => record(id, &sample),
+        None => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.settings, |b| f(b));
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(3);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().name);
+        run_one(&id, self.settings, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.name);
+        run_one(&id, self.settings, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(16).name, "16");
+        assert_eq!(BenchmarkId::new("apsp", "k8").name, "apsp/k8");
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `rayon` (the API subset this workspace uses).
+//!
+//! Parallel iterators are evaluated eagerly: the source materializes its
+//! items, each adapter fans the composed closure out over `std::thread::scope`
+//! workers in order-preserving chunks, and `collect` concatenates chunk
+//! results. Honors `RAYON_NUM_THREADS`; at one thread (or one item) every
+//! combinator degrades to the exact sequential loop, so single-core
+//! containers pay no thread overhead.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Worker count: `RAYON_NUM_THREADS` if set and nonzero, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving input
+/// order in the output. Sequential when one thread or one item.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+/// Eagerly evaluated parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Evaluates the chain, in parallel where worker threads are available.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let items = self.run();
+        let unit = |item| f(item);
+        parallel_map(items, &unit);
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self.run())
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Source backed by a materialized item list.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = VecIter<usize>;
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    type Iter = VecIter<u32>;
+    fn into_par_iter(self) -> VecIter<u32> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> Option<U> + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        parallel_map(self.base.run(), &self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_map_matches_sequential() {
+        let out: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i + 1))
+            .collect();
+        let expected: Vec<usize> = (0..1000)
+            .filter_map(|i| (i % 3 == 0).then_some(i + 1))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let sum = AtomicU64::new(0);
+        (0..100u32).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn mutable_borrows_flow_through() {
+        let mut rows = vec![0u64; 64];
+        let tagged: Vec<(usize, &mut u64)> = rows.iter_mut().enumerate().collect();
+        tagged
+            .into_par_iter()
+            .for_each(|(i, slot)| *slot = i as u64 * 10);
+        assert_eq!(rows[7], 70);
+        assert_eq!(rows[63], 630);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

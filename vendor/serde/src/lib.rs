@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* the workspace imports —
+//! both the marker traits and the (no-op) derive macros. No code in the
+//! workspace serializes anything yet; the derives are forward-looking
+//! annotations on model types. Swap in upstream serde when wire formats land.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
