@@ -52,6 +52,11 @@ struct RateMasses {
     out_mass: Vec<u64>,
     in_mass: Vec<u64>,
     touched: Vec<u32>,
+    // Membership must be tracked explicitly: a zero-rate flow (or deltas
+    // that cancel) can leave both masses at 0 for a host that is already
+    // in `touched`, and a mass==0 test would push it again — the switch
+    // sweep would then count that host twice.
+    seen: Vec<bool>,
 }
 
 impl RateMasses {
@@ -60,18 +65,23 @@ impl RateMasses {
             out_mass: vec![0; num_nodes],
             in_mass: vec![0; num_nodes],
             touched: Vec::new(),
+            seen: vec![false; num_nodes],
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, h: NodeId) {
+        if !self.seen[h.index()] {
+            self.seen[h.index()] = true;
+            self.touched.push(h.0);
         }
     }
 
     #[inline]
     fn add(&mut self, src: NodeId, dst: NodeId, rate: u64) {
-        if self.out_mass[src.index()] == 0 && self.in_mass[src.index()] == 0 {
-            self.touched.push(src.0);
-        }
+        self.touch(src);
         self.out_mass[src.index()] += rate;
-        if self.out_mass[dst.index()] == 0 && self.in_mass[dst.index()] == 0 {
-            self.touched.push(dst.0);
-        }
+        self.touch(dst);
         self.in_mass[dst.index()] += rate;
     }
 }
@@ -146,9 +156,9 @@ impl AttachAggregates {
     ///
     /// # Panics
     ///
-    /// Debug builds panic if a delta drives a flow's contribution
-    /// negative (i.e. the deltas disagree with the rates the aggregates
-    /// were built from).
+    /// Panics (in all build profiles) if a delta drives an aggregate
+    /// negative — i.e. the deltas disagree with the rates the aggregates
+    /// were built from.
     pub fn apply_rate_deltas(
         &mut self,
         dm: &DistanceMatrix,
@@ -162,17 +172,24 @@ impl AttachAggregates {
         let mut out_delta = vec![0i64; n];
         let mut in_delta = vec![0i64; n];
         let mut touched: Vec<u32> = Vec::new();
+        // Explicit membership marker: a host's accumulated delta can
+        // transiently cancel to 0 mid-list, and a delta==0 test would push
+        // it into `touched` twice — applying its delta twice to every
+        // switch.
+        let mut seen = vec![false; n];
         let mut total_delta = 0i64;
         for &(f, d) in deltas {
             if d == 0 {
                 continue;
             }
             let (src, dst) = w.endpoints(f);
-            if out_delta[src.index()] == 0 && in_delta[src.index()] == 0 {
+            if !seen[src.index()] {
+                seen[src.index()] = true;
                 touched.push(src.0);
             }
             out_delta[src.index()] += d;
-            if out_delta[dst.index()] == 0 && in_delta[dst.index()] == 0 {
+            if !seen[dst.index()] {
+                seen[dst.index()] = true;
                 touched.push(dst.0);
             }
             in_delta[dst.index()] += d;
@@ -187,12 +204,13 @@ impl AttachAggregates {
                 ain += out_delta[h.index()] as i128 * dm.cost(h, x) as i128;
                 aout += in_delta[h.index()] as i128 * dm.cost(x, h) as i128;
             }
-            debug_assert!(
-                ain >= 0 && aout >= 0,
-                "rate deltas drove aggregates negative"
-            );
-            self.a_in[x.index()] = ain as Cost;
-            self.a_out[x.index()] = aout as Cost;
+            // Checked conversions so inconsistent deltas fail loudly in
+            // release builds instead of wrapping a negative value into a
+            // huge cost that silently poisons every downstream decision.
+            self.a_in[x.index()] =
+                Cost::try_from(ain).expect("rate deltas drove A_in negative or out of range");
+            self.a_out[x.index()] =
+                Cost::try_from(aout).expect("rate deltas drove A_out negative or out of range");
         }
         self.total_rate = (self.total_rate as i64 + total_delta) as u64;
     }
@@ -311,6 +329,26 @@ mod tests {
     }
 
     #[test]
+    fn zero_rate_flow_does_not_double_count_shared_host() {
+        // Regression: a zero-rate flow leaves its hosts' masses at 0, so a
+        // membership test based on mass==0 would re-push the host into
+        // `touched` when a later nonzero flow shares it, double-counting
+        // its mass in the switch sweep. Zero rates are real inputs (the
+        // trace sampler's light class includes 0 and diurnal scaling can
+        // floor rates to 0).
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[5], 0); // zero-rate, touches hosts 0 and 5
+        w.add_pair(hosts[0], hosts[7], 42); // shares src host 0
+        w.add_pair(hosts[2], hosts[5], 9); // shares dst host 5
+        let fast = AttachAggregates::build(&g, &dm, &w);
+        let slow = AttachAggregates::build_flow_by_flow(&g, &dm, &w);
+        assert!(fast.same_as(&slow));
+    }
+
+    #[test]
     fn incremental_deltas_match_rebuild() {
         let g = fat_tree(4).unwrap();
         let dm = DistanceMatrix::build(&g);
@@ -322,6 +360,29 @@ mod tests {
         let mut agg = AttachAggregates::build(&g, &dm, &w);
         // Raise, lower, zero out.
         let deltas = [(f0, 50i64), (f1, -40), (f2, 3)];
+        for &(f, d) in &deltas {
+            w.set_rate(f, (w.rate(f) as i64 + d) as u64);
+        }
+        agg.apply_rate_deltas(&dm, &w, &deltas);
+        let rebuilt = AttachAggregates::build(&g, &dm, &w);
+        assert!(agg.same_as(&rebuilt));
+    }
+
+    #[test]
+    fn cancelling_deltas_then_retouch_do_not_double_apply() {
+        // Regression: three flows share a src host; the first two deltas
+        // (+5, -5) cancel its accumulated out-delta to exactly 0, so a
+        // delta==0 membership test would re-push the host on the third
+        // delta and apply its delta twice to every switch.
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let f0 = w.add_pair(hosts[0], hosts[5], 10);
+        let f1 = w.add_pair(hosts[0], hosts[7], 10);
+        let f2 = w.add_pair(hosts[0], hosts[9], 10);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        let deltas = [(f0, 5i64), (f1, -5), (f2, 2)];
         for &(f, d) in &deltas {
             w.set_rate(f, (w.rate(f) as i64 + d) as u64);
         }

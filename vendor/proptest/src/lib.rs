@@ -39,6 +39,56 @@ pub mod strategy {
         }
     }
 
+    /// Always yields a clone of the given value (upstream's `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A weighted choice among strategies of one value type — what
+    /// [`prop_oneof!`](crate::prop_oneof) builds.
+    pub struct Union<T> {
+        variants: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// `variants` pairs each strategy with its selection weight;
+        /// weights must not all be zero.
+        pub fn new(variants: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                variants.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+                "prop_oneof! needs at least one nonzero weight"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.variants.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.variants {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed during Union::new")
+        }
+    }
+
+    /// Boxes a strategy for [`Union`] (helper for the `prop_oneof!` macro).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
     macro_rules! range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -231,9 +281,11 @@ pub mod test_runner {
 
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies.
@@ -291,6 +343,20 @@ macro_rules! __proptest_fns {
             }
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// A weighted (`w => strategy`) or uniform (`strategy, ...`) choice among
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 
@@ -375,6 +441,15 @@ mod tests {
         #[test]
         fn tuples_and_maps(v in (1u64..5, 0usize..3).prop_map(|(r, s)| r + s as u64)) {
             prop_assert!((1..8).contains(&v));
+        }
+
+        #[test]
+        fn oneof_and_just(
+            uniform in prop_oneof![Just(0u64), 10u64..20],
+            weighted in prop_oneof![3 => Just(-1i64), 1 => 5i64..8],
+        ) {
+            prop_assert!(uniform == 0 || (10..20).contains(&uniform));
+            prop_assert!(weighted == -1 || (5..8).contains(&weighted));
         }
 
         #[test]
