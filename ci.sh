@@ -24,4 +24,10 @@ cargo build --release
 echo "==> cargo test -q (tier-1, default members)"
 cargo test -q
 
+echo "==> proptests at PROPTEST_CASES=256"
+PROPTEST_CASES=256 cargo test -q --test proptests
+
+echo "==> failure-sweep smoke (quick scale)"
+cargo run --release -p ppdc-experiments -- --quick failsweep > /dev/null
+
 echo "CI OK"

@@ -16,6 +16,7 @@
 //! the paper. Budget-capped exact searches that do not finish report "n/c".
 
 pub mod ext_replication;
+pub mod failsweep;
 pub mod fig11;
 pub mod fig6b;
 pub mod fig7;
@@ -23,6 +24,7 @@ pub mod fig8;
 pub mod fig9;
 
 pub use ext_replication::ext_replication;
+pub use failsweep::failure_sweep;
 pub use fig11::{fig11a_b, fig11c, fig11d};
 pub use fig6b::fig6b;
 pub use fig7::fig7;

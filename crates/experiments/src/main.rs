@@ -54,6 +54,9 @@ fn main() {
     if wants("ext_replication") || wants("ext") {
         run("ext_replication", || ext_replication(&scale).to_markdown());
     }
+    if wants("failsweep") {
+        run("failsweep", || failure_sweep(&scale).to_markdown());
+    }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

@@ -22,7 +22,21 @@
 use crate::MigrationError;
 use ppdc_mcf::McfNetwork;
 use ppdc_model::{comm_cost, HostCapacities, MigrationCoefficient, Placement, VmId, Workload};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId};
+use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, INFINITY};
+
+/// `mass · cost` with the unreachable sentinel handled: a zero mass never
+/// observes an [`INFINITY`] distance, a positive mass pins the product at
+/// exactly `INFINITY` (mirrors `AttachAggregates`' saturation rules).
+#[inline]
+fn attach_term(mass: u64, cost: Cost) -> Cost {
+    if mass == 0 {
+        0
+    } else if cost >= INFINITY {
+        INFINITY
+    } else {
+        mass * cost
+    }
+}
 
 /// Result of a VM-migration baseline run.
 #[derive(Debug, Clone)]
@@ -76,9 +90,13 @@ impl VmRates {
     }
 
     /// Rate-weighted attachment cost of VM `v` at host `h` (the only part
-    /// of `C_a` its position influences).
+    /// of `C_a` its position influences). Saturates at [`INFINITY`] when a
+    /// positive-rate VM cannot reach the chain end from `h` — degraded
+    /// fabrics must never wrap a `rate × INFINITY` product around `u64`.
     fn attach_cost(&self, dm: &DistanceMatrix, p: &Placement, v: VmId, h: NodeId) -> Cost {
-        self.src[v.index()] * dm.cost(h, p.ingress()) + self.dst[v.index()] * dm.cost(p.egress(), h)
+        attach_term(self.src[v.index()], dm.cost(h, p.ingress()))
+            .saturating_add(attach_term(self.dst[v.index()], dm.cost(p.egress(), h)))
+            .min(INFINITY)
     }
 
     /// Total traffic rate a VM participates in (PLAN's visiting order).
@@ -112,6 +130,11 @@ pub fn plan_vm_migration(
     for _ in 0..max_passes.max(1) {
         let mut moved = false;
         for &v in &order {
+            if rates.total(v) == 0 {
+                // Zero-rate VMs (including flows masked out on a degraded
+                // fabric) have zero utility everywhere — never move them.
+                continue;
+            }
             let cur = w.host_of(v);
             let cur_attach = rates.attach_cost(dm, p, v, cur);
             let mut best: Option<(Cost, NodeId)> = None;
@@ -119,7 +142,16 @@ pub fn plan_vm_migration(
                 if h == cur || caps.free(h) == 0 {
                     continue;
                 }
-                let total = rates.attach_cost(dm, p, v, h) + vm_mu * dm.cost(cur, h);
+                let hop = dm.cost(cur, h);
+                if hop >= INFINITY {
+                    // `h` sits in another component of a partitioned
+                    // fabric — no migration path exists.
+                    continue;
+                }
+                let total = rates
+                    .attach_cost(dm, p, v, h)
+                    .saturating_add(vm_mu * hop)
+                    .min(INFINITY);
                 if best.is_none_or(|(c, bh)| total < c || (total == c && h < bh)) {
                     best = Some((total, h));
                 }
@@ -201,12 +233,27 @@ pub fn mcf_vm_migration(
             cand.push(cur);
         }
         for h in cand {
-            let cost = rates.attach_cost(dm, p, v, h) + vm_mu * dm.cost(cur, h);
+            let hop = dm.cost(cur, h);
+            // No migration path to `h` (partitioned fabric) disqualifies it
+            // even at μ = 0; the current host always stays an arc so every
+            // VM can stand still (its hop cost there is 0, so that arc is
+            // INFINITY only for a stranded positive-rate VM the caller
+            // chose not to mask out).
+            if h != cur && hop >= INFINITY {
+                continue;
+            }
+            let cost = rates
+                .attach_cost(dm, p, v, h)
+                .saturating_add(attach_term(vm_mu, hop))
+                .min(INFINITY);
+            if cost >= INFINITY && h != cur {
+                continue;
+            }
             let r = net.add_edge(
                 vm_base + vi,
                 host_base + host_pos[&h],
                 1,
-                i64::try_from(cost).expect("cost fits i64"),
+                i64::try_from(cost).expect("INFINITY-clamped cost fits i64"),
             );
             edge_refs.push((v, h, r));
         }

@@ -35,25 +35,56 @@ impl FrontierPoint {
 ///
 /// # Panics
 ///
-/// Panics if the two placements differ in length or a path crosses a host
-/// (cannot happen in leaf-host topologies like fat-trees).
+/// Panics if the two placements differ in length or some `p(j)` cannot
+/// reach `p'(j)` — use [`try_migration_paths`] when the fabric may be
+/// partitioned.
 pub fn migration_paths(
     g: &Graph,
     dm: &DistanceMatrix,
     p: &Placement,
     p_new: &Placement,
 ) -> Vec<Vec<NodeId>> {
-    assert_eq!(p.len(), p_new.len(), "placement length mismatch");
+    match try_migration_paths(g, dm, p, p_new) {
+        Ok(paths) => paths,
+        Err(e) => panic!("migration_paths: {e}"),
+    }
+}
+
+/// Fallible twin of [`migration_paths`] for degraded fabrics.
+///
+/// # Errors
+///
+/// [`crate::MigrationError::Model`] on a placement length mismatch;
+/// [`crate::MigrationError::Unreachable`] when a VNF's old and new switches
+/// sit in different components — the epoch loop must then repair the
+/// placement (both placements inside one serving component make every path
+/// exist).
+pub fn try_migration_paths(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    p: &Placement,
+    p_new: &Placement,
+) -> Result<Vec<Vec<NodeId>>, crate::MigrationError> {
+    if p.len() != p_new.len() {
+        return Err(crate::MigrationError::Model(
+            ppdc_model::ModelError::WrongLength {
+                expected: p.len(),
+                got: p_new.len(),
+            },
+        ));
+    }
     p.switches()
         .iter()
         .zip(p_new.switches())
         .map(|(&from, &to)| {
-            let path = dm.path(from, to).expect("connected PPDC");
+            let path = dm
+                .path(from, to)
+                .ok_or(crate::MigrationError::Unreachable { from, to })?;
             debug_assert!(
                 path.iter().all(|&v| g.kind(v) == NodeKind::Switch),
                 "migration path must stay on switches"
             );
-            path
+            Ok(path)
         })
         .collect()
 }

@@ -31,10 +31,13 @@ pub use baselines::{
 };
 pub use frontier::{
     is_convex, migration_paths, parallel_frontiers, parallel_frontiers_with_agg, pareto_front,
-    FrontierPoint,
+    try_migration_paths, FrontierPoint,
 };
 pub use mpareto::{mpareto, mpareto_with_agg, MigrationOutcome};
-pub use optimal::{optimal_migration, optimal_migration_with_agg, optimal_migration_with_budget};
+pub use optimal::{
+    optimal_migration, optimal_migration_with_agg, optimal_migration_with_budget,
+    optimal_migration_with_deadline,
+};
 
 use ppdc_model::ModelError;
 use ppdc_placement::PlacementError;
@@ -51,6 +54,14 @@ pub enum MigrationError {
     Stroll(StrollError),
     /// The MCF baseline's flow network was infeasible.
     Infeasible(&'static str),
+    /// A migration endpoint pair sits in different components of a
+    /// partitioned fabric (no path between them exists).
+    Unreachable {
+        /// The VNF's current switch.
+        from: ppdc_topology::NodeId,
+        /// The unreachable target switch.
+        to: ppdc_topology::NodeId,
+    },
 }
 
 impl From<ModelError> for MigrationError {
@@ -78,6 +89,12 @@ impl std::fmt::Display for MigrationError {
             MigrationError::Placement(e) => write!(f, "placement error: {e}"),
             MigrationError::Stroll(e) => write!(f, "search error: {e}"),
             MigrationError::Infeasible(what) => write!(f, "infeasible: {what}"),
+            MigrationError::Unreachable { from, to } => write!(
+                f,
+                "no path from switch {} to switch {} (fabric partitioned)",
+                from.index(),
+                to.index()
+            ),
         }
     }
 }

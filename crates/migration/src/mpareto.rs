@@ -1,6 +1,6 @@
 //! **mPareto** — Algorithm 5: parallel-frontier VNF migration.
 
-use crate::frontier::{migration_paths, parallel_frontiers_with_agg, FrontierPoint};
+use crate::frontier::{parallel_frontiers_with_agg, try_migration_paths, FrontierPoint};
 use crate::MigrationError;
 use ppdc_model::{MigrationCoefficient, Placement, Sfc, Workload};
 use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
@@ -83,7 +83,10 @@ pub fn mpareto_with_agg(
     agg: &AttachAggregates,
 ) -> Result<MigrationOutcome, MigrationError> {
     let (p_new, _) = dp_placement_with_agg(g, dm, w, sfc, agg)?;
-    let paths = migration_paths(g, dm, p, &p_new);
+    // On a healthy fabric every path exists; on a degraded one the epoch
+    // loop keeps p and the candidate set inside one serving component, so
+    // an Unreachable error here means the caller skipped placement repair.
+    let paths = try_migration_paths(g, dm, p, &p_new)?;
     let frontiers = parallel_frontiers_with_agg(dm, agg, &paths, p, mu);
     // Mid-migration frontier rows can transiently co-locate two VNFs on
     // one switch; the *chosen* resting point must respect the model's

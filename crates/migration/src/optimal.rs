@@ -18,7 +18,7 @@ use crate::mpareto::MigrationOutcome;
 use crate::MigrationError;
 use ppdc_model::{migration_cost, MigrationCoefficient, ModelError, Placement, Sfc, Workload};
 use ppdc_placement::AttachAggregates;
-use ppdc_stroll::StrollError;
+use ppdc_stroll::{Exactness, StrollError};
 use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY};
 
 /// Default expansion budget for the migration branch-and-bound.
@@ -157,6 +157,43 @@ pub fn optimal_migration_with_agg(
     budget: u64,
     agg: &AttachAggregates,
 ) -> Result<MigrationOutcome, MigrationError> {
+    match optimal_migration_with_deadline(g, dm, sfc, p, mu, seed, budget, agg)? {
+        (out, Exactness::Exact) => Ok(out),
+        (_, Exactness::Degraded { .. }) => {
+            Err(MigrationError::Stroll(StrollError::BudgetExhausted {
+                budget,
+            }))
+        }
+    }
+}
+
+/// Optimal migration under a deadline: never fails on exhaustion.
+///
+/// The degraded-solver contract ([`Exactness`]): the incumbent is seeded
+/// with the better of "stay at `p`" and the caller's `seed` before the
+/// search, so when the budget dies the best incumbent so far comes back
+/// flagged [`Exactness::Degraded`] — a 24-hour day with an `OptimalVnf`
+/// policy always completes. Candidate switches are taken from `agg`
+/// ([`AttachAggregates::switches`]), so restricted aggregates confine the
+/// migration to the serving component of a degraded fabric.
+///
+/// # Errors
+///
+/// Input errors only: a placement whose length disagrees with the SFC, too
+/// few candidate switches, or a current placement (partly) outside the
+/// candidate set — the epoch loop must repair such a placement *before*
+/// asking for a migration.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_migration_with_deadline(
+    _g: &Graph,
+    dm: &DistanceMatrix,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    seed: Option<&Placement>,
+    budget: u64,
+    agg: &AttachAggregates,
+) -> Result<(MigrationOutcome, Exactness), MigrationError> {
     let n = sfc.len();
     if p.len() != n {
         return Err(MigrationError::Model(ModelError::WrongLength {
@@ -164,7 +201,7 @@ pub fn optimal_migration_with_agg(
             got: p.len(),
         }));
     }
-    let switches: Vec<NodeId> = g.switches().collect();
+    let switches: Vec<NodeId> = agg.switches().to_vec();
     if switches.len() < n {
         return Err(MigrationError::Model(ModelError::TooFewSwitches {
             switches: switches.len(),
@@ -187,8 +224,12 @@ pub fn optimal_migration_with_agg(
     let from: Vec<usize> = p
         .switches()
         .iter()
-        .map(|&s| closure.index(s).expect("p lives on switches"))
-        .collect();
+        .map(|&s| {
+            closure.index(s).ok_or(MigrationError::Infeasible(
+                "current placement uses a switch outside the candidate set",
+            ))
+        })
+        .collect::<Result<_, _>>()?;
     // minmove[j] = μ · min_x c(p(j), x); staying (x = p(j)) costs 0, so
     // this is 0 — unless the slot's own switch is somehow excluded. Kept
     // general and summed into suffix bounds.
@@ -213,20 +254,22 @@ pub fn optimal_migration_with_agg(
         list.insert(0, u);
         *slot = list;
     }
-    // Seed: the better of "stay at p" and the provided seed.
+    // Seed: the better of "stay at p" and the provided seed. A seed that
+    // strays outside the candidate set (possible right after a failure
+    // event) is simply ignored — never an error.
     let stay_cost = agg.comm_cost(dm, p);
     let mut best_cost = stay_cost;
     let mut best_seq: Vec<usize> = from.clone();
     if let Some(sd) = seed {
-        if sd.len() == n && sd.is_injective() {
-            let c = migration_cost(dm, p, sd, mu) + agg.comm_cost(dm, sd);
-            if c < best_cost {
-                best_cost = c;
-                best_seq = sd
-                    .switches()
-                    .iter()
-                    .map(|&s| closure.index(s).expect("seed on switches"))
-                    .collect();
+        let seed_ixs: Option<Vec<usize>> =
+            sd.switches().iter().map(|&s| closure.index(s)).collect();
+        if let Some(ixs) = seed_ixs {
+            if sd.len() == n && sd.is_injective() {
+                let c = migration_cost(dm, p, sd, mu) + agg.comm_cost(dm, sd);
+                if c < best_cost {
+                    best_cost = c;
+                    best_seq = ixs;
+                }
             }
         }
     }
@@ -247,7 +290,14 @@ pub fn optimal_migration_with_agg(
         expansions: 0,
         budget,
     };
-    search.dfs(0, 0)?;
+    let exactness = match search.dfs(0, 0) {
+        Ok(()) => Exactness::Exact,
+        // dfs only fails on budget exhaustion; the stay/seed incumbent (or
+        // anything better found before the deadline) stands.
+        Err(_) => Exactness::Degraded {
+            explored: search.expansions,
+        },
+    };
     let m = Placement::new_unchecked(search.best_seq.iter().map(|&i| closure.node(i)).collect());
     let mig = migration_cost(dm, p, &m, mu);
     let com = agg.comm_cost(dm, &m);
@@ -257,14 +307,17 @@ pub fn optimal_migration_with_agg(
         .zip(m.switches())
         .filter(|(a, b)| a != b)
         .count();
-    Ok(MigrationOutcome {
-        migration_cost: mig,
-        comm_cost: com,
-        total_cost: mig + com,
-        num_migrations,
-        migration: m,
-        frontiers: Vec::<FrontierPoint>::new(),
-    })
+    Ok((
+        MigrationOutcome {
+            migration_cost: mig,
+            comm_cost: com,
+            total_cost: mig + com,
+            num_migrations,
+            migration: m,
+            frontiers: Vec::<FrontierPoint>::new(),
+        },
+        exactness,
+    ))
 }
 
 #[cfg(test)]
@@ -358,6 +411,51 @@ mod tests {
         assert!(matches!(
             optimal_migration_with_budget(&g, &dm, &w, &sfc, &p, 1, None, 2),
             Err(MigrationError::Stroll(StrollError::BudgetExhausted { .. }))
+        ));
+    }
+
+    #[test]
+    fn deadline_returns_feasible_incumbent() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[15], 5);
+        let sfc = Sfc::of_len(5).unwrap();
+        let (p, _) = dp_placement(&g, &dm, &w, &sfc).unwrap();
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        // The budget that makes the strict variant fail still yields a
+        // feasible migration — never worse than staying put.
+        let (out, ex) =
+            optimal_migration_with_deadline(&g, &dm, &sfc, &p, 1, None, 2, &agg).unwrap();
+        assert!(!ex.is_exact());
+        assert_eq!(out.total_cost, total_cost(&dm, &w, &p, &out.migration, 1));
+        assert!(out.total_cost <= comm_cost(&dm, &w, &p));
+        // An ample deadline is exact and matches the strict variant.
+        let strict = optimal_migration(&g, &dm, &w, &sfc, &p, 1, None).unwrap();
+        let (out2, ex2) =
+            optimal_migration_with_deadline(&g, &dm, &sfc, &p, 1, None, DEFAULT_BUDGET, &agg)
+                .unwrap();
+        assert!(ex2.is_exact());
+        assert_eq!(out2.total_cost, strict.total_cost);
+    }
+
+    #[test]
+    fn placement_outside_candidates_is_infeasible() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[15], 5);
+        let sfc = Sfc::of_len(2).unwrap();
+        let all: Vec<NodeId> = g.switches().collect();
+        let p = Placement::new(&g, &sfc, vec![all[0], all[1]]).unwrap();
+        // Candidates exclude p's switches entirely.
+        let subset: Vec<NodeId> = all[4..10].to_vec();
+        let agg = AttachAggregates::build_restricted(&g, &dm, &w, &subset);
+        assert!(matches!(
+            optimal_migration_with_deadline(&g, &dm, &sfc, &p, 1, None, DEFAULT_BUDGET, &agg),
+            Err(MigrationError::Infeasible(_))
         ));
     }
 

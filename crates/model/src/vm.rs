@@ -65,13 +65,33 @@ impl Workload {
     }
 
     /// Adds a flow between two existing VMs with traffic rate `rate`.
-    pub fn add_flow(&mut self, src: VmId, dst: VmId, rate: u64) -> FlowId {
-        assert!(src.index() < self.host_of.len(), "unknown src VM");
-        assert!(dst.index() < self.host_of.len(), "unknown dst VM");
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownVm`] if either endpoint VM does not exist.
+    pub fn try_add_flow(&mut self, src: VmId, dst: VmId, rate: u64) -> Result<FlowId, ModelError> {
+        for v in [src, dst] {
+            if v.index() >= self.host_of.len() {
+                return Err(ModelError::UnknownVm(v));
+            }
+        }
         let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
         self.flows.push(Flow { src, dst });
         self.rates.push(rate);
-        id
+        Ok(id)
+    }
+
+    /// Adds a flow between two existing VMs with traffic rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either VM id is unknown; use [`Workload::try_add_flow`] at
+    /// boundaries that handle untrusted flow descriptions.
+    pub fn add_flow(&mut self, src: VmId, dst: VmId, rate: u64) -> FlowId {
+        match self.try_add_flow(src, dst, rate) {
+            Ok(id) => id,
+            Err(e) => panic!("add_flow: {e}"),
+        }
     }
 
     /// Convenience: creates a fresh VM pair on `(src_host, dst_host)` and a
@@ -290,6 +310,23 @@ mod tests {
         assert_eq!(w.host_of(vm), h1);
         w.set_host(vm, h2);
         assert_eq!(w.endpoints(FlowId(0)), (h2, h1));
+    }
+
+    #[test]
+    fn try_add_flow_rejects_unknown_vms() {
+        let (_, h1, _, mut w) = setup();
+        let bogus = VmId(99);
+        assert_eq!(
+            w.try_add_flow(bogus, VmId(0), 5),
+            Err(ModelError::UnknownVm(bogus))
+        );
+        assert_eq!(
+            w.try_add_flow(VmId(0), bogus, 5),
+            Err(ModelError::UnknownVm(bogus))
+        );
+        assert_eq!(w.num_flows(), 2); // nothing was added
+        let v = w.add_vm(h1);
+        assert!(w.try_add_flow(v, VmId(0), 5).is_ok());
     }
 
     #[test]

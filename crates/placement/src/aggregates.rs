@@ -35,7 +35,30 @@
 //! epoch instead of a full rebuild.
 
 use ppdc_model::{FlowId, Placement, Workload};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId};
+use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, INFINITY};
+
+/// One `λ·c(h, x)` attachment term, with the unreachable sentinel kept
+/// intact: a positive mass across an [`INFINITY`] distance contributes
+/// exactly `INFINITY` (never the overflowing product), and a zero mass
+/// contributes 0 regardless of reachability.
+#[inline]
+fn attach_term(mass: u64, cost: Cost) -> Cost {
+    if mass == 0 {
+        0
+    } else if cost >= INFINITY {
+        INFINITY
+    } else {
+        mass * cost
+    }
+}
+
+/// Saturating aggregate accumulation: any unreachable contribution pins the
+/// aggregate at exactly [`INFINITY`] (the documented sentinel) instead of
+/// wrapping.
+#[inline]
+fn attach_acc(acc: Cost, mass: u64, cost: Cost) -> Cost {
+    acc.saturating_add(attach_term(mass, cost)).min(INFINITY)
+}
 
 /// Precomputed `A_in` / `A_out` arrays plus the total rate.
 #[derive(Debug, Clone)]
@@ -92,6 +115,28 @@ impl AttachAggregates {
     /// (`O(|flows| + |V_h|·|V_s|)`). Bit-identical to
     /// [`AttachAggregates::build_flow_by_flow`].
     pub fn build(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+        let switches: Vec<NodeId> = g.switches().collect();
+        Self::build_restricted(g, dm, w, &switches)
+    }
+
+    /// Like [`AttachAggregates::build`], but over a caller-chosen candidate
+    /// switch set — the fault-tolerant epoch loop restricts placement to
+    /// the serving component's alive switches this way.
+    ///
+    /// Unreachable attachments saturate: a candidate `x` that cannot reach
+    /// some host with nonzero mass gets `A_in[x]` (or `A_out[x]`) pinned at
+    /// exactly [`INFINITY`] — the documented sentinel — rather than a
+    /// wrapped product. Zero-mass hosts never contribute, so masking
+    /// stranded flows' rates to 0 keeps the arrays finite even on a
+    /// partitioned fabric. [`AttachAggregates::apply_rate_deltas`] must
+    /// only be fed aggregates whose entries are all finite (the epoch loop
+    /// rebuilds on failure/repair events before delta-feeding resumes).
+    pub fn build_restricted(
+        g: &Graph,
+        dm: &DistanceMatrix,
+        w: &Workload,
+        candidates: &[NodeId],
+    ) -> Self {
         let n = g.num_nodes();
         let mut masses = RateMasses::new(n);
         let mut total_rate = 0u64;
@@ -101,13 +146,12 @@ impl AttachAggregates {
         }
         let mut a_in = vec![0; n];
         let mut a_out = vec![0; n];
-        let switches: Vec<NodeId> = g.switches().collect();
-        for &x in &switches {
+        for &x in candidates {
             let (mut ain, mut aout) = (0, 0);
             for &h in &masses.touched {
                 let h = NodeId(h);
-                ain += masses.out_mass[h.index()] * dm.cost(h, x);
-                aout += masses.in_mass[h.index()] * dm.cost(x, h);
+                ain = attach_acc(ain, masses.out_mass[h.index()], dm.cost(h, x));
+                aout = attach_acc(aout, masses.in_mass[h.index()], dm.cost(x, h));
             }
             a_in[x.index()] = ain;
             a_out[x.index()] = aout;
@@ -116,7 +160,7 @@ impl AttachAggregates {
             a_in,
             a_out,
             total_rate,
-            switches,
+            switches: candidates.to_vec(),
         }
     }
 
@@ -124,14 +168,26 @@ impl AttachAggregates {
     /// the parity oracle for [`AttachAggregates::build`] /
     /// [`AttachAggregates::apply_rate_deltas`] and as the bench baseline.
     pub fn build_flow_by_flow(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+        let switches: Vec<NodeId> = g.switches().collect();
+        Self::build_restricted_flow_by_flow(g, dm, w, &switches)
+    }
+
+    /// Flow-by-flow parity oracle for [`AttachAggregates::build_restricted`]
+    /// (same candidate restriction and saturation semantics).
+    pub fn build_restricted_flow_by_flow(
+        g: &Graph,
+        dm: &DistanceMatrix,
+        w: &Workload,
+        candidates: &[NodeId],
+    ) -> Self {
         let n = g.num_nodes();
         let mut a_in = vec![0; n];
         let mut a_out = vec![0; n];
-        for x in g.switches() {
+        for &x in candidates {
             let (mut ain, mut aout) = (0, 0);
             for (_, src, dst, rate) in w.iter() {
-                ain += rate * dm.cost(src, x);
-                aout += rate * dm.cost(x, dst);
+                ain = attach_acc(ain, rate, dm.cost(src, x));
+                aout = attach_acc(aout, rate, dm.cost(x, dst));
             }
             a_in[x.index()] = ain;
             a_out[x.index()] = aout;
@@ -140,7 +196,7 @@ impl AttachAggregates {
             a_in,
             a_out,
             total_rate: w.total_rate(),
-            switches: g.switches().collect(),
+            switches: candidates.to_vec(),
         }
     }
 
@@ -346,6 +402,57 @@ mod tests {
         let fast = AttachAggregates::build(&g, &dm, &w);
         let slow = AttachAggregates::build_flow_by_flow(&g, &dm, &w);
         assert!(fast.same_as(&slow));
+    }
+
+    #[test]
+    fn unreachable_hosts_saturate_at_the_infinity_sentinel() {
+        use ppdc_topology::{FaultSet, INFINITY};
+        // Cut the middle switch of h1 - s0 - s1 - s2 - h2: h2 becomes
+        // unreachable from s0, so any aggregate over s0 that includes h2
+        // mass must read exactly INFINITY (never a wrapped product).
+        let (g, h1, h2) = ppdc_topology::builders::linear(3).unwrap();
+        let s: Vec<NodeId> = g.switches().collect();
+        let mut f = FaultSet::new(&g);
+        f.fail_node(s[1]).unwrap();
+        let dm = DistanceMatrix::build(&g.degraded_view(&f));
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 10);
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        assert_eq!(agg.a_in(s[0]), 10); // h1 still reaches s0
+        assert_eq!(agg.a_out(s[0]), INFINITY); // h2 does not
+        assert_eq!(agg.a_in(s[2]), INFINITY);
+        assert_eq!(agg.a_out(s[2]), 10);
+        // The oracle saturates identically.
+        assert!(agg.same_as(&AttachAggregates::build_flow_by_flow(&g, &dm, &w)));
+        // Zero mass contributes nothing even across the cut.
+        let mut wz = Workload::new();
+        wz.add_pair(h1, h2, 0);
+        let aggz = AttachAggregates::build(&g, &dm, &wz);
+        assert_eq!(aggz.a_out(s[0]), 0);
+        assert_eq!(aggz.a_in(s[2]), 0);
+    }
+
+    #[test]
+    fn restricted_build_matches_restricted_oracle() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for i in 0..hosts.len() {
+            w.add_pair(hosts[i], hosts[(i * 3 + 1) % hosts.len()], 5 + i as u64);
+        }
+        let all: Vec<NodeId> = g.switches().collect();
+        let subset: Vec<NodeId> = all.iter().copied().step_by(3).collect();
+        let fast = AttachAggregates::build_restricted(&g, &dm, &w, &subset);
+        let slow = AttachAggregates::build_restricted_flow_by_flow(&g, &dm, &w, &subset);
+        assert!(fast.same_as(&slow));
+        assert_eq!(fast.switches(), &subset[..]);
+        // Restricted entries agree with the full build on shared switches.
+        let full = AttachAggregates::build(&g, &dm, &w);
+        for &x in &subset {
+            assert_eq!(fast.a_in(x), full.a_in(x));
+            assert_eq!(fast.a_out(x), full.a_out(x));
+        }
     }
 
     #[test]

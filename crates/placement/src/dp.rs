@@ -45,11 +45,18 @@ pub fn dp_placement(
 /// Algorithm 3 without rebuilding the arrays. `agg` must describe `w` on
 /// `g`/`dm`.
 ///
+/// Candidate switches are taken from `agg` itself
+/// ([`AttachAggregates::switches`]), so aggregates built with
+/// [`AttachAggregates::build_restricted`] confine the placement to their
+/// candidate set — this is how the fault-tolerant loop keeps VNFs inside the
+/// serving component of a partitioned fabric. For full aggregates the
+/// candidate set equals `g.switches()` and behavior is unchanged.
+///
 /// # Errors
 ///
 /// Same conditions as [`dp_placement`].
 pub fn dp_placement_with_agg(
-    g: &Graph,
+    _g: &Graph,
     dm: &DistanceMatrix,
     w: &Workload,
     sfc: &Sfc,
@@ -59,7 +66,7 @@ pub fn dp_placement_with_agg(
         return Err(PlacementError::NoFlows);
     }
     let n = sfc.len();
-    let switches: Vec<NodeId> = g.switches().collect();
+    let switches: Vec<NodeId> = agg.switches().to_vec();
     if switches.len() < n {
         return Err(PlacementError::Model(
             ppdc_model::ModelError::TooFewSwitches {

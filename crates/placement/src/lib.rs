@@ -45,7 +45,7 @@ pub use baselines::{
 pub use dp::{dp_placement, dp_placement_with_agg};
 pub use optimal::{
     exhaustive_placement, optimal_placement, optimal_placement_with_agg,
-    optimal_placement_with_budget,
+    optimal_placement_with_budget, optimal_placement_with_deadline,
 };
 pub use replication::{
     comm_cost_replicated, flow_cost_replicated, greedy_replication, ReplicatedPlacement,

@@ -18,7 +18,7 @@
 use crate::aggregates::AttachAggregates;
 use crate::PlacementError;
 use ppdc_model::{Placement, Sfc, Workload};
-use ppdc_stroll::StrollError;
+use ppdc_stroll::{Exactness, StrollError};
 use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY};
 
 /// Default expansion budget for the placement branch-and-bound.
@@ -159,8 +159,12 @@ impl<'a> Search<'a> {
         Ok(())
     }
 
-    fn run(mut self) -> Result<(Placement, Cost), StrollError> {
+    /// Runs the search to completion or to its deadline. The greedy seed
+    /// always installs an incumbent first, so a feasible placement comes
+    /// back even when the budget dies on the first expansion.
+    fn run_with_exactness(mut self) -> (Placement, Cost, Exactness) {
         self.seed_greedy();
+        let mut exactness = Exactness::Exact;
         let first_order = self.first_order.clone();
         for x in first_order {
             if self.prune {
@@ -174,7 +178,13 @@ impl<'a> Search<'a> {
             self.used[x] = true;
             self.seq.push(x);
             let g = self.agg.a_in(self.closure.node(x));
-            self.dfs(x, 1, g)?;
+            if self.dfs(x, 1, g).is_err() {
+                // dfs only fails on budget exhaustion; keep the incumbent.
+                exactness = Exactness::Degraded {
+                    explored: self.expansions,
+                };
+                break;
+            }
             self.seq.pop();
             self.used[x] = false;
         }
@@ -183,24 +193,46 @@ impl<'a> Search<'a> {
             .iter()
             .map(|&i| self.closure.node(i))
             .collect();
-        Ok((Placement::new_unchecked(switches), self.best_cost))
+        (
+            Placement::new_unchecked(switches),
+            self.best_cost,
+            exactness,
+        )
+    }
+
+    fn run(self) -> Result<(Placement, Cost), StrollError> {
+        let budget = self.budget;
+        match self.run_with_exactness() {
+            (p, c, Exactness::Exact) => Ok((p, c)),
+            (_, _, Exactness::Degraded { .. }) => Err(StrollError::BudgetExhausted { budget }),
+        }
     }
 }
 
 fn check_inputs(g: &Graph, w: &Workload, sfc: &Sfc) -> Result<Vec<NodeId>, PlacementError> {
+    let switches: Vec<NodeId> = g.switches().collect();
+    check_inputs_restricted(g, w, sfc, &switches)?;
+    Ok(switches)
+}
+
+fn check_inputs_restricted(
+    _g: &Graph,
+    w: &Workload,
+    sfc: &Sfc,
+    candidates: &[NodeId],
+) -> Result<(), PlacementError> {
     if w.num_flows() == 0 {
         return Err(PlacementError::NoFlows);
     }
-    let switches: Vec<NodeId> = g.switches().collect();
-    if switches.len() < sfc.len() {
+    if candidates.len() < sfc.len() {
         return Err(PlacementError::Model(
             ppdc_model::ModelError::TooFewSwitches {
-                switches: switches.len(),
+                switches: candidates.len(),
                 vnfs: sfc.len(),
             },
         ));
     }
-    Ok(switches)
+    Ok(())
 }
 
 /// Exact optimal placement with the default budget.
@@ -233,7 +265,9 @@ pub fn optimal_placement_with_budget(
 }
 
 /// [`optimal_placement_with_budget`] against caller-supplied aggregates
-/// (see [`crate::dp_placement_with_agg`] for when this matters).
+/// (see [`crate::dp_placement_with_agg`] for when this matters). Candidate
+/// switches come from `agg` itself, so restricted aggregates confine the
+/// search to their candidate set.
 ///
 /// # Errors
 ///
@@ -246,9 +280,34 @@ pub fn optimal_placement_with_agg(
     budget: u64,
     agg: &AttachAggregates,
 ) -> Result<(Placement, Cost), PlacementError> {
-    let switches = check_inputs(g, w, sfc)?;
-    let closure = MetricClosure::over(dm, &switches);
+    check_inputs_restricted(g, w, sfc, agg.switches())?;
+    let closure = MetricClosure::over(dm, agg.switches());
     Ok(Search::new(agg, &closure, sfc.len(), budget, true).run()?)
+}
+
+/// Optimal placement under a deadline: never fails on exhaustion.
+///
+/// The degraded-solver contract ([`Exactness`]): when the branch-and-bound
+/// budget runs out, the best incumbent found so far is returned flagged
+/// [`Exactness::Degraded`] instead of aborting with
+/// [`StrollError::BudgetExhausted`]. The incumbent is seeded greedily before
+/// the search, so a feasible placement always comes back.
+///
+/// # Errors
+///
+/// Only input errors ([`PlacementError::NoFlows`], too few candidate
+/// switches) — never budget exhaustion.
+pub fn optimal_placement_with_deadline(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    budget: u64,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost, Exactness), PlacementError> {
+    check_inputs_restricted(g, w, sfc, agg.switches())?;
+    let closure = MetricClosure::over(dm, agg.switches());
+    Ok(Search::new(agg, &closure, sfc.len(), budget, true).run_with_exactness())
 }
 
 /// The literal `O(|V_s|ⁿ)` enumeration of Algorithm 4 (no pruning).
@@ -345,6 +404,62 @@ mod tests {
         assert!(matches!(
             optimal_placement_with_budget(&g, &dm, &w, &sfc, 3),
             Err(PlacementError::Stroll(StrollError::BudgetExhausted { .. }))
+        ));
+    }
+
+    #[test]
+    fn deadline_returns_feasible_incumbent() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[15], 5);
+        let sfc = Sfc::of_len(6).unwrap();
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        // The budget that makes the strict variant fail still produces a
+        // valid, cost-consistent placement here.
+        let (p, cost, ex) = optimal_placement_with_deadline(&g, &dm, &w, &sfc, 3, &agg).unwrap();
+        assert!(!ex.is_exact());
+        assert_eq!(p.len(), 6);
+        assert_eq!(cost, comm_cost(&dm, &w, &p));
+        let (_, copt) = optimal_placement(&g, &dm, &w, &sfc).unwrap();
+        assert!(cost >= copt);
+        // An ample deadline is exact and optimal.
+        let (_, c2, ex2) =
+            optimal_placement_with_deadline(&g, &dm, &w, &sfc, DEFAULT_BUDGET, &agg).unwrap();
+        assert!(ex2.is_exact());
+        assert_eq!(c2, copt);
+    }
+
+    #[test]
+    fn restricted_aggregates_confine_the_candidates() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[15], 5);
+        w.add_pair(hosts[3], hosts[9], 11);
+        let sfc = Sfc::of_len(2).unwrap();
+        let all: Vec<NodeId> = g.switches().collect();
+        let subset: Vec<NodeId> = all[..6].to_vec();
+        let agg = AttachAggregates::build_restricted(&g, &dm, &w, &subset);
+        let (p, cost, ex) =
+            optimal_placement_with_deadline(&g, &dm, &w, &sfc, DEFAULT_BUDGET, &agg).unwrap();
+        assert!(ex.is_exact());
+        assert_eq!(cost, comm_cost(&dm, &w, &p));
+        for &s in p.switches() {
+            assert!(subset.contains(&s), "placement escaped the candidate set");
+        }
+        // Asking for more VNFs than candidates is a typed error.
+        let sfc_big = Sfc::of_len(7).unwrap();
+        assert!(matches!(
+            optimal_placement_with_deadline(&g, &dm, &w, &sfc_big, DEFAULT_BUDGET, &agg),
+            Err(PlacementError::Model(
+                ppdc_model::ModelError::TooFewSwitches {
+                    switches: 6,
+                    vnfs: 7
+                }
+            ))
         ));
     }
 }

@@ -1,0 +1,1000 @@
+//! Fault injection and the survivable epoch loop.
+//!
+//! Production fabrics lose links and switches mid-day; the paper's epoch
+//! loop assumes a healthy graph. This module closes that gap:
+//!
+//! * [`FaultSchedule`] — a deterministic, seeded day-long schedule of
+//!   fail/repair events (memoryless per-hour failures, fixed repair lag),
+//!   interleaved with the trace's hourly rate deltas.
+//! * [`simulate_with_faults`] — the epoch loop of
+//!   [`crate::simulate`] hardened to run **every** hour of the day no
+//!   matter what fails. On event hours it rebuilds the degraded view
+//!   ([`ppdc_topology::Graph::degraded_view`]) and its distance matrix in
+//!   place, elects the *serving component*, masks out stranded flows,
+//!   rebuilds candidate-restricted attach aggregates, and repairs the VNF
+//!   placement when a failure knocked one of its switches out. Quiet hours
+//!   keep the seed loop's incremental delta feed.
+//! * [`DegradedHourRecord`] — per-hour degradation telemetry (stranded
+//!   flows and rate, reroute cost over the healthy fabric, recovery
+//!   migrations, blackout and degraded-solver flags).
+//!
+//! ## Serving component and stranded flows
+//!
+//! When failures partition the fabric, the loop serves the component with
+//! the most alive switches (ties: most alive hosts, then lowest component
+//! id). Flows with an endpoint host outside that component are *stranded*:
+//! their rates are masked to zero so no cost term can observe an
+//! [`INFINITY`] distance, and they re-enter the workload automatically at
+//! the repair event that reconnects them. An hour whose serving component
+//! has fewer switches than the SFC has VNFs is a *blackout*: nothing can
+//! be placed, the hour records zero served cost, and the loop moves on.
+//!
+//! ## Placement repair
+//!
+//! A failure that removes one of the placement's switches triggers
+//! *recovery* before any policy runs: Algorithm 3 re-places the chain
+//! inside the serving component, paying `μ·d(old, new)` per surviving VNF
+//! and `μ·diameter` (degraded, i.e. largest finite pairwise distance) per
+//! VNF whose old switch is gone — re-instantiating from the image store is
+//! priced like the longest possible copy. Recovery hours skip the policy.
+
+use ppdc_migration::{
+    mcf_vm_migration, mpareto_with_agg, no_migration_with_agg, optimal_migration_with_deadline,
+    plan_vm_migration, MigrationError,
+};
+use ppdc_model::{comm_cost, FlowId, ModelError, Sfc, Workload};
+use ppdc_placement::{dp_placement_with_agg, AttachAggregates, PlacementError};
+use ppdc_topology::{
+    Cost, DistanceMatrix, EdgeId, FaultSet, Graph, NodeId, NodeKind, Partition, TopologyError,
+    INFINITY,
+};
+use ppdc_traffic::{rng_for_run, DynamicTrace};
+use rand::Rng;
+
+use crate::simulator::{HourRecord, MigrationPolicy, SimConfig};
+
+/// Failure-process parameters for [`FaultSchedule::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Per-hour probability that a healthy link fails.
+    pub link_fail_per_hour: f64,
+    /// Per-hour probability that a healthy switch fails.
+    pub switch_fail_per_hour: f64,
+    /// Hours until a failed element comes back (floored at 1).
+    pub repair_after: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            link_fail_per_hour: 0.02,
+            switch_fail_per_hour: 0.005,
+            repair_after: 2,
+        }
+    }
+}
+
+/// One fault transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A switch goes dark (all incident links with it).
+    FailSwitch(NodeId),
+    /// A failed switch comes back.
+    RepairSwitch(NodeId),
+    /// A single link goes dark.
+    FailLink(EdgeId),
+    /// A failed link comes back.
+    RepairLink(EdgeId),
+}
+
+impl FaultKind {
+    /// True for the two failure (not repair) transitions.
+    pub fn is_failure(self) -> bool {
+        matches!(self, FaultKind::FailSwitch(_) | FaultKind::FailLink(_))
+    }
+}
+
+/// A fault transition pinned to the hour it takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The hour (1-based, like the epoch loop's) the transition applies.
+    pub hour: u32,
+    /// What fails or recovers.
+    pub kind: FaultKind,
+}
+
+/// A deterministic day-long schedule of fail/repair events.
+///
+/// Events are kept sorted by hour with repairs ahead of failures within an
+/// hour, so an element repaired at `h` can immediately fail again at `h`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    n_hours: u32,
+}
+
+impl FaultSchedule {
+    /// Wraps hand-crafted events (tests, replayed traces). Sorts them into
+    /// canonical order.
+    pub fn new(mut events: Vec<FaultEvent>, n_hours: u32) -> Self {
+        events.sort_by_key(|e| (e.hour, e.kind.is_failure()));
+        FaultSchedule { events, n_hours }
+    }
+
+    /// Samples a schedule: each hour, every healthy switch fails with
+    /// probability `switch_fail_per_hour` and every healthy link with
+    /// `link_fail_per_hour`; a failed element repairs `repair_after` hours
+    /// later (repairs past the end of the day are dropped). Fully
+    /// deterministic in `(g, n_hours, cfg, seed)` — switches are swept
+    /// before links, both in id order, with one ChaCha8 stream.
+    pub fn generate(g: &Graph, n_hours: u32, cfg: &FaultConfig, seed: u64) -> Self {
+        // 0xFA17 keeps this stream disjoint from the workload generator's
+        // run indices for the same seed.
+        let mut rng = rng_for_run(seed, 0xFA17);
+        let repair_after = cfg.repair_after.max(1);
+        // Hour at which the element is back up (0 = never failed).
+        let mut up_node = vec![0u32; g.num_nodes()];
+        let mut up_edge = vec![0u32; g.num_edges()];
+        let mut events = Vec::new();
+        let switches: Vec<NodeId> = g.switches().collect();
+        for h in 1..=n_hours {
+            for &s in &switches {
+                if up_node[s.index()] > h {
+                    continue; // still down
+                }
+                if rng.gen_bool(cfg.switch_fail_per_hour) {
+                    let up = h.saturating_add(repair_after);
+                    up_node[s.index()] = up;
+                    events.push(FaultEvent {
+                        hour: h,
+                        kind: FaultKind::FailSwitch(s),
+                    });
+                    if up <= n_hours {
+                        events.push(FaultEvent {
+                            hour: up,
+                            kind: FaultKind::RepairSwitch(s),
+                        });
+                    }
+                }
+            }
+            for (i, up_slot) in up_edge.iter_mut().enumerate() {
+                if *up_slot > h {
+                    continue;
+                }
+                if rng.gen_bool(cfg.link_fail_per_hour) {
+                    let e = EdgeId(i as u32);
+                    let up = h.saturating_add(repair_after);
+                    *up_slot = up;
+                    events.push(FaultEvent {
+                        hour: h,
+                        kind: FaultKind::FailLink(e),
+                    });
+                    if up <= n_hours {
+                        events.push(FaultEvent {
+                            hour: up,
+                            kind: FaultKind::RepairLink(e),
+                        });
+                    }
+                }
+            }
+        }
+        Self::new(events, n_hours)
+    }
+
+    /// The day length the schedule was generated for.
+    pub fn n_hours(&self) -> u32 {
+        self.n_hours
+    }
+
+    /// All events in canonical order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events taking effect at hour `h` (repairs first).
+    pub fn events_at(&self, h: u32) -> impl Iterator<Item = &FaultEvent> + '_ {
+        self.events.iter().filter(move |e| e.hour == h)
+    }
+
+    /// How many *failure* (not repair) events the schedule injects.
+    pub fn num_fail_events(&self) -> usize {
+        self.events.iter().filter(|e| e.kind.is_failure()).count()
+    }
+
+    /// True when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Errors produced by the fault-aware simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A migration policy failed.
+    Migration(MigrationError),
+    /// A placement (re-)solve failed.
+    Placement(PlacementError),
+    /// Invalid model input (rate vector shape, …).
+    Model(ModelError),
+    /// A fault event referenced an element outside the graph.
+    Topology(TopologyError),
+}
+
+impl From<MigrationError> for SimError {
+    fn from(e: MigrationError) -> Self {
+        SimError::Migration(e)
+    }
+}
+
+impl From<PlacementError> for SimError {
+    fn from(e: PlacementError) -> Self {
+        SimError::Placement(e)
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<TopologyError> for SimError {
+    fn from(e: TopologyError) -> Self {
+        SimError::Topology(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Migration(e) => write!(f, "migration error: {e}"),
+            SimError::Placement(e) => write!(f, "placement error: {e}"),
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-hour degradation telemetry (one record per simulated hour; all
+/// fields are zero/false on a fully healthy hour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedHourRecord {
+    /// Hour index (1..=N), aligned with [`HourRecord::hour`].
+    pub hour: u32,
+    /// Switches down during this hour.
+    pub failed_switches: usize,
+    /// Links down during this hour (switch failures not included).
+    pub failed_links: usize,
+    /// Flows masked out because an endpoint left the serving component.
+    pub stranded_flows: usize,
+    /// Total traffic rate those flows would have carried this hour.
+    pub stranded_rate: u64,
+    /// Extra communication cost the served flows pay over what the same
+    /// placement would cost on the healthy fabric (detour penalty).
+    pub reroute_cost: Cost,
+    /// VNFs moved (or re-instantiated) by placement repair this hour.
+    pub recovery_migrations: usize,
+    /// The serving component could not even hold the SFC (or no flow was
+    /// left to serve) — the hour was skipped.
+    pub blackout: bool,
+    /// The hour's exact solver returned a best-so-far incumbent after
+    /// exhausting its budget instead of a proven optimum.
+    pub degraded_solver: bool,
+}
+
+/// A full day of fault-aware simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSimResult {
+    /// The TOP placement cost at hour 0 (always on the healthy fabric).
+    pub initial_cost: Cost,
+    /// Hour-by-hour cost records (hours 1..=N).
+    pub hours: Vec<HourRecord>,
+    /// Hour-by-hour degradation records, aligned with `hours`.
+    pub degraded: Vec<DegradedHourRecord>,
+    /// Sum of all hourly totals (served cost only; stranded rate is in
+    /// [`DegradedHourRecord::stranded_rate`]).
+    pub total_cost: Cost,
+    /// Policy migrations plus recovery migrations across the day.
+    pub total_migrations: usize,
+    /// Aggregate builds: 1 for hour 0 plus one per event hour.
+    pub aggregate_rebuilds: usize,
+    /// Hours skipped entirely (serving component smaller than the SFC, or
+    /// every flow stranded).
+    pub blackout_hours: usize,
+    /// Total VNFs moved by placement repair (subset of
+    /// `total_migrations`).
+    pub recovery_migrations: usize,
+}
+
+/// The serving component's switch candidates and the flow mask it implies.
+struct ServingView {
+    /// Alive switches of the serving component, in node-id order.
+    candidates: Vec<NodeId>,
+    /// `cand_mask[n]` ⇔ node `n` is a serving candidate switch.
+    cand_mask: Vec<bool>,
+    /// `stranded[f]` ⇔ flow `f` has an endpoint outside the component.
+    stranded: Vec<bool>,
+}
+
+impl ServingView {
+    /// Elects the serving component of `g_view` (most alive switches, then
+    /// most alive hosts, then lowest component id) and derives the
+    /// candidate and stranded masks.
+    fn elect(g_view: &Graph, faults: &FaultSet, w: &Workload) -> Self {
+        let part = Partition::of(g_view);
+        let nc = part.num_components();
+        let mut alive_switches = vec![0usize; nc];
+        let mut alive_hosts = vec![0usize; nc];
+        for n in g_view.nodes() {
+            if faults.node_failed(n) {
+                continue;
+            }
+            let c = part.component(n) as usize;
+            match g_view.kind(n) {
+                NodeKind::Switch => alive_switches[c] += 1,
+                NodeKind::Host => alive_hosts[c] += 1,
+            }
+        }
+        let serving = (0..nc)
+            .max_by_key(|&c| (alive_switches[c], alive_hosts[c], std::cmp::Reverse(c)))
+            .unwrap_or(0) as u32;
+        let mut cand_mask = vec![false; g_view.num_nodes()];
+        let mut candidates = Vec::new();
+        let mut host_ok = vec![false; g_view.num_nodes()];
+        for n in g_view.nodes() {
+            if faults.node_failed(n) || part.component(n) != serving {
+                continue;
+            }
+            match g_view.kind(n) {
+                NodeKind::Switch => {
+                    cand_mask[n.index()] = true;
+                    candidates.push(n);
+                }
+                NodeKind::Host => host_ok[n.index()] = true,
+            }
+        }
+        let stranded = w
+            .flow_ids()
+            .map(|f| {
+                let (src, dst) = w.endpoints(f);
+                !(host_ok[src.index()] && host_ok[dst.index()])
+            })
+            .collect();
+        ServingView {
+            candidates,
+            cand_mask,
+            stranded,
+        }
+    }
+}
+
+/// Sets hour-`h` rates on `w` with stranded flows masked to zero; returns
+/// the total rate masked out.
+fn set_masked_rates(
+    w: &mut Workload,
+    trace: &DynamicTrace,
+    h: u32,
+    stranded: &[bool],
+) -> Result<u64, ModelError> {
+    let mut rates = trace.rates_at(h);
+    let mut masked = 0u64;
+    for (i, r) in rates.iter_mut().enumerate() {
+        if stranded.get(i).copied().unwrap_or(false) {
+            masked += *r;
+            *r = 0;
+        }
+    }
+    w.set_rates(&rates)?;
+    Ok(masked)
+}
+
+/// Runs one day under fault injection: TOP at hour 0 on the healthy
+/// fabric, then every hour applies the schedule's fail/repair events,
+/// re-elects the serving component, masks stranded flows, repairs the
+/// placement if a failure displaced it, and only then runs the policy.
+/// Every policy finishes the day — partitions, blackouts, and solver
+/// budget exhaustion degrade the result (see [`DegradedHourRecord`])
+/// instead of aborting it.
+///
+/// Two calls with the same inputs produce bit-identical results.
+///
+/// # Errors
+///
+/// Only on genuinely broken inputs (trace/workload shape mismatches,
+/// events referencing foreign elements, infeasible MCF) — never because of
+/// a failure the schedule injected.
+pub fn simulate_with_faults(
+    g: &Graph,
+    w: &Workload,
+    trace: &DynamicTrace,
+    sfc: &Sfc,
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+) -> Result<FaultSimResult, SimError> {
+    let dm_healthy = DistanceMatrix::build(g);
+    let mut faults = FaultSet::new(g);
+    // The healthy degraded view re-adds every edge in original order, so
+    // `dm_cur` starts bit-identical to `dm_healthy` (and node ids match
+    // `g` forever — views never renumber).
+    let mut g_view = g.degraded_view(&faults);
+    let mut dm_cur = DistanceMatrix::build(&g_view);
+    let mut w_cur = w.clone();
+    w_cur.set_rates(&trace.rates_at(0))?;
+    let mut agg = AttachAggregates::build(&g_view, &dm_cur, &w_cur);
+    let mut aggregate_rebuilds = 1usize;
+    let (mut p, initial_cost) = dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?;
+    let mut sv = ServingView::elect(&g_view, &faults, &w_cur);
+
+    let maintains_agg = matches!(
+        cfg.policy,
+        MigrationPolicy::MPareto
+            | MigrationPolicy::OptimalVnf { .. }
+            | MigrationPolicy::NoMigration
+    );
+    let n_hours = trace.model().n_hours;
+    let mut hours = Vec::with_capacity(n_hours as usize);
+    let mut degraded = Vec::with_capacity(n_hours as usize);
+    let mut total_cost: Cost = 0;
+    let mut total_migrations = 0usize;
+    let mut blackout_hours = 0usize;
+    let mut recovery_total = 0usize;
+
+    for h in 1..=n_hours {
+        let events: Vec<FaultEvent> = schedule.events_at(h).copied().collect();
+        let event_hour = !events.is_empty();
+        let stranded_rate;
+        if event_hour {
+            for e in &events {
+                match e.kind {
+                    FaultKind::FailSwitch(s) => {
+                        faults.fail_node(s)?;
+                    }
+                    FaultKind::RepairSwitch(s) => {
+                        faults.repair_node(s)?;
+                    }
+                    FaultKind::FailLink(l) => {
+                        faults.fail_edge(l)?;
+                    }
+                    FaultKind::RepairLink(l) => {
+                        faults.repair_edge(l)?;
+                    }
+                }
+            }
+            g_view = g.degraded_view(&faults);
+            dm_cur.rebuild_into(&g_view);
+            sv = ServingView::elect(&g_view, &faults, &w_cur);
+            stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
+            // The stranded set changed: delta feeds would mix masked and
+            // unmasked rates, so rebuild from the serving candidates.
+            agg = AttachAggregates::build_restricted(&g_view, &dm_cur, &w_cur, &sv.candidates);
+            aggregate_rebuilds += 1;
+        } else if maintains_agg {
+            // Quiet hour: the stranded set is unchanged, so the masked
+            // rates evolve exactly by the trace's deltas on active flows.
+            let deltas: Vec<(FlowId, i64)> = trace
+                .rate_deltas(h)
+                .into_iter()
+                .filter(|(f, _)| !sv.stranded[f.index()])
+                .collect();
+            stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
+            agg.apply_rate_deltas(&dm_cur, &w_cur, &deltas);
+        } else {
+            stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
+        }
+
+        let stranded_flows = sv.stranded.iter().filter(|&&s| s).count();
+        let any_traffic = w_cur.rates().iter().any(|&r| r > 0);
+        let blackout = sv.candidates.len() < sfc.len();
+        if blackout || !any_traffic {
+            // Nothing can be (or needs to be) served this hour.
+            blackout_hours += 1;
+            hours.push(HourRecord {
+                hour: h,
+                migration_cost: 0,
+                comm_cost: 0,
+                total_cost: 0,
+                num_migrations: 0,
+            });
+            degraded.push(DegradedHourRecord {
+                hour: h,
+                failed_switches: faults.num_failed_nodes(),
+                failed_links: faults.num_failed_edges(),
+                stranded_flows,
+                stranded_rate,
+                reroute_cost: 0,
+                recovery_migrations: 0,
+                blackout: true,
+                degraded_solver: false,
+            });
+            continue;
+        }
+
+        let needs_repair = p.switches().iter().any(|s| !sv.cand_mask[s.index()]);
+        let recovery_migrations;
+        let mut degraded_solver = false;
+        let rec = if needs_repair {
+            // Recovery: re-place inside the serving component before any
+            // policy gets to run; the hour's migration budget is spent on
+            // getting the chain back up.
+            let (p_new, comm) = dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?;
+            let reinstantiate = dm_cur.diameter();
+            let mut migration_cost: Cost = 0;
+            let mut moved = 0usize;
+            for (&old, &new) in p.switches().iter().zip(p_new.switches()) {
+                if old == new {
+                    continue;
+                }
+                moved += 1;
+                let d = dm_cur.cost(old, new);
+                let hop = if d >= INFINITY { reinstantiate } else { d };
+                migration_cost = migration_cost.saturating_add(cfg.mu.saturating_mul(hop));
+            }
+            p = p_new;
+            recovery_migrations = moved;
+            recovery_total += moved;
+            HourRecord {
+                hour: h,
+                migration_cost,
+                comm_cost: comm,
+                total_cost: migration_cost.saturating_add(comm),
+                num_migrations: moved,
+            }
+        } else {
+            recovery_migrations = 0;
+            match cfg.policy {
+                MigrationPolicy::MPareto => {
+                    let out = mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?;
+                    p = out.migration.clone();
+                    HourRecord {
+                        hour: h,
+                        migration_cost: out.migration_cost,
+                        comm_cost: out.comm_cost,
+                        total_cost: out.total_cost,
+                        num_migrations: out.num_migrations,
+                    }
+                }
+                MigrationPolicy::OptimalVnf { budget } => {
+                    let seed = mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?;
+                    let (out, exactness) = optimal_migration_with_deadline(
+                        &g_view,
+                        &dm_cur,
+                        sfc,
+                        &p,
+                        cfg.mu,
+                        Some(&seed.migration),
+                        budget,
+                        &agg,
+                    )?;
+                    degraded_solver = !exactness.is_exact();
+                    p = out.migration.clone();
+                    HourRecord {
+                        hour: h,
+                        migration_cost: out.migration_cost,
+                        comm_cost: out.comm_cost,
+                        total_cost: out.total_cost,
+                        num_migrations: out.num_migrations,
+                    }
+                }
+                MigrationPolicy::Plan { slots, passes } => {
+                    let out =
+                        plan_vm_migration(&g_view, &dm_cur, &w_cur, &p, cfg.vm_mu, slots, passes);
+                    w_cur = out.workload.clone();
+                    HourRecord {
+                        hour: h,
+                        migration_cost: out.migration_cost,
+                        comm_cost: out.comm_cost,
+                        total_cost: out.total_cost,
+                        num_migrations: out.num_migrations,
+                    }
+                }
+                MigrationPolicy::Mcf { slots, candidates } => {
+                    let out = mcf_vm_migration(
+                        &g_view, &dm_cur, &w_cur, &p, cfg.vm_mu, slots, candidates,
+                    )?;
+                    w_cur = out.workload.clone();
+                    HourRecord {
+                        hour: h,
+                        migration_cost: out.migration_cost,
+                        comm_cost: out.comm_cost,
+                        total_cost: out.total_cost,
+                        num_migrations: out.num_migrations,
+                    }
+                }
+                MigrationPolicy::NoMigration => {
+                    let c = no_migration_with_agg(&dm_cur, &agg, &p);
+                    HourRecord {
+                        hour: h,
+                        migration_cost: 0,
+                        comm_cost: c,
+                        total_cost: c,
+                        num_migrations: 0,
+                    }
+                }
+            }
+        };
+
+        // Detour penalty: what the served flows pay on the degraded fabric
+        // over the same placement on the healthy one.
+        let reroute_cost = if faults.is_healthy() {
+            0
+        } else {
+            rec.total_cost
+                .saturating_sub(rec.migration_cost)
+                .saturating_sub(comm_cost(&dm_healthy, &w_cur, &p))
+        };
+        total_cost = total_cost.saturating_add(rec.total_cost);
+        total_migrations += rec.num_migrations;
+        hours.push(rec);
+        degraded.push(DegradedHourRecord {
+            hour: h,
+            failed_switches: faults.num_failed_nodes(),
+            failed_links: faults.num_failed_edges(),
+            stranded_flows,
+            stranded_rate,
+            reroute_cost,
+            recovery_migrations,
+            blackout: false,
+            degraded_solver,
+        });
+    }
+    Ok(FaultSimResult {
+        initial_cost,
+        hours,
+        degraded,
+        total_cost,
+        total_migrations,
+        aggregate_rebuilds,
+        blackout_hours,
+        recovery_migrations: recovery_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdc_topology::FatTree;
+    use ppdc_traffic::{DiurnalModel, DynamicTrace, DEFAULT_MIX, STANDARD_CHURN};
+
+    /// A 24-hour trace over the standard workload (standard_workload
+    /// hard-codes the 12-hour default model).
+    fn day24(num_pairs: usize, seed: u64) -> (FatTree, Workload, DynamicTrace) {
+        let ft = FatTree::build(4).unwrap();
+        let (w, _) = ppdc_traffic::standard_workload(&ft, num_pairs, seed, 0);
+        let mut rng = rng_for_run(seed, 1);
+        let half = ft.num_racks() / 2;
+        let east: Vec<bool> = w
+            .flow_ids()
+            .map(|f| {
+                let (src, _) = w.endpoints(f);
+                ft.rack_of(src) < half
+            })
+            .collect();
+        let model = DiurnalModel {
+            n_hours: 24,
+            ..DiurnalModel::default()
+        };
+        let trace =
+            DynamicTrace::with_cohorts(&w, model, &DEFAULT_MIX, STANDARD_CHURN, east, &mut rng);
+        (ft, w, trace)
+    }
+
+    fn cfg(policy: MigrationPolicy) -> SimConfig {
+        SimConfig {
+            mu: 100,
+            vm_mu: 100,
+            policy,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_repairs_lag_failures() {
+        let ft = FatTree::build(4).unwrap();
+        let c = FaultConfig {
+            link_fail_per_hour: 0.05,
+            switch_fail_per_hour: 0.02,
+            repair_after: 2,
+        };
+        let a = FaultSchedule::generate(ft.graph(), 24, &c, 7);
+        let b = FaultSchedule::generate(ft.graph(), 24, &c, 7);
+        assert_eq!(a, b);
+        assert!(a.num_fail_events() >= 3, "48 edges × 24 h at 5 % must fail");
+        let other = FaultSchedule::generate(ft.graph(), 24, &c, 8);
+        assert_ne!(a, other, "different seeds give different schedules");
+        // Every repair is exactly repair_after hours after a matching
+        // failure of the same element.
+        for e in a.events() {
+            if let FaultKind::RepairLink(l) = e.kind {
+                assert!(
+                    a.events()
+                        .iter()
+                        .any(|f| f.kind == FaultKind::FailLink(l)
+                            && f.hour + c.repair_after == e.hour)
+                );
+            }
+        }
+        // Within an hour repairs sort ahead of failures.
+        for pair in a.events().windows(2) {
+            if pair[0].hour == pair[1].hour {
+                assert!(pair[0].kind.is_failure() <= pair[1].kind.is_failure());
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_survives_a_faulty_day() {
+        let (ft, w, trace) = day24(40, 11);
+        let fc = FaultConfig {
+            link_fail_per_hour: 0.04,
+            switch_fail_per_hour: 0.01,
+            repair_after: 3,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), 24, &fc, 11);
+        assert!(
+            schedule.num_fail_events() >= 3,
+            "acceptance: at least 3 injected failures, got {}",
+            schedule.num_fail_events()
+        );
+        let sfc = Sfc::of_len(3).unwrap();
+        for policy in [
+            MigrationPolicy::MPareto,
+            MigrationPolicy::OptimalVnf { budget: 200_000 },
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 5,
+            },
+            MigrationPolicy::Mcf {
+                slots: 4,
+                candidates: 8,
+            },
+            MigrationPolicy::NoMigration,
+        ] {
+            let r = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &cfg(policy), &schedule)
+                .unwrap_or_else(|e| panic!("{policy:?} died: {e}"));
+            assert_eq!(r.hours.len(), 24, "{policy:?}");
+            assert_eq!(r.degraded.len(), 24, "{policy:?}");
+            assert!(
+                r.aggregate_rebuilds > 1,
+                "{policy:?} must rebuild on event hours"
+            );
+            for (rec, d) in r.hours.iter().zip(&r.degraded) {
+                assert_eq!(rec.hour, d.hour);
+                assert_eq!(rec.total_cost, rec.migration_cost + rec.comm_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        let (ft, w, trace) = day24(30, 5);
+        let fc = FaultConfig {
+            link_fail_per_hour: 0.06,
+            switch_fail_per_hour: 0.02,
+            repair_after: 2,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), 24, &fc, 5);
+        assert!(schedule.num_fail_events() >= 3);
+        let sfc = Sfc::of_len(3).unwrap();
+        for policy in [
+            MigrationPolicy::MPareto,
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 3,
+            },
+            MigrationPolicy::NoMigration,
+        ] {
+            let a = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &cfg(policy), &schedule)
+                .unwrap();
+            let b = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &cfg(policy), &schedule)
+                .unwrap();
+            assert_eq!(a, b, "{policy:?} must be bit-identical across runs");
+        }
+    }
+
+    #[test]
+    fn no_faults_reduces_to_the_seed_loop() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 50, 3, 0);
+        let sfc = Sfc::of_len(3).unwrap();
+        let schedule = FaultSchedule::new(Vec::new(), trace.model().n_hours);
+        let c = cfg(MigrationPolicy::MPareto);
+        let r = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &c, &schedule).unwrap();
+        let dm = DistanceMatrix::build(ft.graph());
+        let base = crate::simulate(ft.graph(), &dm, &w, &trace, &sfc, &c).unwrap();
+        assert_eq!(r.initial_cost, base.initial_cost);
+        assert_eq!(r.total_cost, base.total_cost);
+        assert_eq!(r.hours, base.hours);
+        assert_eq!(r.aggregate_rebuilds, 1);
+        assert_eq!(r.blackout_hours, 0);
+        assert!(r.degraded.iter().all(|d| d.stranded_flows == 0
+            && d.reroute_cost == 0
+            && !d.blackout
+            && d.recovery_migrations == 0));
+    }
+
+    #[test]
+    fn tor_failure_strands_its_rack_and_recovers_on_repair() {
+        // Fail one top-of-rack switch for two hours: its rack's flows are
+        // stranded, the rest keep flowing, and repair restores everyone.
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 40, 9, 0);
+        let sfc = Sfc::of_len(3).unwrap();
+        let host0: NodeId = g.hosts().next().unwrap();
+        let tor = g.top_of_rack(host0).unwrap();
+        let schedule = FaultSchedule::new(
+            vec![
+                FaultEvent {
+                    hour: 3,
+                    kind: FaultKind::FailSwitch(tor),
+                },
+                FaultEvent {
+                    hour: 5,
+                    kind: FaultKind::RepairSwitch(tor),
+                },
+            ],
+            trace.model().n_hours,
+        );
+        let r = simulate_with_faults(
+            g,
+            &w,
+            &trace,
+            &sfc,
+            &cfg(MigrationPolicy::MPareto),
+            &schedule,
+        )
+        .unwrap();
+        // Hours 3 and 4 run degraded; hour 5 is healthy again.
+        let d3 = &r.degraded[2];
+        assert_eq!(d3.failed_switches, 1);
+        let d5 = &r.degraded[4];
+        assert_eq!(d5.failed_switches, 0);
+        assert_eq!(d5.stranded_flows, 0);
+        // A k=4 fat tree keeps all hosts of other racks connected: flows
+        // not touching the dead ToR's rack keep flowing.
+        let rack_flows = w
+            .flow_ids()
+            .filter(|&f| {
+                let (s, d) = w.endpoints(f);
+                g.top_of_rack(s) == Some(tor) || g.top_of_rack(d) == Some(tor)
+            })
+            .count();
+        assert_eq!(d3.stranded_flows, rack_flows);
+        assert!(r.aggregate_rebuilds >= 3, "hour 0 + two event hours");
+    }
+
+    #[test]
+    fn event_hour_aggregates_match_the_flow_by_flow_oracle() {
+        // Rebuilt restricted aggregates on a degraded view must equal the
+        // flow-by-flow oracle over the same candidates (acceptance item).
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 40, 13, 0);
+        let mut faults = FaultSet::new(g);
+        let tor = g.top_of_rack(g.hosts().next().unwrap()).unwrap();
+        faults.fail_node(tor).unwrap();
+        faults.fail_edge(EdgeId(0)).unwrap();
+        let g_view = g.degraded_view(&faults);
+        let dm = DistanceMatrix::build(&g_view);
+        let mut w_cur = w.clone();
+        let sv = ServingView::elect(&g_view, &faults, &w_cur);
+        set_masked_rates(&mut w_cur, &trace, 2, &sv.stranded).unwrap();
+        let fast = AttachAggregates::build_restricted(&g_view, &dm, &w_cur, &sv.candidates);
+        let oracle =
+            AttachAggregates::build_restricted_flow_by_flow(&g_view, &dm, &w_cur, &sv.candidates);
+        assert!(fast.same_as(&oracle));
+    }
+
+    #[test]
+    fn losing_a_placement_switch_triggers_recovery_not_a_crash() {
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 40, 21, 0);
+        let sfc = Sfc::of_len(3).unwrap();
+        // Find the initial placement, then fail its first switch at hour 2.
+        let dm = DistanceMatrix::build(g);
+        let mut w0 = w.clone();
+        w0.set_rates(&trace.rates_at(0)).unwrap();
+        let (p0, _) = ppdc_placement::dp_placement(g, &dm, &w0, &sfc).unwrap();
+        let victim = p0.switch(0);
+        let schedule = FaultSchedule::new(
+            vec![FaultEvent {
+                hour: 2,
+                kind: FaultKind::FailSwitch(victim),
+            }],
+            trace.model().n_hours,
+        );
+        for policy in [
+            MigrationPolicy::MPareto,
+            MigrationPolicy::NoMigration,
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 3,
+            },
+        ] {
+            let r = simulate_with_faults(g, &w, &trace, &sfc, &cfg(policy), &schedule).unwrap();
+            let d2 = &r.degraded[1];
+            assert!(
+                d2.recovery_migrations > 0,
+                "{policy:?}: hour 2 must repair the placement"
+            );
+            assert!(
+                r.hours[1].migration_cost > 0,
+                "{policy:?}: recovery is paid"
+            );
+            assert_eq!(r.recovery_migrations, d2.recovery_migrations);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_instead_of_failing() {
+        let (ft, w, trace) = day24(40, 17);
+        let sfc = Sfc::of_len(3).unwrap();
+        let schedule = FaultSchedule::new(Vec::new(), 24);
+        // Budget 1 exhausts instantly every hour; the day must still
+        // complete, flagged degraded, with costs no better than mPareto's
+        // incumbent would allow and no worse than staying put.
+        let r = simulate_with_faults(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &cfg(MigrationPolicy::OptimalVnf { budget: 1 }),
+            &schedule,
+        )
+        .unwrap();
+        assert_eq!(r.hours.len(), 24);
+        assert!(r.degraded.iter().any(|d| d.degraded_solver));
+        let stay = simulate_with_faults(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &cfg(MigrationPolicy::NoMigration),
+            &schedule,
+        )
+        .unwrap();
+        assert!(r.total_cost <= stay.total_cost);
+    }
+
+    #[test]
+    fn total_fabric_loss_is_a_blackout_not_a_panic() {
+        // Fail every switch: no serving component can hold the SFC.
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 20, 2, 0);
+        let sfc = Sfc::of_len(3).unwrap();
+        let events: Vec<FaultEvent> = g
+            .switches()
+            .map(|s| FaultEvent {
+                hour: 4,
+                kind: FaultKind::FailSwitch(s),
+            })
+            .collect();
+        let schedule = FaultSchedule::new(events, trace.model().n_hours);
+        let r = simulate_with_faults(
+            g,
+            &w,
+            &trace,
+            &sfc,
+            &cfg(MigrationPolicy::MPareto),
+            &schedule,
+        )
+        .unwrap();
+        assert!(r.blackout_hours > 0);
+        let d4 = &r.degraded[3];
+        assert!(d4.blackout);
+        // With every switch dead the serving "component" is one lone host:
+        // only flows whose both VMs sit on that host escape stranding.
+        let colocated = w
+            .flow_ids()
+            .filter(|&f| {
+                let (s, d) = w.endpoints(f);
+                s == d
+            })
+            .count();
+        assert!(d4.stranded_flows >= w.num_flows() - colocated);
+        assert_eq!(r.hours[3].total_cost, 0);
+    }
+}

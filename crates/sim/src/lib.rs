@@ -10,11 +10,25 @@
 //! [`stats`] provides the 20-run mean / 95 % confidence-interval summaries
 //! every plotted data point uses; [`report`] renders aligned tables and CSV
 //! for the experiment binaries.
+//!
+//! [`fault`] hardens the loop against infrastructure failures:
+//! [`simulate_with_faults`] survives scheduled link/switch failures
+//! ([`FaultSchedule`]) by re-electing a serving component, masking
+//! stranded flows, and repairing displaced placements — recording per-hour
+//! degradation telemetry instead of aborting the day.
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod fault;
 pub mod report;
 pub mod simulator;
 pub mod stats;
 
+pub use fault::{
+    simulate_with_faults, DegradedHourRecord, FaultConfig, FaultEvent, FaultKind, FaultSchedule,
+    FaultSimResult, SimError,
+};
 pub use report::Table;
 pub use simulator::{simulate, HourRecord, MigrationPolicy, SimConfig, SimResult};
 pub use stats::{summarize, Summary};

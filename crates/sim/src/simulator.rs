@@ -59,7 +59,7 @@ pub struct SimConfig {
 }
 
 /// One simulated hour.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HourRecord {
     /// Hour index (1..=N; hour 0 is the initial TOP placement).
     pub hour: u32,

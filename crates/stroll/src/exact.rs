@@ -16,7 +16,7 @@
 //! on small instances — it is literally the paper's `O(|V|ⁿ)` Algorithm 4.
 
 use crate::instance::{StrollInstance, StrollSolution};
-use crate::StrollError;
+use crate::{Exactness, StrollError};
 use ppdc_topology::{Cost, INFINITY};
 
 /// Default branch-and-bound expansion budget: ample for every experiment
@@ -159,22 +159,40 @@ impl<'a, 'b> Search<'a, 'b> {
         Ok(())
     }
 
-    fn run(mut self) -> Result<StrollSolution, StrollError> {
+    /// Runs the search to completion or to its deadline. Always produces a
+    /// feasible solution: the incumbent is seeded greedily before the first
+    /// expansion, so even a budget of 0 returns a valid stroll (flagged
+    /// [`Exactness::Degraded`]).
+    fn run_with_exactness(mut self) -> (StrollSolution, Exactness) {
         if self.inst.n() == 0 {
             let walk = if self.inst.is_tour() {
                 vec![self.inst.s_ix()]
             } else {
                 vec![self.inst.s_ix(), self.inst.t_ix()]
             };
-            return Ok(self.inst.solution_from_walk(walk));
+            return (self.inst.solution_from_walk(walk), Exactness::Exact);
         }
         self.seed_greedy();
-        self.dfs(self.inst.s_ix(), 0, 0)?;
+        let exactness = match self.dfs(self.inst.s_ix(), 0, 0) {
+            Ok(()) => Exactness::Exact,
+            // dfs only fails on budget exhaustion; the incumbent stands.
+            Err(_) => Exactness::Degraded {
+                explored: self.expansions,
+            },
+        };
         let mut walk = Vec::with_capacity(self.inst.n() + 2);
         walk.push(self.inst.s_ix());
         walk.extend(self.best_seq.iter().copied());
         walk.push(self.inst.t_ix());
-        Ok(self.inst.solution_from_walk(walk))
+        (self.inst.solution_from_walk(walk), exactness)
+    }
+
+    fn run(self) -> Result<StrollSolution, StrollError> {
+        let budget = self.budget;
+        match self.run_with_exactness() {
+            (sol, Exactness::Exact) => Ok(sol),
+            (_, Exactness::Degraded { .. }) => Err(StrollError::BudgetExhausted { budget }),
+        }
     }
 }
 
@@ -194,6 +212,20 @@ pub fn optimal_stroll_with_budget(
     budget: u64,
 ) -> Result<StrollSolution, StrollError> {
     Search::new(inst, budget, true).run()
+}
+
+/// Optimal n-stroll under a deadline: never fails on exhaustion.
+///
+/// Identical search to [`optimal_stroll_with_budget`], but when the budget
+/// runs out the best-so-far incumbent is returned flagged
+/// [`Exactness::Degraded`] instead of [`StrollError::BudgetExhausted`] —
+/// the degraded-solver contract (see [`Exactness`]) that lets a simulated
+/// day always complete.
+pub fn optimal_stroll_with_deadline(
+    inst: &StrollInstance<'_>,
+    budget: u64,
+) -> (StrollSolution, Exactness) {
+    Search::new(inst, budget, true).run_with_exactness()
 }
 
 /// Plain exhaustive enumeration of all ordered waypoint sequences —
@@ -293,6 +325,27 @@ mod tests {
             optimal_stroll_with_budget(&inst, 10),
             Err(StrollError::BudgetExhausted { budget: 10 })
         ));
+    }
+
+    #[test]
+    fn deadline_returns_feasible_incumbent() {
+        let g = fat_tree(4).unwrap();
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mc = closure_with_hosts(&g, &[hosts[0], hosts[9]]);
+        let inst = StrollInstance::new(&mc, hosts[0], hosts[9], 8).unwrap();
+        // Same starved budget that makes the strict variant fail…
+        let (sol, ex) = optimal_stroll_with_deadline(&inst, 10);
+        assert_eq!(ex, Exactness::Degraded { explored: 11 });
+        assert!(!ex.is_exact());
+        // …still yields a valid stroll, no worse than the greedy seed and
+        // no better than the true optimum.
+        sol.validate(&inst).unwrap();
+        let opt = optimal_stroll(&inst).unwrap();
+        assert!(sol.cost >= opt.cost);
+        // An ample deadline is exact and matches the strict variant.
+        let (sol2, ex2) = optimal_stroll_with_deadline(&inst, DEFAULT_BUDGET);
+        assert_eq!(ex2, Exactness::Exact);
+        assert_eq!(sol2.cost, opt.cost);
     }
 
     #[test]

@@ -35,9 +35,42 @@ pub mod instance;
 pub mod primal_dual;
 
 pub use dp::{dp_stroll, dp_stroll_all_sources, DpTables};
-pub use exact::{exhaustive_stroll, optimal_stroll, optimal_stroll_with_budget};
+pub use exact::{
+    exhaustive_stroll, optimal_stroll, optimal_stroll_with_budget, optimal_stroll_with_deadline,
+};
 pub use instance::{StrollInstance, StrollSolution};
 pub use primal_dual::{primal_dual_stroll, PrimalDualConfig};
+
+/// Whether a branch-and-bound result is provably optimal or a best-so-far
+/// incumbent cut short by its expansion deadline.
+///
+/// This is the *degraded-solver contract* shared by every NP-hard search in
+/// the workspace (exact n-stroll, optimal placement, optimal migration):
+/// the `*_with_deadline` entry points always return a **feasible** solution
+/// — on budget exhaustion the incumbent found so far, flagged
+/// [`Exactness::Degraded`], instead of an error. A 24-hour simulated day
+/// therefore always completes, merely with a weaker guarantee on the hours
+/// where the deadline bit. The `*_with_budget` twins keep the strict
+/// behavior (exhaustion is [`StrollError::BudgetExhausted`]) for callers
+/// that must report "not computed" rather than an unproven bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exactness {
+    /// The search ran to completion; the result is provably optimal.
+    Exact,
+    /// The expansion budget ran out after `explored` expansions; the result
+    /// is the best incumbent found, feasible but not provably optimal.
+    Degraded {
+        /// Expansions performed before the deadline hit.
+        explored: u64,
+    },
+}
+
+impl Exactness {
+    /// True for [`Exactness::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Exactness::Exact)
+    }
+}
 
 /// Errors produced by stroll solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -17,13 +17,25 @@
 //! costs 1, a weighted link carries its delay in integer micro-units. Exact
 //! arithmetic keeps every algorithm deterministic and makes optimality
 //! assertions in tests meaningful.
+//!
+//! For fault tolerance, [`fault`] overlays failed links/switches/hosts on a
+//! graph ([`FaultSet`]), materializes the surviving fabric
+//! ([`Graph::degraded_view`]) with stable node ids, and reports connectivity
+//! components ([`Partition`]).
+
+// Library code must surface failures as typed errors, not unwrap panics;
+// test modules opt back in via the cfg_attr below.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod builders;
+pub mod fault;
 pub mod graph;
 pub mod metric;
 pub mod shortest;
 
 pub use builders::{fat_tree, leaf_spine, linear, star, FatTree};
+pub use fault::{FaultSet, Partition};
 pub use graph::{Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
 pub use metric::MetricClosure;
 pub use shortest::{DistanceMatrix, ShortestPaths};
@@ -35,6 +47,8 @@ pub enum TopologyError {
     InvalidArity(usize),
     /// A node id was out of range for the graph it was used with.
     UnknownNode(NodeId),
+    /// An edge id was out of range for the graph it was used with.
+    UnknownEdge(EdgeId),
     /// An edge endpoint pair was invalid (e.g. a self loop).
     InvalidEdge(NodeId, NodeId),
     /// The graph is disconnected where a connected one is required.
@@ -50,6 +64,7 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "invalid fat-tree arity k={k}: k must be even and >= 2")
             }
             TopologyError::UnknownNode(n) => write!(f, "unknown node id {}", n.index()),
+            TopologyError::UnknownEdge(e) => write!(f, "unknown edge id {}", e.index()),
             TopologyError::InvalidEdge(u, v) => {
                 write!(f, "invalid edge ({}, {})", u.index(), v.index())
             }

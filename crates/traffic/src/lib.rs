@@ -35,6 +35,52 @@ pub fn rng_for_run(seed: u64, run: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run))
 }
 
+/// Errors produced when building a [`DynamicTrace`] from untrusted input
+/// (external trace rows, caller-supplied cohorts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The cohort vector must have one flag per workload flow.
+    CohortCountMismatch { flows: usize, cohorts: usize },
+    /// A trace must supply `n_hours + 1` hourly rate rows (hour 0 included).
+    HourCountMismatch { expected: usize, got: usize },
+    /// An hourly rate row must have one rate per flow.
+    RowLengthMismatch {
+        hour: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// Rates are traffic volumes and cannot be negative.
+    NegativeRate { hour: usize, flow: usize, rate: i64 },
+    /// Rate deltas compare an hour with its predecessor; hour 0 has none.
+    NoPrecedingHour,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::CohortCountMismatch { flows, cohorts } => {
+                write!(f, "{cohorts} cohort flags for {flows} flows")
+            }
+            TraceError::HourCountMismatch { expected, got } => {
+                write!(f, "trace has {got} hourly rows, model needs {expected}")
+            }
+            TraceError::RowLengthMismatch {
+                hour,
+                expected,
+                got,
+            } => write!(f, "hour {hour} row has {got} rates for {expected} flows"),
+            TraceError::NegativeRate { hour, flow, rate } => {
+                write!(f, "negative rate {rate} for flow {flow} at hour {hour}")
+            }
+            TraceError::NoPrecedingHour => {
+                write!(f, "rate deltas need a preceding hour (h must be >= 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A workload whose rates follow the diurnal model hour by hour, with
 /// per-flow churn.
 ///
@@ -86,7 +132,8 @@ impl DynamicTrace {
     ///
     /// # Panics
     ///
-    /// `east` must have one entry per flow.
+    /// `east` must have one entry per flow; use
+    /// [`DynamicTrace::try_with_cohorts`] for untrusted cohort vectors.
     pub fn with_cohorts(
         w: &Workload,
         model: DiurnalModel,
@@ -95,7 +142,32 @@ impl DynamicTrace {
         east: Vec<bool>,
         rng: &mut impl Rng,
     ) -> Self {
-        assert_eq!(east.len(), w.num_flows(), "one cohort flag per flow");
+        match Self::try_with_cohorts(w, model, mix, churn, east, rng) {
+            Ok(t) => t,
+            Err(e) => panic!("with_cohorts: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`DynamicTrace::with_cohorts`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::CohortCountMismatch`] unless `east` has one entry per
+    /// flow.
+    pub fn try_with_cohorts(
+        w: &Workload,
+        model: DiurnalModel,
+        mix: &RateMix,
+        churn: f64,
+        east: Vec<bool>,
+        rng: &mut impl Rng,
+    ) -> Result<Self, TraceError> {
+        if east.len() != w.num_flows() {
+            return Err(TraceError::CohortCountMismatch {
+                flows: w.num_flows(),
+                cohorts: east.len(),
+            });
+        }
         let mut base = Vec::with_capacity(model.n_hours as usize + 1);
         base.push(w.rates().to_vec());
         for _ in 1..=model.n_hours {
@@ -112,12 +184,68 @@ impl DynamicTrace {
                 .collect();
             base.push(next);
         }
-        DynamicTrace {
+        Ok(DynamicTrace {
             base,
             east,
             model,
             offset: EAST_COAST_OFFSET,
+        })
+    }
+
+    /// Builds a trace from externally supplied hourly base-rate rows (e.g. a
+    /// parsed measurement file): `rows[h][i]` is flow `i`'s base rate at
+    /// hour `h`, signed so malformed input is caught rather than wrapped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a cohort vector that doesn't match the workload
+    /// ([`TraceError::CohortCountMismatch`]), a row count other than
+    /// `model.n_hours + 1` ([`TraceError::HourCountMismatch`]), rows with
+    /// the wrong number of rates ([`TraceError::RowLengthMismatch`]), and
+    /// negative rates ([`TraceError::NegativeRate`]).
+    pub fn from_rows(
+        w: &Workload,
+        model: DiurnalModel,
+        east: Vec<bool>,
+        rows: &[Vec<i64>],
+    ) -> Result<Self, TraceError> {
+        if east.len() != w.num_flows() {
+            return Err(TraceError::CohortCountMismatch {
+                flows: w.num_flows(),
+                cohorts: east.len(),
+            });
         }
+        let expected_rows = model.n_hours as usize + 1;
+        if rows.len() != expected_rows {
+            return Err(TraceError::HourCountMismatch {
+                expected: expected_rows,
+                got: rows.len(),
+            });
+        }
+        let mut base = Vec::with_capacity(expected_rows);
+        for (hour, row) in rows.iter().enumerate() {
+            if row.len() != w.num_flows() {
+                return Err(TraceError::RowLengthMismatch {
+                    hour,
+                    expected: w.num_flows(),
+                    got: row.len(),
+                });
+            }
+            let mut checked = Vec::with_capacity(row.len());
+            for (flow, &rate) in row.iter().enumerate() {
+                match u64::try_from(rate) {
+                    Ok(r) => checked.push(r),
+                    Err(_) => return Err(TraceError::NegativeRate { hour, flow, rate }),
+                }
+            }
+            base.push(checked);
+        }
+        Ok(DynamicTrace {
+            base,
+            east,
+            model,
+            offset: EAST_COAST_OFFSET,
+        })
     }
 
     /// Overrides the cohort offset (hours the east cohort runs ahead).
@@ -189,17 +317,33 @@ impl DynamicTrace {
     ///
     /// # Panics
     ///
-    /// `h` must be at least 1 (hour 0 has no predecessor).
+    /// `h` must be at least 1 (hour 0 has no predecessor); use
+    /// [`DynamicTrace::try_rate_deltas`] for untrusted hour indices.
     pub fn rate_deltas(&self, h: u32) -> Vec<(FlowId, i64)> {
-        assert!(h >= 1, "rate deltas need a preceding hour");
+        match self.try_rate_deltas(h) {
+            Ok(d) => d,
+            Err(e) => panic!("rate_deltas: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`DynamicTrace::rate_deltas`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::NoPrecedingHour`] when `h` is 0.
+    pub fn try_rate_deltas(&self, h: u32) -> Result<Vec<(FlowId, i64)>, TraceError> {
+        if h < 1 {
+            return Err(TraceError::NoPrecedingHour);
+        }
         let prev = self.rates_at(h - 1);
         let next = self.rates_at(h);
-        prev.iter()
+        Ok(prev
+            .iter()
             .zip(&next)
             .enumerate()
             .filter(|(_, (&a, &b))| a != b)
             .map(|(i, (&a, &b))| (FlowId(i as u32), b as i64 - a as i64))
-            .collect()
+            .collect())
     }
 }
 
@@ -322,6 +466,90 @@ mod tests {
         }
         // The diurnal envelope moves; some hour must produce deltas.
         assert!((1..=12).any(|h| !trace.rate_deltas(h).is_empty()));
+    }
+
+    #[test]
+    fn untrusted_inputs_get_typed_errors() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = standard_workload(&ft, 10, 7, 0);
+        let mut rng = rng_for_run(7, 0);
+
+        // Wrong cohort count.
+        let err = DynamicTrace::try_with_cohorts(
+            &w,
+            DiurnalModel::default(),
+            &DEFAULT_MIX,
+            0.0,
+            vec![true; 3],
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::CohortCountMismatch {
+                flows: 10,
+                cohorts: 3
+            }
+        );
+
+        // Hour 0 has no predecessor.
+        assert_eq!(trace.try_rate_deltas(0), Err(TraceError::NoPrecedingHour));
+        assert!(trace.try_rate_deltas(1).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates_shape_and_sign() {
+        let ft = FatTree::build(4).unwrap();
+        let (w, _) = standard_workload(&ft, 4, 7, 0);
+        let model = DiurnalModel::default();
+        let east = vec![false; 4];
+        let good_row = vec![1i64, 2, 3, 4];
+
+        // Wrong number of hourly rows.
+        let err = DynamicTrace::from_rows(&w, model, east.clone(), std::slice::from_ref(&good_row))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::HourCountMismatch {
+                expected: 13,
+                got: 1
+            }
+        );
+
+        // A row with the wrong flow count.
+        let mut rows = vec![good_row.clone(); 13];
+        rows[5] = vec![1, 2];
+        let err = DynamicTrace::from_rows(&w, model, east.clone(), &rows).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::RowLengthMismatch {
+                hour: 5,
+                expected: 4,
+                got: 2
+            }
+        );
+
+        // A negative rate.
+        let mut rows = vec![good_row.clone(); 13];
+        rows[2][1] = -9;
+        let err = DynamicTrace::from_rows(&w, model, east.clone(), &rows).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::NegativeRate {
+                hour: 2,
+                flow: 1,
+                rate: -9
+            }
+        );
+
+        // A well-formed trace round-trips its rows.
+        let rows = vec![good_row; 13];
+        let t = DynamicTrace::from_rows(&w, model, east, &rows).unwrap();
+        for h in 0..=12 {
+            for i in 0..4 {
+                assert_eq!(t.base_rate_at(h, i), (i + 1) as u64);
+            }
+        }
     }
 
     #[test]

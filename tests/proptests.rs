@@ -6,7 +6,9 @@ use ppdc::placement::{
     AttachAggregates,
 };
 use ppdc::stroll::{dp_stroll, exhaustive_stroll, optimal_stroll, StrollInstance};
-use ppdc::topology::{DistanceMatrix, Graph, MetricClosure, NodeId};
+use ppdc::topology::{
+    DistanceMatrix, EdgeId, FaultSet, Graph, MetricClosure, NodeId, Partition, INFINITY,
+};
 use proptest::prelude::*;
 
 /// A random connected PPDC: a switch spanning tree plus extra switch-switch
@@ -50,7 +52,8 @@ fn arb_ppdc() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // 64 cases by default; CI raises it via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::env_or(64))]
 
     /// DP-Stroll produces a valid solution whose cost is at least the
     /// exact optimum and, empirically on these sizes, within 2× of it.
@@ -273,6 +276,99 @@ proptest! {
         // Linear in the rate.
         let single = comm_cost_flow(&dm, hosts[0], hosts[1], 1, &p);
         prop_assert_eq!(comm_cost_flow(&dm, hosts[0], hosts[1], rate, &p), rate * single);
+    }
+
+    /// Failing and repairing elements round-trips to bit-identical
+    /// distances and attach aggregates: node ids are stable across
+    /// degraded views, and the empty fault set reproduces the original
+    /// edge insertion order.
+    #[test]
+    fn fail_repair_round_trip_restores_aggregates(
+        (g, hosts) in arb_ppdc(),
+        rate in 1u64..10_000,
+        pick in any::<u64>(),
+    ) {
+        let dm0 = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(hosts[0], hosts[1], rate);
+        let agg0 = AttachAggregates::build(&g, &dm0, &w);
+        let mut faults = FaultSet::new(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let dead = switches[(pick as usize) % switches.len()];
+        faults.fail_node(dead).unwrap();
+        faults.fail_edge(EdgeId((pick >> 16) as u32 % g.num_edges() as u32)).unwrap();
+        let mut dm = DistanceMatrix::build(&g);
+        dm.rebuild_into(&g.degraded_view(&faults));
+        faults.repair_node(dead).unwrap();
+        for e in faults.failed_edges().collect::<Vec<_>>() {
+            faults.repair_edge(e).unwrap();
+        }
+        prop_assert!(faults.is_healthy());
+        let healed = g.degraded_view(&faults);
+        dm.rebuild_into(&healed);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                prop_assert_eq!(dm.cost(a, b), dm0.cost(a, b));
+            }
+        }
+        let agg = AttachAggregates::build(&healed, &dm, &w);
+        prop_assert!(agg.same_as(&agg0));
+    }
+
+    /// On a degraded view the restricted switch-aggregated build equals
+    /// the restricted flow-by-flow oracle — INFINITY saturation included
+    /// (a positive mass across a cut pins the attach sum at exactly the
+    /// sentinel; zero-rate flows never observe it).
+    #[test]
+    fn degraded_restricted_build_matches_oracle(
+        (g, hosts) in arb_ppdc(),
+        rates in proptest::collection::vec(prop_oneof![Just(0u64), 1u64..10_000], 1..8),
+        pick in any::<u64>(),
+    ) {
+        let mut w = Workload::new();
+        for (i, &r) in rates.iter().enumerate() {
+            let (a, b) = if i % 2 == 0 { (hosts[0], hosts[1]) } else { (hosts[1], hosts[0]) };
+            w.add_pair(a, b, r);
+        }
+        let mut faults = FaultSet::new(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let dead = switches[(pick as usize) % switches.len()];
+        faults.fail_node(dead).unwrap();
+        let view = g.degraded_view(&faults);
+        let dm = DistanceMatrix::build(&view);
+        let candidates: Vec<NodeId> =
+            switches.iter().copied().filter(|&s| s != dead).collect();
+        let fast = AttachAggregates::build_restricted(&view, &dm, &w, &candidates);
+        let slow =
+            AttachAggregates::build_restricted_flow_by_flow(&view, &dm, &w, &candidates);
+        prop_assert!(fast.same_as(&slow));
+    }
+
+    /// The INFINITY sentinel is exactly the cross-component indicator on a
+    /// degraded view: `cost == INFINITY` ⇔ `hops`/`path` are `None` ⇔ the
+    /// endpoints sit in different components — never a silent wraparound.
+    #[test]
+    fn disconnection_sentinel_is_consistent(
+        (g, _hosts) in arb_ppdc(),
+        pick in any::<u64>(),
+    ) {
+        let mut faults = FaultSet::new(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        faults.fail_node(switches[(pick as usize) % switches.len()]).unwrap();
+        faults.fail_edge(EdgeId((pick >> 8) as u32 % g.num_edges() as u32)).unwrap();
+        let view = g.degraded_view(&faults);
+        let dm = DistanceMatrix::build(&view);
+        let part = Partition::of(&view);
+        for a in view.nodes() {
+            for b in view.nodes() {
+                let connected = part.same_component(a, b);
+                prop_assert_eq!(dm.cost(a, b) < INFINITY, connected);
+                prop_assert_eq!(dm.hops(a, b).is_some(), connected);
+                if a != b {
+                    prop_assert_eq!(dm.path(a, b).is_some(), connected);
+                }
+            }
+        }
     }
 
     /// mPareto's outcome always satisfies Eq. 8 accounting and never loses

@@ -270,6 +270,19 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> ProptestConfig {
             ProptestConfig { cases }
         }
+
+        /// `with_cases(default)` unless the `PROPTEST_CASES` environment
+        /// variable overrides it (upstream proptest honors the same
+        /// variable) — lets CI crank case counts without code edits.
+        pub fn env_or(default: u32) -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .unwrap_or(default);
+            ProptestConfig {
+                cases: cases.max(1),
+            }
+        }
     }
 
     impl Default for ProptestConfig {
