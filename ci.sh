@@ -3,7 +3,9 @@
 #
 #   1. formatting      — cargo fmt --check over the whole workspace
 #   2. lints           — clippy with warnings denied, all targets
-#   3. tier-1 verify   — release build + full test suite
+#   3. project lints   — ppdc-analyzer over the whole workspace
+#   4. tier-1 verify   — release build + full test suite
+#   5. contracts       — solver tests with strict-invariants enabled
 #
 # The bench crate (ppdc-bench) is outside the workspace default-members,
 # so steps 3's plain `cargo build`/`cargo test` skip it; clippy still
@@ -18,11 +20,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ppdc-analyzer --workspace (project-specific lints)"
+cargo run --release -p ppdc-analyzer -- --workspace
+
 echo "==> cargo build --release (tier-1, default members)"
 cargo build --release
 
 echo "==> cargo test -q (tier-1, default members)"
 cargo test -q
+
+echo "==> solver contracts (strict-invariants feature)"
+cargo test -q --features strict-invariants -p ppdc-topology -p ppdc-placement -p ppdc-migration
 
 echo "==> proptests at PROPTEST_CASES=256"
 PROPTEST_CASES=256 cargo test -q --test proptests

@@ -1,0 +1,317 @@
+//! Minimal JSON codec for [`Report`].
+//!
+//! The workspace's vendored serde is a marker-trait stand-in (no registry
+//! access in the build environment), so the wire format is implemented
+//! here by hand against the exact `Report` schema: a writer with full
+//! string escaping and a recursive-descent reader strict enough that
+//! `from_json(to_json(r)) == r` for every report — the round-trip the
+//! fixture suite asserts. Unknown keys are rejected, which keeps the
+//! schema honest for external consumers (CI annotators, editors).
+
+use crate::report::{Report, Violation};
+
+/// Serializes a report to a deterministic, pretty-stable JSON document.
+pub fn to_json(r: &Report) -> String {
+    let mut s = String::from("{\"violations\":[");
+    for (i, v) in r.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+            quote(&v.rule),
+            quote(&v.file),
+            v.line,
+            quote(&v.message),
+            quote(&v.snippet)
+        ));
+    }
+    s.push_str(&format!(
+        "],\"files_scanned\":{},\"suppressed\":{}}}",
+        r.files_scanned, r.suppressed
+    ));
+    s
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse error: what was expected and at which byte offset it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub expected: &'static str,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Deserializes a report previously produced by [`to_json`].
+pub fn from_json(src: &str) -> Result<Report, JsonError> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    let r = p.report()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, expected: &'static str) -> JsonError {
+        JsonError {
+            expected,
+            offset: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8, what: &'static str) -> Result<(), JsonError> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "string")?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or(self.err("closing quote"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or(self.err("escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or(self.err("4 hex digits"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("hex digits"))?;
+                            let v =
+                                u32::from_str_radix(hex, 16).map_err(|_| self.err("hex digits"))?;
+                            out.push(char::from_u32(v).ok_or(self.err("scalar value"))?);
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("known escape")),
+                    }
+                }
+                c => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let chunk = self.b.get(start..end).ok_or(self.err("utf8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("utf8"))?;
+                    out.push_str(s);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, JsonError> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("number"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(self.err("u64"))
+    }
+
+    fn violation(&mut self) -> Result<Violation, JsonError> {
+        self.eat(b'{', "violation object")?;
+        let mut v = Violation {
+            rule: String::new(),
+            file: String::new(),
+            line: 0,
+            message: String::new(),
+            snippet: String::new(),
+        };
+        loop {
+            let key = self.string()?;
+            self.eat(b':', "colon")?;
+            match key.as_str() {
+                "rule" => v.rule = self.string()?,
+                "file" => v.file = self.string()?,
+                "line" => {
+                    v.line = u32::try_from(self.number()?).map_err(|_| self.err("u32 line"))?
+                }
+                "message" => v.message = self.string()?,
+                "snippet" => v.snippet = self.string()?,
+                _ => return Err(self.err("known violation key")),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(v);
+                }
+                _ => return Err(self.err("comma or close")),
+            }
+        }
+    }
+
+    fn report(&mut self) -> Result<Report, JsonError> {
+        self.eat(b'{', "report object")?;
+        let mut r = Report::default();
+        loop {
+            let key = self.string()?;
+            self.eat(b':', "colon")?;
+            match key.as_str() {
+                "violations" => {
+                    self.eat(b'[', "violations array")?;
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                    } else {
+                        loop {
+                            r.violations.push(self.violation()?);
+                            match self.peek() {
+                                Some(b',') => self.i += 1,
+                                Some(b']') => {
+                                    self.i += 1;
+                                    break;
+                                }
+                                _ => return Err(self.err("comma or array close")),
+                            }
+                        }
+                    }
+                }
+                "files_scanned" => {
+                    r.files_scanned =
+                        usize::try_from(self.number()?).map_err(|_| self.err("usize"))?
+                }
+                "suppressed" => {
+                    r.suppressed = usize::try_from(self.number()?).map_err(|_| self.err("usize"))?
+                }
+                _ => return Err(self.err("known report key")),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(r);
+                }
+                _ => return Err(self.err("comma or object close")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "no-print".into(),
+                file: "crates/sim/src/lib.rs".into(),
+                line: 42,
+                message: "`println!` in library code — \"telemetry structs only\"".into(),
+                snippet: "println!(\"x = {}\\n\", x);".into(),
+            }],
+            files_scanned: 17,
+            suppressed: 3,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let r = sample();
+        assert_eq!(from_json(&to_json(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = Report::default();
+        assert_eq!(from_json(&to_json(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let mut r = sample();
+        r.violations[0].snippet = "tab\there \"quoted\" back\\slash\nnewline \u{1}ctl €".into();
+        assert_eq!(from_json(&to_json(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let doc = "{\"violations\":[],\"files_scanned\":1,\"suppressed\":0,\"extra\":1}";
+        assert!(from_json(doc).is_err());
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        let full = to_json(&sample());
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            assert!(from_json(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! `ppdc-analyzer` — the workspace's project-specific lint engine.
+//!
+//! Fully offline and dependency-free: a lightweight lexer
+//! ([`lexer`]) feeds five lexical rules ([`rules`]) that enforce
+//! invariants clippy cannot express — panic-free solver crates, no lossy
+//! casts in `Cost`/`NodeId` arithmetic, saturating-only sentinel math,
+//! seeded-RNG determinism, and telemetry-not-stdout libraries. Inline
+//! [`allow`] directives waive individual findings *with a mandatory
+//! reason*; [`report`] renders rustc-style human output and [`json`]
+//! round-trips the machine-readable schema.
+//!
+//! Run it as a binary (`cargo run --release -p ppdc-analyzer -- --workspace`,
+//! a `ci.sh` gate) or use [`analyze_source`] / [`analyze_workspace`] as a
+//! library (the fixture suite does).
+
+pub mod allow;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// Analyzes one file's source under the given context: rules, then
+/// suppression directives. Returns the surviving violations and the count
+/// suppressed.
+pub fn analyze_source(ctx: &FileCtx, src: &str) -> (Vec<report::Violation>, usize) {
+    let toks = lexer::lex(src);
+    let mut violations = rules::check_tokens(ctx, &toks, src);
+    let (allows, mut bad) = allow::collect_allows(ctx, &toks, src);
+    violations.append(&mut bad);
+    allow::apply_allows(violations, &allows)
+}
+
+/// Errors from the filesystem-walking entry points.
+#[derive(Debug)]
+pub enum AnalyzerError {
+    /// No workspace root (a `Cargo.toml` containing `[workspace]`) was
+    /// found above the start directory.
+    NoWorkspaceRoot(PathBuf),
+    /// A file or directory could not be read.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzerError::NoWorkspaceRoot(p) => {
+                write!(f, "no workspace Cargo.toml found above {}", p.display())
+            }
+            AnalyzerError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, AnalyzerError> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| AnalyzerError::Io(manifest.clone(), e))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(AnalyzerError::NoWorkspaceRoot(start.to_path_buf()));
+        }
+    }
+}
+
+/// The scan set for `--workspace`: every `.rs` file under the root
+/// package's `src/` and under `crates/*/src/`. Vendored stand-in crates,
+/// integration tests, benches, and examples are out of scope — the rules
+/// govern library and binary *product* code.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, AnalyzerError> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| AnalyzerError::Io(crates_dir.clone(), e))?;
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| AnalyzerError::Io(crates_dir.clone(), e))?;
+            if entry.path().is_dir() {
+                crate_dirs.push(entry.path());
+            }
+        }
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzerError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| AnalyzerError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzerError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans an explicit file list (workspace-relative contexts derived from
+/// the paths) and returns the sorted report.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> Result<Report, AnalyzerError> {
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| AnalyzerError::Io(path.clone(), e))?;
+        let ctx = FileCtx::from_path(&rel);
+        let (mut violations, suppressed) = analyze_source(&ctx, &src);
+        report.violations.append(&mut violations);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// The `--workspace` entry point: discover the root, scan the product
+/// code, report.
+pub fn analyze_workspace(start: &Path) -> Result<Report, AnalyzerError> {
+    let root = find_workspace_root(start)?;
+    let files = workspace_files(&root)?;
+    analyze_files(&root, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_source_suppresses_with_reason() {
+        let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
+        let src = "\
+// analyzer:allow(no-panic) -- seeded at construction, cannot be empty
+fn f(v: &[u32]) -> u32 { *v.last().expect(\"seeded\") }
+fn g(v: &[u32]) -> u32 { *v.last().unwrap() }
+";
+        let (violations, suppressed) = analyze_source(&ctx, src);
+        assert_eq!(suppressed, 1);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn reasonless_allow_surfaces_as_bad_allow() {
+        let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
+        let src = "// analyzer:allow(no-panic)\nfn f(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
+        let (violations, suppressed) = analyze_source(&ctx, src);
+        assert_eq!(suppressed, 0);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"bad-allow"));
+        assert!(
+            rules.contains(&"no-panic"),
+            "reasonless allow must not suppress"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! The `ppdc-analyzer` CLI.
+//!
+//! ```text
+//! ppdc-analyzer --workspace            # scan the whole workspace (ci.sh gate)
+//! ppdc-analyzer --workspace --json     # machine-readable report
+//! ppdc-analyzer path/to/file.rs ...    # scan explicit files
+//! ppdc-analyzer --rules                # list the rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use ppdc_analyzer::{analyze_files, find_workspace_root, json, rules, workspace_files};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut want_json = false;
+    let mut want_workspace = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => want_json = true,
+            "--workspace" => want_workspace = true,
+            "--rules" => {
+                for r in rules::RULES {
+                    println!("{:<16} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ppdc-analyzer [--json] (--workspace | FILE...)\n\
+                     \n\
+                     Project-specific lint engine for the ppdc workspace.\n\
+                     --workspace   scan src/ and crates/*/src/ under the workspace root\n\
+                     --json        machine-readable report on stdout\n\
+                     --rules       list the rules and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("ppdc-analyzer: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ppdc-analyzer: cannot resolve current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if want_workspace {
+        find_workspace_root(&cwd)
+            .and_then(|root| workspace_files(&root).map(|files| (root, files)))
+            .and_then(|(root, files)| analyze_files(&root, &files))
+    } else if paths.is_empty() {
+        eprintln!("ppdc-analyzer: nothing to scan (pass --workspace or file paths; see --help)");
+        return ExitCode::from(2);
+    } else {
+        // Explicit files are reported relative to the workspace root when
+        // one exists, so rule scoping matches the --workspace run.
+        let root = find_workspace_root(&cwd).unwrap_or_else(|_| cwd.clone());
+        let abs: Vec<PathBuf> = paths
+            .iter()
+            .map(|p| {
+                if p.is_absolute() {
+                    p.clone()
+                } else {
+                    cwd.join(p)
+                }
+            })
+            .collect();
+        analyze_files(&root, &abs)
+    };
+
+    match result {
+        Ok(report) => {
+            if want_json {
+                println!("{}", json::to_json(&report));
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ppdc-analyzer: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Violation and report types, with human (diff-style) rendering.
+//!
+//! The machine-readable JSON codec lives in [`crate::json`]; the structs
+//! here carry the workspace `Serialize`/`Deserialize` derives so the
+//! schema is declared where the data is (the vendored serde stand-in is
+//! marker-only, so the actual byte codec is the hand-rolled one — see
+//! `json.rs` for the round-trip guarantee tests).
+
+use serde::{Deserialize, Serialize};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Rule id (`no-panic`, `lossy-cast`, `raw-cost-arith`,
+    /// `nondeterminism`, `no-print`, or the meta-rule `bad-allow`).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong, phrased for the human report.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// A full analysis run: every violation plus scan statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// All violations, ordered by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of `analyzer:allow` suppressions that matched a violation.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the scan found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sorts violations into the canonical (file, line, rule) order.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Renders the rustc-style human report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("error[{}]: {}\n", v.rule, v.message));
+            out.push_str(&format!("  --> {}:{}\n", v.file, v.line));
+            out.push_str("   |\n");
+            out.push_str(&format!("{:>3}| {}\n", v.line, v.snippet));
+            out.push_str("   |\n");
+        }
+        out.push_str(&format!(
+            "ppdc-analyzer: {} violation(s), {} suppression(s) honored, {} file(s) scanned\n",
+            self.violations.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![
+                Violation {
+                    rule: "no-panic".into(),
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 7,
+                    message: "`.unwrap()` in solver-crate library code".into(),
+                    snippet: "let v = x.unwrap();".into(),
+                },
+                Violation {
+                    rule: "lossy-cast".into(),
+                    file: "crates/a/src/lib.rs".into(),
+                    line: 3,
+                    message: "bare `as` cast".into(),
+                    snippet: "let y = z as u32;".into(),
+                },
+            ],
+            files_scanned: 2,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mut r = sample();
+        r.sort();
+        assert_eq!(r.violations[0].file, "crates/a/src/lib.rs");
+        assert_eq!(r.violations[1].file, "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn human_render_names_rule_file_and_line() {
+        let r = sample();
+        let s = r.render_human();
+        assert!(s.contains("error[no-panic]"));
+        assert!(s.contains("crates/x/src/lib.rs:7"));
+        assert!(s.contains("2 violation(s)"));
+        assert!(s.contains("1 suppression(s)"));
+    }
+
+    #[test]
+    fn clean_report_says_zero() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.render_human().contains("0 violation(s)"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The five project-specific rules, plus their crate scoping.
+//!
+//! Each rule captures an invariant the paper's guarantees lean on and the
+//! compiler cannot see (see DESIGN.md §6):
+//!
+//! * `no-panic` — solver crates surface failures as typed errors, never
+//!   `unwrap`/`expect`/`panic!` (Theorem-bearing code must not abort
+//!   mid-epoch; PR 2's degraded-solver contract depends on it).
+//! * `lossy-cast` — crates doing `Cost`/`NodeId` arithmetic may not use
+//!   bare `as` numeric casts; `try_from`/checked/saturating helpers only
+//!   (the PR 1 review's `i128→Cost` truncation class).
+//! * `raw-cost-arith` — the `INFINITY` sentinel may never be an operand
+//!   of raw `+`/`-`/`*`; saturating helpers (`sat_add`/`sat_mul`) keep it
+//!   a fixed point so it cannot overflow (the PR 2 PLAN/MCF class).
+//! * `nondeterminism` — simulation/traffic/experiment library code uses
+//!   seeded RNG only: no `SystemTime`, `Instant::now`, `thread_rng`
+//!   (seeded runs must be bit-reproducible).
+//! * `no-print` — library crates return telemetry structs; stdout/stderr
+//!   belong to binaries.
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* flagged: they are the
+//! sanctioned contract mechanism (the `strict-invariants` feature).
+
+use crate::lexer::{lex, test_regions, Tok, TokKind};
+use crate::report::Violation;
+
+/// Metadata for one rule, for `--rules` listings and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every real rule (the `bad-allow` meta-rule is emitted by the
+/// suppression layer, not listed here).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-panic",
+        summary: "no unwrap()/expect()/panic! in non-test solver-crate code (typed errors only)",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        summary: "no bare `as` numeric casts in Cost/NodeId-arithmetic crates",
+    },
+    RuleInfo {
+        id: "raw-cost-arith",
+        summary: "no raw +/-/* on the INFINITY cost sentinel (use sat_add/sat_mul)",
+    },
+    RuleInfo {
+        id: "nondeterminism",
+        summary: "no SystemTime/Instant::now/thread_rng in sim/traffic/experiments library code",
+    },
+    RuleInfo {
+        id: "no-print",
+        summary: "no println!/eprintln!/dbg! in library crates (binaries exempt)",
+    },
+];
+
+/// True if `id` names a known rule (including the meta-rule).
+pub fn is_known_rule(id: &str) -> bool {
+    id == "bad-allow" || RULES.iter().any(|r| r.id == id)
+}
+
+/// Crates whose non-test code must be panic-free (the paper's solvers).
+const SOLVER_CRATES: &[&str] = &["stroll", "placement", "migration", "mcflow"];
+
+/// Crates whose arithmetic touches `Cost`/`NodeId` and therefore may not
+/// use bare `as` casts. `sim`/`traffic`/`experiments` convert freely to
+/// `f64` for statistics and are deliberately out of scope.
+const COST_CRATES: &[&str] = &[
+    "topology",
+    "model",
+    "stroll",
+    "placement",
+    "migration",
+    "mcflow",
+];
+
+/// Crates where the `INFINITY` sentinel circulates; `sim` handles
+/// degraded-fabric costs, so it is included on top of [`COST_CRATES`].
+const SENTINEL_CRATES: &[&str] = &[
+    "topology",
+    "model",
+    "stroll",
+    "placement",
+    "migration",
+    "mcflow",
+    "sim",
+];
+
+/// Files blessed to do raw sentinel arithmetic: the module that *defines*
+/// the saturating helpers and the canonical Eq. 1 / Eq. 8 cost module.
+const SENTINEL_EXEMPT_FILES: &[&str] =
+    &["crates/topology/src/graph.rs", "crates/model/src/cost.rs"];
+
+/// Crates whose library code must be deterministic under a fixed seed.
+const DETERMINISTIC_CRATES: &[&str] = &["sim", "traffic", "experiments"];
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "Cost",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, used in reports and exemption matching.
+    pub path: String,
+    /// The crate's directory name under `crates/` (the root package is
+    /// `"ppdc"`).
+    pub crate_name: String,
+    /// `main.rs` / `src/bin/*` — exempt from `nondeterminism`/`no-print`.
+    pub is_binary: bool,
+}
+
+impl FileCtx {
+    /// Derives the context from a workspace-relative path.
+    pub fn from_path(path: &str) -> FileCtx {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("ppdc")
+            .to_string();
+        let is_binary = path.ends_with("/main.rs") || path.contains("/bin/");
+        FileCtx {
+            path: path.to_string(),
+            crate_name,
+            is_binary,
+        }
+    }
+}
+
+/// Runs every applicable rule over one file, returning raw (unsuppressed)
+/// violations. Suppression handling is layered on in [`crate::allow`].
+pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
+    let in_test = test_regions(toks);
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::LineComment)
+        .collect();
+    let mut out = Vec::new();
+
+    let snippet = |line: u32| -> String {
+        src.lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+    let mut push = |rule: &str, line: u32, message: String| {
+        out.push(Violation {
+            rule: rule.to_string(),
+            file: ctx.path.clone(),
+            line,
+            message,
+            snippet: snippet(line),
+        });
+    };
+
+    let solver = SOLVER_CRATES.contains(&ctx.crate_name.as_str());
+    let cost = COST_CRATES.contains(&ctx.crate_name.as_str());
+    let sentinel = SENTINEL_CRATES.contains(&ctx.crate_name.as_str())
+        && !SENTINEL_EXEMPT_FILES.contains(&ctx.path.as_str());
+    let deterministic = DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_binary;
+    let printable = !ctx.is_binary;
+
+    for (k, &i) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let prev = k.checked_sub(1).map(|p| &toks[code[p]]);
+        let next = code.get(k + 1).map(|&n| &toks[n]);
+        let next2 = code.get(k + 2).map(|&n| &toks[n]);
+
+        if t.kind == TokKind::Ident {
+            let id = t.text.as_str();
+            let next_is =
+                |s: &str| matches!(next, Some(n) if n.kind == TokKind::Punct && n.text == s);
+            let prev_is =
+                |s: &str| matches!(prev, Some(p) if p.kind == TokKind::Punct && p.text == s);
+
+            if solver {
+                if (id == "unwrap" || id == "expect") && prev_is(".") && next_is("(") {
+                    push(
+                        "no-panic",
+                        t.line,
+                        format!("`.{id}()` in non-test solver-crate code — return a typed error"),
+                    );
+                } else if PANIC_MACROS.contains(&id) && next_is("!") {
+                    push(
+                        "no-panic",
+                        t.line,
+                        format!("`{id}!` in non-test solver-crate code — return a typed error"),
+                    );
+                }
+            }
+
+            if cost && id == "as" {
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident && NUMERIC_TYPES.contains(&n.text.as_str()) {
+                        push(
+                            "lossy-cast",
+                            t.line,
+                            format!(
+                                "bare `as {}` cast in a Cost/NodeId-arithmetic crate — use \
+                                 `try_from`/checked/saturating helpers",
+                                n.text
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if deterministic
+                && (id == "SystemTime"
+                    || id == "thread_rng"
+                    || (id == "Instant"
+                        && matches!(next, Some(n) if n.text == "::")
+                        && matches!(next2, Some(n) if n.text == "now")))
+            {
+                push(
+                    "nondeterminism",
+                    t.line,
+                    format!("`{id}` in library code — seeded RNG / simulated clocks only"),
+                );
+            }
+
+            if printable && PRINT_MACROS.contains(&id) && next_is("!") {
+                push(
+                    "no-print",
+                    t.line,
+                    format!("`{id}!` in library code — emit telemetry structs, print in binaries"),
+                );
+            }
+        }
+
+        if sentinel && t.kind == TokKind::Punct {
+            let op = t.text.as_str();
+            if matches!(op, "+" | "-" | "*" | "+=" | "-=" | "*=") {
+                let neighbor_inf = [prev, next].iter().any(
+                    |o| matches!(o, Some(n) if n.kind == TokKind::Ident && n.text == "INFINITY"),
+                );
+                if neighbor_inf {
+                    push(
+                        "raw-cost-arith",
+                        t.line,
+                        format!(
+                            "raw `{op}` on the INFINITY sentinel — route through \
+                             `sat_add`/`sat_mul` so the sentinel stays a fixed point"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience for tests and the engine: lex + check in one call.
+pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    check_tokens(ctx, &toks, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileCtx {
+        FileCtx::from_path(path)
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<String> {
+        check_source(&ctx(path), src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn crate_name_derivation() {
+        assert_eq!(ctx("crates/stroll/src/dp.rs").crate_name, "stroll");
+        assert_eq!(ctx("src/lib.rs").crate_name, "ppdc");
+        assert!(ctx("crates/experiments/src/main.rs").is_binary);
+        assert!(!ctx("crates/experiments/src/fig7.rs").is_binary);
+    }
+
+    #[test]
+    fn no_panic_only_fires_in_solver_crates() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(rules_hit("crates/stroll/src/dp.rs", src), vec!["no-panic"]);
+        assert!(rules_hit("crates/topology/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); y.expect_err(\"e\"); }";
+        assert!(rules_hit("crates/mcflow/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_scopes_to_cost_crates() {
+        let src = "fn f(x: i128) -> u64 { x as u64 }";
+        assert_eq!(
+            rules_hit("crates/placement/src/dp.rs", src),
+            vec!["lossy-cast"]
+        );
+        assert!(rules_hit("crates/sim/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sentinel_arith_flags_adjacent_ops_only() {
+        let hot = "fn f(a: u64) -> u64 { a + INFINITY }";
+        let cold = "fn f(n: usize) -> Vec<u64> { vec![INFINITY; n * n] }";
+        assert_eq!(
+            rules_hit("crates/topology/src/shortest.rs", hot),
+            vec!["raw-cost-arith"]
+        );
+        assert!(rules_hit("crates/topology/src/shortest.rs", cold).is_empty());
+        // The blessed files may do raw sentinel arithmetic.
+        assert!(rules_hit("crates/model/src/cost.rs", hot).is_empty());
+    }
+
+    #[test]
+    fn determinism_rule_exempts_binaries() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }";
+        let hits = rules_hit("crates/sim/src/simulator.rs", src);
+        assert_eq!(hits, vec!["nondeterminism", "nondeterminism"]);
+        assert!(rules_hit("crates/experiments/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_rule_exempts_binaries_and_tests() {
+        let src = "fn f() { println!(\"x\"); }";
+        assert_eq!(
+            rules_hit("crates/traffic/src/rates.rs", src),
+            vec!["no-print"]
+        );
+        assert!(rules_hit("crates/experiments/src/main.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { println!(\"x\"); } }";
+        assert!(rules_hit("crates/traffic/src/rates.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_everywhere() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); panic!(\"t\"); }\n}";
+        assert!(rules_hit("crates/stroll/src/dp.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: reasoned suppressions — own-line, trailing, and stacked forms
+// all waive their target line. Clean overall, with 4 suppressions.
+pub fn covered(v: &[u64]) -> u64 {
+    // analyzer:allow(no-panic) -- fixture: invariant documented here
+    let a = v.first().unwrap();
+    let b = v.last().unwrap(); // analyzer:allow(no-panic) -- trailing form
+    // analyzer:allow(no-panic) -- stacked form, panic half
+    // analyzer:allow(lossy-cast) -- stacked form, cast half
+    let c = *v.get(0).unwrap() as u64;
+    a + b + c
+}

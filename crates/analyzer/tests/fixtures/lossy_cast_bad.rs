@@ -1,0 +1,12 @@
+// Fixture: bare `as` numeric casts in a Cost/NodeId-arithmetic crate.
+// Every marked line must be flagged by `lossy-cast`.
+pub type Cost = u64;
+
+pub fn fold(acc: i128, x: u32) -> Cost {
+    let wide = acc + x as i128; // flagged
+    wide as Cost // flagged: the PR 1 review's i128→Cost truncation class
+}
+
+pub fn index(n: u64) -> usize {
+    n as usize // flagged
+}

@@ -1,0 +1,11 @@
+// Fixture: checked conversions only — clean under `lossy-cast`.
+pub type Cost = u64;
+
+pub fn fold(acc: i128, x: u32) -> Result<Cost, std::num::TryFromIntError> {
+    let wide = acc + i128::from(x);
+    Cost::try_from(wide)
+}
+
+pub fn index(n: u64) -> Option<usize> {
+    usize::try_from(n).ok()
+}

@@ -1,0 +1,13 @@
+// Fixture: solver-crate library code that panics instead of returning
+// typed errors. Every marked line must be flagged by `no-panic`.
+pub fn lookup(v: &[u64], i: usize) -> u64 {
+    let first = v.first().unwrap(); // flagged
+    let last = v.last().expect("non-empty"); // flagged
+    if i > v.len() {
+        panic!("index out of range"); // flagged
+    }
+    match v.get(i) {
+        Some(x) => *x + first + last,
+        None => unreachable!("checked above"), // flagged
+    }
+}

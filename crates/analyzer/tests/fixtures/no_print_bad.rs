@@ -1,0 +1,8 @@
+// Fixture: stdout/stderr chatter in library code. Every marked line must
+// be flagged by `no-print`.
+pub fn run(x: u64) -> u64 {
+    println!("starting with {x}"); // flagged
+    let y = dbg!(x + 1); // flagged
+    eprintln!("done"); // flagged
+    y
+}

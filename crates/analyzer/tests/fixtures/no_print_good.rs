@@ -1,0 +1,16 @@
+// Fixture: telemetry structs instead of prints — clean under `no-print`.
+pub struct RunRecord {
+    pub input: u64,
+    pub output: u64,
+}
+
+pub fn run(x: u64) -> (u64, RunRecord) {
+    let y = x + 1;
+    (
+        y,
+        RunRecord {
+            input: x,
+            output: y,
+        },
+    )
+}

@@ -1,0 +1,9 @@
+// Fixture: wall clocks and entropy in simulation library code. Every
+// marked line must be flagged by `nondeterminism`.
+pub fn epoch_seed() -> u64 {
+    let t = std::time::Instant::now(); // flagged
+    let st = std::time::SystemTime::now(); // flagged
+    let mut rng = rand::thread_rng(); // flagged
+    drop((t, st, rng));
+    0
+}

@@ -1,0 +1,11 @@
+// Fixture: raw arithmetic with the INFINITY sentinel as an operand.
+// Every marked line must be flagged by `raw-cost-arith`.
+pub const INFINITY: u64 = u64::MAX / 4;
+
+pub fn poison(base: u64) -> u64 {
+    let a = base + INFINITY; // flagged
+    let b = INFINITY * 2; // flagged
+    let mut c = a + b;
+    c -= INFINITY; // flagged
+    c
+}

@@ -1,0 +1,15 @@
+// Fixture: sentinel-safe arithmetic — comparisons, initialization, and
+// saturating helpers are all fine under `raw-cost-arith`.
+pub const INFINITY: u64 = u64::MAX / 4;
+
+pub fn sat_add_like(a: u64, b: u64) -> u64 {
+    if a >= INFINITY || b >= INFINITY {
+        INFINITY
+    } else {
+        (a + b).min(INFINITY)
+    }
+}
+
+pub fn table(n: usize) -> Vec<u64> {
+    vec![INFINITY; n * n]
+}

@@ -18,10 +18,10 @@
 //! moves (replicas only help where they already are), while replication
 //! wins when demand oscillates between a few fixed hotspots.
 
-use crate::{fat_tree_with_distances, fmt_summary, Scale};
+use crate::{fat_tree_with_distances, fmt_summary, summarize_runs, Scale};
 use ppdc_model::Sfc;
 use ppdc_placement::{comm_cost_replicated, dp_placement, greedy_replication};
-use ppdc_sim::{simulate, summarize, MigrationPolicy, SimConfig, Table};
+use ppdc_sim::{simulate, MigrationPolicy, SimConfig, Table};
 use ppdc_traffic::standard_workload;
 
 /// Day-total traffic for the static replicated strategy.
@@ -160,20 +160,20 @@ pub fn ext_replication(scale: &Scale) -> Table {
         format!("Extension — replication vs migration (k={k}, l={pairs}, n={n}, mu={mu})",),
         &["strategy", "day-total traffic", "vs NoMigration %"],
     );
-    let base = summarize(&nomig).mean;
+    let base = summarize_runs(&nomig).mean;
     let pct = |mean: f64| format!("{:+.1}", 100.0 * (mean - base) / base);
     table.row(vec![
         "NoMigration".into(),
-        fmt_summary(&summarize(&nomig)),
+        fmt_summary(&summarize_runs(&nomig)),
         "+0.0".into(),
     ]);
     table.row(vec![
         "mPareto migration".into(),
-        fmt_summary(&summarize(&mpareto)),
-        pct(summarize(&mpareto).mean),
+        fmt_summary(&summarize_runs(&mpareto)),
+        pct(summarize_runs(&mpareto).mean),
     ]);
     for (slot, &r) in replica_counts.iter().enumerate() {
-        let s = summarize(&replicated[slot]);
+        let s = summarize_runs(&replicated[slot]);
         table.row(vec![
             format!("static + {r} single replicas (greedy)"),
             fmt_summary(&s),
@@ -181,7 +181,7 @@ pub fn ext_replication(scale: &Scale) -> Table {
         ]);
     }
     for (slot, &c) in chain_counts.iter().enumerate() {
-        let s = summarize(&chain_replicated[slot]);
+        let s = summarize_runs(&chain_replicated[slot]);
         table.row(vec![
             format!("static + {c} whole-chain replicas"),
             fmt_summary(&s),

@@ -12,9 +12,9 @@
 //! Expected shape (paper): DP-Stroll tracks Optimal within ~8 % and sits
 //! well under the 2× guarantee.
 
-use crate::{fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, Scale};
+use crate::{fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, summarize_runs, Scale};
 use ppdc_placement::{top1_dp, top1_optimal, top1_primal_dual};
-use ppdc_sim::{summarize, Table};
+use ppdc_sim::Table;
 use ppdc_traffic::rng_for_run;
 use rand::Rng;
 
@@ -77,8 +77,8 @@ pub fn fig7(scale: &Scale) -> Table {
         if opt.iter().all(Option::is_none) {
             optimal_abandoned = true;
         }
-        let dp_sum = summarize(&dp);
-        let pd_sum = summarize(&pd);
+        let dp_sum = summarize_runs(&dp);
+        let pd_sum = summarize_runs(&pd);
         let guarantee = mean_maybe(&opt).map(|m| 2.0 * m);
         let ratio = mean_maybe(&opt)
             .map(|m| format!("{:.3}", dp_sum.mean / m))

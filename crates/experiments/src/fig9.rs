@@ -11,12 +11,15 @@
 //! Expected shape (paper): DP within 6–12 % of Optimal; Greedy and
 //! Steering 2–3× dearer (DP is 56–64 % cheaper).
 
-use crate::{fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, randomize_delays, Scale};
+use crate::{
+    fat_tree_with_distances, fmt_maybe, fmt_summary, mean_maybe, randomize_delays, summarize_runs,
+    Scale,
+};
 use ppdc_model::{Sfc, Workload};
 use ppdc_placement::{
     dp_placement, greedy_placement, optimal_placement_with_budget, steering_placement,
 };
-use ppdc_sim::{summarize, Table};
+use ppdc_sim::Table;
 use ppdc_topology::DistanceMatrix;
 use ppdc_traffic::{generate_pairs, rng_for_run, PairPlacement, DEFAULT_MIX};
 
@@ -64,7 +67,7 @@ fn run_point(scale: &Scale, weighted: bool, l: usize, n: usize, seed: u64) -> Po
 }
 
 fn push_row(table: &mut Table, x: String, point: &Point) {
-    let dp = summarize(&point.dp);
+    let dp = summarize_runs(&point.dp);
     let ratio = mean_maybe(&point.optimal)
         .map(|m| format!("{:.3}", dp.mean / m))
         .unwrap_or_else(|| "n/c".into());
@@ -72,8 +75,8 @@ fn push_row(table: &mut Table, x: String, point: &Point) {
         x,
         fmt_maybe(&point.optimal),
         fmt_summary(&dp),
-        fmt_summary(&summarize(&point.greedy)),
-        fmt_summary(&summarize(&point.steering)),
+        fmt_summary(&summarize_runs(&point.greedy)),
+        fmt_summary(&summarize_runs(&point.steering)),
         ratio,
     ]);
 }

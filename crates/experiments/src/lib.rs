@@ -97,6 +97,12 @@ pub fn fmt_summary(s: &Summary) -> String {
     }
 }
 
+/// [`summarize`] for run sets the experiment driver guarantees non-empty
+/// (every data point aggregates at least one run).
+pub fn summarize_runs(samples: &[f64]) -> Summary {
+    summarize(samples).expect("each data point aggregates at least one run")
+}
+
 /// Summarizes per-run values that may be missing (budget-capped searches):
 /// returns `n/c` when any run failed to complete.
 pub fn fmt_maybe(samples: &[Option<f64>]) -> String {
@@ -104,7 +110,7 @@ pub fn fmt_maybe(samples: &[Option<f64>]) -> String {
         "n/c".to_string()
     } else {
         let vals: Vec<f64> = samples.iter().map(|s| s.unwrap()).collect();
-        fmt_summary(&summarize(&vals))
+        fmt_summary(&summarize_runs(&vals))
     }
 }
 

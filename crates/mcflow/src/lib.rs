@@ -24,6 +24,12 @@
 //! assert_eq!((flow, cost), (3, 8));
 //! ```
 
+// The solver crates carry the workspace no-panic discipline at the
+// compiler level too: ppdc-analyzer rule R1 catches unwrap/expect
+// lexically, clippy enforces it semantically.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 /// Handle to an edge added to a [`McfNetwork`], usable to read back the
 /// flow assigned to it after solving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +138,7 @@ impl McfNetwork {
         let mut potential = self.bellman_ford(s)?;
         let mut flow = 0i64;
         let mut cost = 0i64;
+        let mut path: Vec<usize> = Vec::new();
         while flow < limit {
             let Some((dist, pre)) = self.dijkstra(s, t, &potential) else {
                 break;
@@ -142,22 +149,28 @@ impl McfNetwork {
                     potential[v] += d;
                 }
             }
-            // Bottleneck along the augmenting path.
-            let mut push = limit - flow;
+            // Walk the augmenting path back from t. Dijkstra only returns
+            // a tree that reaches t, so every node on the walk has a
+            // predecessor; a broken tree reads as "no more augmenting
+            // paths" rather than a panic.
+            path.clear();
             let mut v = t;
             while v != s {
-                let arc = pre[v].expect("path reconstructed");
-                push = push.min(self.arcs[arc].cap);
+                let Some(arc) = pre[v] else {
+                    return Ok((flow, cost));
+                };
+                path.push(arc);
                 v = self.arcs[arc ^ 1].to;
             }
-            // Apply.
-            let mut v = t;
-            while v != s {
-                let arc = pre[v].expect("path reconstructed");
+            // Bottleneck, then apply.
+            let mut push = limit - flow;
+            for &arc in &path {
+                push = push.min(self.arcs[arc].cap);
+            }
+            for &arc in &path {
                 self.arcs[arc].cap -= push;
                 self.arcs[arc ^ 1].cap += push;
                 cost += push * self.arcs[arc].cost;
-                v = self.arcs[arc ^ 1].to;
             }
             flow += push;
         }

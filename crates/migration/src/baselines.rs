@@ -158,8 +158,10 @@ pub fn plan_vm_migration(
             }
             if let Some((total, h)) = best {
                 // Positive utility ⇔ new attach + migration < old attach.
-                if total < cur_attach {
-                    caps.transfer(cur, h).expect("free slot checked");
+                // `free(h) > 0` was checked when h was scored, so the
+                // transfer succeeds; treat a failure as "slot taken" and
+                // leave the VM where it is.
+                if total < cur_attach && caps.transfer(cur, h).is_ok() {
                     w.set_host(v, h);
                     migration_cost += vm_mu * dm.cost(cur, h);
                     num_migrations += 1;
@@ -253,7 +255,9 @@ pub fn mcf_vm_migration(
                 vm_base + vi,
                 host_base + host_pos[&h],
                 1,
-                i64::try_from(cost).expect("INFINITY-clamped cost fits i64"),
+                // cost <= INFINITY = u64::MAX / 4 < i64::MAX, so the
+                // conversion never actually hits the fallback.
+                i64::try_from(cost).unwrap_or(i64::MAX),
             );
             edge_refs.push((v, h, r));
         }
@@ -265,12 +269,14 @@ pub fn mcf_vm_migration(
         occupancy[host_pos[&w.host_of(v)]] += 1;
     }
     for (hi, &occ) in occupancy.iter().enumerate() {
-        net.add_edge(host_base + hi, sink, (slots as i64).max(occ), 0);
+        net.add_edge(host_base + hi, sink, i64::from(slots).max(occ), 0);
     }
+    let nv_flow = i64::try_from(nv)
+        .map_err(|_| MigrationError::Infeasible("too many VMs for the flow network"))?;
     let (flow, _) = net
-        .min_cost_flow(source, sink, nv as i64)
+        .min_cost_flow(source, sink, nv_flow)
         .map_err(|_| MigrationError::Infeasible("flow solver failed"))?;
-    if flow != nv as i64 {
+    if flow != nv_flow {
         return Err(MigrationError::Infeasible("could not place every VM"));
     }
     let mut migration_cost: Cost = 0;

@@ -24,9 +24,9 @@ pub struct FrontierPoint {
 }
 
 impl FrontierPoint {
-    /// `C_t(p, m) = C_b + C_a`.
+    /// `C_t(p, m) = C_b + C_a`, saturating at the unreachable sentinel.
     pub fn total_cost(&self) -> Cost {
-        self.migration_cost + self.comm_cost
+        ppdc_topology::sat_add(self.migration_cost, self.comm_cost)
     }
 }
 
@@ -46,7 +46,7 @@ pub fn migration_paths(
 ) -> Vec<Vec<NodeId>> {
     match try_migration_paths(g, dm, p, p_new) {
         Ok(paths) => paths,
-        Err(e) => panic!("migration_paths: {e}"),
+        Err(e) => panic!("migration_paths: {e}"), // analyzer:allow(no-panic) -- documented panicking convenience wrapper; fallible twin is try_migration_paths
     }
 }
 
@@ -171,9 +171,9 @@ pub fn is_convex(front: &[FrontierPoint]) -> bool {
         return true;
     }
     for w in front.windows(3) {
-        let (x0, y0) = (w[0].migration_cost as i128, w[0].comm_cost as i128);
-        let (x1, y1) = (w[1].migration_cost as i128, w[1].comm_cost as i128);
-        let (x2, y2) = (w[2].migration_cost as i128, w[2].comm_cost as i128);
+        let (x0, y0) = (i128::from(w[0].migration_cost), i128::from(w[0].comm_cost));
+        let (x1, y1) = (i128::from(w[1].migration_cost), i128::from(w[1].comm_cost));
+        let (x2, y2) = (i128::from(w[2].migration_cost), i128::from(w[2].comm_cost));
         // slope(w0,w1) <= slope(w1,w2) ⇔ (y1-y0)(x2-x1) <= (y2-y1)(x1-x0)
         if (y1 - y0) * (x2 - x1) > (y2 - y1) * (x1 - x0) {
             return false;

@@ -21,6 +21,12 @@
 //!   (utility-greedy VM moves under host slot capacities) and **MCF** \[24\]
 //!   (global VM reassignment as a minimum-cost flow on [`ppdc_mcf`]).
 
+// The solver crates carry the workspace no-panic discipline at the
+// compiler level too: ppdc-analyzer rule R1 catches unwrap/expect
+// lexically, clippy enforces it semantically.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod baselines;
 pub mod frontier;
 pub mod mpareto;

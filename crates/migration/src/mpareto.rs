@@ -98,7 +98,25 @@ pub fn mpareto_with_agg(
         .filter(|(_, f)| f.placement.is_injective())
         .min_by_key(|(i, f)| (f.total_cost(), *i))
         .map(|(_, f)| f.clone())
-        .expect("row 0 (= p) is always injective");
+        .expect("row 0 (= p) is always injective"); // analyzer:allow(no-panic) -- row 0 is the validated injective input placement; an empty frontier is a solver bug worth a loud stop
+                                                    // `strict-invariants` contract: the swept front must be strictly
+                                                    // non-dominated, and the pick can never cost more than staying put
+                                                    // (row 0 is `p` itself and is always an eligible candidate).
+    #[cfg(feature = "strict-invariants")]
+    {
+        let front = crate::frontier::pareto_front(&frontiers);
+        for pair in front.windows(2) {
+            assert!(
+                pair[0].migration_cost < pair[1].migration_cost
+                    && pair[0].comm_cost > pair[1].comm_cost,
+                "pareto_front returned a dominated or unsorted point"
+            );
+        }
+        assert!(
+            best.total_cost() <= frontiers[0].total_cost(),
+            "mPareto picked a frontier costlier than staying put"
+        );
+    }
     Ok(MigrationOutcome::from_point(p, best, frontiers))
 }
 

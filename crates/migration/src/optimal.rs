@@ -53,7 +53,12 @@ impl<'a> Search<'a> {
             });
         }
         if depth == self.n {
-            let last = *self.seq.last().expect("n >= 1");
+            // Callers reject n == 0, so the sequence is non-empty at a
+            // leaf; an empty one would mean a broken search invariant —
+            // skip the leaf rather than panic.
+            let Some(&last) = self.seq.last() else {
+                return Ok(());
+            };
             let total = g + self.agg.a_out(self.closure.node(last));
             if total < self.best_cost {
                 self.best_cost = total;
@@ -63,26 +68,25 @@ impl<'a> Search<'a> {
         }
         // Admissible bound on the remaining slots.
         let lb = g
-            + self.rate * self.min_edge * (self.n - depth).saturating_sub(1) as Cost
+            + self.rate * self.min_edge * (self.n - depth).saturating_sub(1) as Cost // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
             + self.minmove_suffix[depth]
             + self.min_unused_a_out();
         if lb >= self.best_cost {
             return Ok(());
         }
-        let order = if depth == 0 {
-            (0..self.closure.len()).collect::<Vec<_>>()
-        } else {
-            self.sorted_from[*self.seq.last().unwrap()].clone()
+        // `seq` is empty exactly at depth 0 (the ingress choice).
+        let (order, prev): (Vec<usize>, Option<usize>) = match self.seq.last() {
+            None => ((0..self.closure.len()).collect(), None),
+            Some(&last) => (self.sorted_from[last].clone(), Some(last)),
         };
         for x in order {
             if self.used[x] {
                 continue;
             }
             let mut step = self.mu * self.closure.cost_ix(self.from[depth], x);
-            if depth == 0 {
-                step += self.agg.a_in(self.closure.node(x));
-            } else {
-                step += self.rate * self.closure.cost_ix(*self.seq.last().unwrap(), x);
+            match prev {
+                None => step += self.agg.a_in(self.closure.node(x)),
+                Some(last) => step += self.rate * self.closure.cost_ix(last, x),
             }
             self.used[x] = true;
             self.seq.push(x);

@@ -2,7 +2,7 @@
 
 use crate::sfc::Placement;
 use crate::vm::Workload;
-use ppdc_topology::{Cost, DistanceMatrix, NodeId};
+use ppdc_topology::{sat_add, sat_mul, Cost, DistanceMatrix, NodeId};
 
 /// The VNF migration coefficient `μ`: the ratio between the cost of moving
 /// one VNF one cost-unit and the cost of one unit of VM traffic over one
@@ -14,14 +14,24 @@ pub type MigrationCoefficient = u64;
 
 /// Interior chain cost `Σ_{j=1}^{n-1} c(p(j), p(j+1))` — the per-rate-unit
 /// cost of traversing the SFC once the traffic is at the ingress switch.
+///
+/// All arithmetic here saturates at [`ppdc_topology::INFINITY`]: if any hop
+/// of the chain is unreachable (degraded fabric), the chain cost is exactly
+/// the sentinel instead of a drifting multiple of it.
 pub fn chain_cost(dm: &DistanceMatrix, p: &Placement) -> Cost {
-    p.switches().windows(2).map(|w| dm.cost(w[0], w[1])).sum()
+    p.switches()
+        .windows(2)
+        .map(|w| dm.cost(w[0], w[1]))
+        .fold(0, sat_add)
 }
 
 /// Attachment cost `c(s(v_i), p(1)) + c(p(n), s(v'_i))` for one flow — the
 /// per-rate-unit cost of reaching the ingress and leaving the egress.
 pub fn attach_cost(dm: &DistanceMatrix, src_host: NodeId, dst_host: NodeId, p: &Placement) -> Cost {
-    dm.cost(src_host, p.ingress()) + dm.cost(p.egress(), dst_host)
+    sat_add(
+        dm.cost(src_host, p.ingress()),
+        dm.cost(p.egress(), dst_host),
+    )
 }
 
 /// Communication cost of a single flow under placement `p`:
@@ -33,7 +43,10 @@ pub fn comm_cost_flow(
     rate: u64,
     p: &Placement,
 ) -> Cost {
-    rate * (attach_cost(dm, src_host, dst_host, p) + chain_cost(dm, p))
+    sat_mul(
+        rate,
+        sat_add(attach_cost(dm, src_host, dst_host, p), chain_cost(dm, p)),
+    )
 }
 
 /// Total communication cost `C_a(p)` over all flows (Eq. 1).
@@ -42,9 +55,9 @@ pub fn comm_cost_flow(
 /// multiplied by the total rate.
 pub fn comm_cost(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
     let chain = chain_cost(dm, p);
-    let mut total = w.total_rate() * chain;
+    let mut total = sat_mul(w.total_rate(), chain);
     for (_, src, dst, rate) in w.iter() {
-        total += rate * attach_cost(dm, src, dst, p);
+        total = sat_add(total, sat_mul(rate, attach_cost(dm, src, dst, p)));
     }
     total
 }
@@ -66,8 +79,8 @@ pub fn migration_cost(
         .iter()
         .zip(m.switches())
         .map(|(&from, &to)| dm.cost(from, to))
-        .sum();
-    mu * moved
+        .fold(0, sat_add);
+    sat_mul(mu, moved)
 }
 
 /// Total cost of migrating from `p` to `m` and then communicating (Eq. 8):
@@ -79,7 +92,7 @@ pub fn total_cost(
     m: &Placement,
     mu: MigrationCoefficient,
 ) -> Cost {
-    migration_cost(dm, p, m, mu) + comm_cost(dm, w, m)
+    sat_add(migration_cost(dm, p, m, mu), comm_cost(dm, w, m))
 }
 
 #[cfg(test)]

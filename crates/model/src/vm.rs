@@ -12,7 +12,14 @@ impl VmId {
     /// The raw index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
+    }
+
+    /// Converts a container index back into an id, checking the `u32` id
+    /// space (the sanctioned inverse of [`VmId::index`]).
+    #[inline]
+    pub fn from_index(i: usize) -> VmId {
+        VmId(u32::try_from(i).expect("VM index exceeds the u32 id space"))
     }
 }
 
@@ -24,7 +31,14 @@ impl FlowId {
     /// The raw index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
+    }
+
+    /// Converts a container index back into an id, checking the `u32` id
+    /// space (the sanctioned inverse of [`FlowId::index`]).
+    #[inline]
+    pub fn from_index(i: usize) -> FlowId {
+        FlowId(u32::try_from(i).expect("flow index exceeds the u32 id space"))
     }
 }
 
@@ -176,7 +190,7 @@ impl Workload {
     /// Iterates over `(flow id, src host, dst host, rate)`.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, NodeId, NodeId, u64)> + '_ {
         (0..self.flows.len()).map(move |i| {
-            let f = FlowId(i as u32);
+            let f = FlowId::from_index(i);
             let (s, d) = self.endpoints(f);
             (f, s, d, self.rates[i])
         })
@@ -184,12 +198,12 @@ impl Workload {
 
     /// Flow ids.
     pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> {
-        (0..self.flows.len() as u32).map(FlowId)
+        (0..self.flows.len()).map(FlowId::from_index)
     }
 
     /// VM ids.
     pub fn vm_ids(&self) -> impl Iterator<Item = VmId> {
-        (0..self.host_of.len() as u32).map(VmId)
+        (0..self.host_of.len()).map(VmId::from_index)
     }
 
     /// Checks that every VM sits on a host node of `g`.

@@ -60,6 +60,17 @@ fn attach_acc(acc: Cost, mass: u64, cost: Cost) -> Cost {
     acc.saturating_add(attach_term(mass, cost)).min(INFINITY)
 }
 
+/// Checked `i128 → u64` for the delta folds of
+/// [`AttachAggregates::apply_rate_deltas`]. Panics (in all build profiles)
+/// when the deltas disagree with the rates the aggregates were built from
+/// — the documented loud-panic contract: wrapping a negative value into a
+/// huge cost would silently poison every downstream decision.
+fn delta_cost(v: i128, what: &str) -> Cost {
+    let checked = Cost::try_from(v);
+    // analyzer:allow(no-panic) -- documented loud-panic contract: inconsistent deltas are caller bugs
+    checked.unwrap_or_else(|_| panic!("rate deltas drove {what} negative or out of range"))
+}
+
 /// Precomputed `A_in` / `A_out` arrays plus the total rate.
 #[derive(Debug, Clone)]
 pub struct AttachAggregates {
@@ -156,12 +167,21 @@ impl AttachAggregates {
             a_in[x.index()] = ain;
             a_out[x.index()] = aout;
         }
-        AttachAggregates {
+        let agg = AttachAggregates {
             a_in,
             a_out,
             total_rate,
             switches: candidates.to_vec(),
-        }
+        };
+        // `strict-invariants` contract: the fold over `w.iter()` must land
+        // on the workload's own cached total.
+        #[cfg(feature = "strict-invariants")]
+        assert_eq!(
+            agg.total_rate,
+            w.total_rate(),
+            "aggregate total rate disagrees with the workload"
+        );
+        agg
     }
 
     /// The original `O(|flows|·|V_s|)` build, one flow at a time. Kept as
@@ -254,21 +274,27 @@ impl AttachAggregates {
         // A host's net delta can cancel back to zero; the switch sweep
         // below multiplies by 0 then, which is still correct.
         for &x in &self.switches {
-            let (mut ain, mut aout) = (self.a_in[x.index()] as i128, self.a_out[x.index()] as i128);
+            let mut ain = i128::from(self.a_in[x.index()]);
+            let mut aout = i128::from(self.a_out[x.index()]);
             for &h in &touched {
                 let h = NodeId(h);
-                ain += out_delta[h.index()] as i128 * dm.cost(h, x) as i128;
-                aout += in_delta[h.index()] as i128 * dm.cost(x, h) as i128;
+                ain += i128::from(out_delta[h.index()]) * i128::from(dm.cost(h, x));
+                aout += i128::from(in_delta[h.index()]) * i128::from(dm.cost(x, h));
             }
-            // Checked conversions so inconsistent deltas fail loudly in
-            // release builds instead of wrapping a negative value into a
-            // huge cost that silently poisons every downstream decision.
-            self.a_in[x.index()] =
-                Cost::try_from(ain).expect("rate deltas drove A_in negative or out of range");
-            self.a_out[x.index()] =
-                Cost::try_from(aout).expect("rate deltas drove A_out negative or out of range");
+            self.a_in[x.index()] = delta_cost(ain, "A_in");
+            self.a_out[x.index()] = delta_cost(aout, "A_out");
         }
-        self.total_rate = (self.total_rate as i64 + total_delta) as u64;
+        let total = i128::from(self.total_rate) + i128::from(total_delta);
+        self.total_rate = delta_cost(total, "the total rate");
+        // `strict-invariants` contract: the caller must have folded the
+        // same deltas into `w` before (or after) feeding them here, so the
+        // incremental total and the workload's total stay in lock-step.
+        #[cfg(feature = "strict-invariants")]
+        assert_eq!(
+            self.total_rate,
+            w.total_rate(),
+            "rate deltas left the aggregate total out of sync with the workload"
+        );
     }
 
     /// `A_in[x]`: rate-weighted cost of all sources reaching ingress `x`.
@@ -297,9 +323,14 @@ impl AttachAggregates {
     /// Exact `C_a(p)` using the aggregates (equals
     /// [`ppdc_model::comm_cost`]).
     pub fn comm_cost(&self, dm: &DistanceMatrix, p: &Placement) -> Cost {
-        self.a_in(p.ingress())
-            + self.total_rate * ppdc_model::chain_cost(dm, p)
-            + self.a_out(p.egress())
+        use ppdc_topology::{sat_add, sat_mul};
+        sat_add(
+            sat_add(
+                self.a_in(p.ingress()),
+                sat_mul(self.total_rate, ppdc_model::chain_cost(dm, p)),
+            ),
+            self.a_out(p.egress()),
+        )
     }
 
     /// Exact equality of the `A` arrays and total rate (test helper for
@@ -496,6 +527,21 @@ mod tests {
         agg.apply_rate_deltas(&dm, &w, &deltas);
         let rebuilt = AttachAggregates::build(&g, &dm, &w);
         assert!(agg.same_as(&rebuilt));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate deltas drove")]
+    fn inconsistent_negative_delta_panics_loudly() {
+        // Overflow-hardening regression: before the i128 delta fold, a
+        // delta below -λ wrapped the aggregate into a huge Cost that
+        // silently poisoned every placement decision downstream. The
+        // documented contract is now a loud panic in all build profiles.
+        let (g, h1, h2) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        let f = w.add_pair(h1, h2, 10);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        agg.apply_rate_deltas(&dm, &w, &[(f, -20)]);
     }
 
     #[test]

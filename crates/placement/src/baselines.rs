@@ -81,7 +81,15 @@ pub fn steering_placement_with_agg(
                 best = Some((score, x));
             }
         }
-        let (_, x) = best.expect("enough switches checked");
+        // `check` guarantees switches.len() >= n, so a candidate always
+        // exists; surface the typed error instead of panicking if that
+        // invariant ever breaks.
+        let Some((_, x)) = best else {
+            return Err(PlacementError::Model(ModelError::TooFewSwitches {
+                switches: switches.len(),
+                vnfs: n,
+            }));
+        };
         used[x.index()] = true;
         chosen.push(x);
     }
@@ -124,7 +132,7 @@ pub fn greedy_placement_with_agg(
     let mut chosen: Vec<NodeId> = Vec::with_capacity(n);
     let mut used = vec![false; g.num_nodes()];
     for j in 0..n {
-        let unplaced = (n - 1 - j) as u64;
+        let unplaced = (n - 1 - j) as u64; // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
         let mut best: Option<(Cost, NodeId)> = None;
         for &x in &switches {
             if used[x.index()] {
@@ -136,13 +144,19 @@ pub fn greedy_placement_with_agg(
                 rate * dm.cost(chosen[j - 1], x)
             };
             let egress_term = if j + 1 == n { agg.a_out(x) } else { 0 };
-            let lookahead = unplaced * rate * sum_dist[x.index()] / switches.len() as u64;
+            let lookahead = unplaced * rate * sum_dist[x.index()] / switches.len() as u64; // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
             let score = increment + egress_term + lookahead;
             if best.is_none_or(|(c, b)| score < c || (score == c && x < b)) {
                 best = Some((score, x));
             }
         }
-        let (_, x) = best.expect("enough switches checked");
+        // Same invariant as the steering loop above.
+        let Some((_, x)) = best else {
+            return Err(PlacementError::Model(ModelError::TooFewSwitches {
+                switches: switches.len(),
+                vnfs: n,
+            }));
+        };
         used[x.index()] = true;
         chosen.push(x);
     }

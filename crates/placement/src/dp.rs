@@ -18,6 +18,10 @@ use ppdc_stroll::dp_stroll_all_sources;
 use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId};
 use rayon::prelude::*;
 
+fn too_few(switches: usize, vnfs: usize) -> PlacementError {
+    PlacementError::Model(ppdc_model::ModelError::TooFewSwitches { switches, vnfs })
+}
+
 /// Runs Algorithm 3, returning the placement and its exact `C_a`.
 ///
 /// # Errors
@@ -75,13 +79,16 @@ pub fn dp_placement_with_agg(
             },
         ));
     }
-    match n {
+    let result = match n {
         1 => {
-            let best = switches
+            // The length check above guarantees at least one switch.
+            let Some(best) = switches
                 .iter()
                 .map(|&x| (agg.a_in(x) + agg.a_out(x), x))
                 .min()
-                .expect("at least one switch");
+            else {
+                return Err(too_few(0, n));
+            };
             Ok((Placement::new_unchecked(vec![best.1]), best.0))
         }
         2 => {
@@ -98,7 +105,10 @@ pub fn dp_placement_with_agg(
                     }
                 }
             }
-            let (cost, i, j) = best.expect("at least two switches");
+            // The length check above guarantees at least two switches.
+            let Some((cost, i, j)) = best else {
+                return Err(too_few(switches.len(), n));
+            };
             Ok((Placement::new_unchecked(vec![i, j]), cost))
         }
         _ => {
@@ -118,7 +128,24 @@ pub fn dp_placement_with_agg(
                     ppdc_stroll::StrollError::Unreachable,
                 ))
         }
+    };
+    // `strict-invariants` contract: Algorithm 3 must return an injective
+    // placement (one VNF per switch, footnote 3 of the paper) whose
+    // reported cost matches an independent aggregate re-evaluation.
+    #[cfg(feature = "strict-invariants")]
+    if let Ok((p, c)) = &result {
+        assert!(
+            p.is_injective(),
+            "dp_placement returned a non-injective placement: {:?}",
+            p.switches()
+        );
+        assert_eq!(
+            *c,
+            agg.comm_cost(dm, p),
+            "dp_placement's reported cost disagrees with re-evaluation"
+        );
     }
+    result
 }
 
 /// Best placement whose egress is closure node `t_ix`.

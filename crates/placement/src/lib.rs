@@ -30,6 +30,12 @@
 //! the attach-cost aggregates of [`AttachAggregates`], so reported costs
 //! are always consistent with [`ppdc_model::comm_cost`]).
 
+// The solver crates carry the workspace no-panic discipline at the
+// compiler level too: ppdc-analyzer rule R1 catches unwrap/expect
+// lexically, clippy enforces it semantically.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod aggregates;
 pub mod baselines;
 pub mod dp;

@@ -96,11 +96,12 @@ impl<'a> Search<'a> {
         let mut cost = self.agg.a_in(self.closure.node(first));
         let mut cur = first;
         for _ in 1..self.n {
-            let next = self.sorted_from[cur]
-                .iter()
-                .copied()
-                .find(|&x| !used[x])
-                .expect("enough switches checked by caller");
+            // The caller checks that the closure holds >= n candidates; if
+            // that invariant ever breaks, leave the incumbent at INFINITY
+            // and let the search run unseeded instead of panicking.
+            let Some(next) = self.sorted_from[cur].iter().copied().find(|&x| !used[x]) else {
+                return;
+            };
             cost += self.rate * self.closure.cost_ix(cur, next);
             used[next] = true;
             seq.push(next);
@@ -138,7 +139,7 @@ impl<'a> Search<'a> {
         }
         if self.prune {
             let lb = g
-                + self.rate * self.min_edge * (self.n - depth) as Cost
+                + self.rate * self.min_edge * (self.n - depth) as Cost // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
                 + self.min_unused_a_out(last);
             if lb >= self.best_cost {
                 return Ok(());
@@ -170,7 +171,7 @@ impl<'a> Search<'a> {
             if self.prune {
                 // Even a free interior cannot beat the incumbent.
                 let lb = self.agg.a_in(self.closure.node(x))
-                    + self.rate * self.min_edge * (self.n - 1) as Cost;
+                    + self.rate * self.min_edge * (self.n - 1) as Cost; // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
                 if lb >= self.best_cost {
                     continue;
                 }
@@ -193,11 +194,17 @@ impl<'a> Search<'a> {
             .iter()
             .map(|&i| self.closure.node(i))
             .collect();
-        (
-            Placement::new_unchecked(switches),
-            self.best_cost,
-            exactness,
-        )
+        let placement = Placement::new_unchecked(switches);
+        // `strict-invariants` contract: every search exit (exact,
+        // budget-degraded, exhaustive) funnels through here and must hand
+        // back an injective placement.
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            placement.is_injective(),
+            "branch-and-bound returned a non-injective placement: {:?}",
+            placement.switches()
+        );
+        (placement, self.best_cost, exactness)
     }
 
     fn run(self) -> Result<(Placement, Cost), StrollError> {

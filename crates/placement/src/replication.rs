@@ -144,29 +144,36 @@ pub fn greedy_replication(
         return Err(PlacementError::NoFlows);
     }
     let mut rp = ReplicatedPlacement::from_placement(base);
-    let mut trace = vec![comm_cost_replicated(dm, w, &rp)];
+    let mut current = comm_cost_replicated(dm, w, &rp);
+    let mut trace = vec![current];
     let switches: Vec<NodeId> = g.switches().collect();
     for _ in 0..extra_replicas {
-        let current = *trace.last().expect("seeded with the base cost");
-        let mut best: Option<(Cost, usize, NodeId)> = None;
+        let mut best: Option<(Cost, usize, NodeId, ReplicatedPlacement)> = None;
         for j in 0..rp.len() {
             for &x in &switches {
                 if rp.occupies(x) {
                     continue;
                 }
                 let mut cand = rp.clone();
-                cand.add_replica(g, j, x).expect("checked above");
+                if cand.add_replica(g, j, x).is_err() {
+                    // `occupies` pre-filters; any residual structural
+                    // rejection just means x is not a viable replica site.
+                    continue;
+                }
                 let cost = comm_cost_replicated(dm, w, &cand);
                 if cost < current
-                    && best.is_none_or(|(c, bj, bx)| cost < c || (cost == c && (j, x) < (bj, bx)))
+                    && best
+                        .as_ref()
+                        .is_none_or(|&(c, bj, bx, _)| cost < c || (cost == c && (j, x) < (bj, bx)))
                 {
-                    best = Some((cost, j, x));
+                    best = Some((cost, j, x, cand));
                 }
             }
         }
         match best {
-            Some((cost, j, x)) => {
-                rp.add_replica(g, j, x).expect("fresh replica");
+            Some((cost, _, _, cand)) => {
+                rp = cand;
+                current = cost;
                 trace.push(cost);
             }
             None => break, // no replica reduces traffic further

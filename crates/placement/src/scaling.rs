@@ -84,8 +84,10 @@ pub fn scaled_segment_rates(scaling: &TrafficScaling) -> Vec<u64> {
     let mut out = Vec::with_capacity(scaling.len() + 1);
     let mut acc: u128 = ONE;
     for j in 0..scaling.len() {
-        acc = acc * scaling.factor(j) as u128 / 1000;
-        out.push(acc as u64);
+        acc = acc * u128::from(scaling.factor(j)) / 1000;
+        // Pathological expansion chains could exceed u64; saturate rather
+        // than truncate.
+        out.push(u64::try_from(acc).unwrap_or(u64::MAX));
     }
     out
 }
@@ -101,14 +103,15 @@ pub fn comm_cost_scaled(
     let seg = scaled_segment_rates(scaling);
     let mut total: u128 = 0;
     for (_, src, dst, rate) in w.iter() {
-        let mut cost: u128 = ((rate as u128) * (dm.cost(src, p.ingress()) as u128)) << 16;
+        let rate = u128::from(rate);
+        let mut cost: u128 = (rate * u128::from(dm.cost(src, p.ingress()))) << 16;
         for (j, &s) in seg.iter().enumerate().take(p.len() - 1) {
-            cost += rate as u128 * s as u128 * dm.cost(p.switch(j), p.switch(j + 1)) as u128;
+            cost += rate * u128::from(s) * u128::from(dm.cost(p.switch(j), p.switch(j + 1)));
         }
-        cost += rate as u128 * seg[p.len() - 1] as u128 * dm.cost(p.egress(), dst) as u128;
+        cost += rate * u128::from(seg[p.len() - 1]) * u128::from(dm.cost(p.egress(), dst));
         total += cost;
     }
-    (total >> 16) as Cost
+    Cost::try_from(total >> 16).unwrap_or(INFINITY)
 }
 
 /// Exact branch-and-bound placement under traffic scaling.
@@ -148,7 +151,7 @@ pub fn optimal_placement_scaled(
     // Fixed-point («16) per-segment aggregate rates.
     let seg_rate: Vec<u128> = seg
         .iter()
-        .map(|&s| total_rate as u128 * s as u128)
+        .map(|&s| u128::from(total_rate) * u128::from(s))
         .collect();
     let m = closure.len();
     let mut min_edge = INFINITY;
@@ -196,8 +199,8 @@ pub fn optimal_placement_scaled(
         fn a_out_scaled(&self, x: usize) -> u128 {
             // A_out is rate-weighted by the *input* rate; rescale by the
             // egress segment factor (uniform across flows).
-            self.agg.a_out(self.closure.node(x)) as u128 * self.egress_seg
-                / (self.agg.total_rate() as u128).max(1)
+            u128::from(self.agg.a_out(self.closure.node(x))) * self.egress_seg
+                / u128::from(self.agg.total_rate()).max(1)
         }
         fn dfs(&mut self, depth: usize, cost: u128) -> Result<(), StrollError> {
             self.expansions += 1;
@@ -207,7 +210,12 @@ pub fn optimal_placement_scaled(
                 });
             }
             if depth == self.n {
-                let last = *self.seq.last().expect("n >= 1");
+                // Callers reject n == 0, so the sequence is non-empty at a
+                // leaf; an empty one would mean a broken search invariant —
+                // skip the leaf rather than panic.
+                let Some(&last) = self.seq.last() else {
+                    return Ok(());
+                };
                 let total = cost + self.a_out_scaled(last);
                 if total < self.best {
                     self.best = total;
@@ -218,25 +226,25 @@ pub fn optimal_placement_scaled(
             // Admissible bound on remaining chain hops.
             let lb = cost
                 + self.min_seg_suffix[depth]
-                    * self.min_edge as u128
-                    * (self.n - depth).saturating_sub(1) as u128;
+                    * u128::from(self.min_edge)
+                    * (self.n - depth).saturating_sub(1) as u128; // analyzer:allow(lossy-cast) -- usize → u128 is lossless on every supported target
             if lb >= self.best {
                 return Ok(());
             }
-            let order: Vec<usize> = if depth == 0 {
-                (0..self.closure.len()).collect()
-            } else {
-                self.sorted_from[*self.seq.last().unwrap()].clone()
+            // `seq` is empty exactly at depth 0 (the ingress choice).
+            let (order, prev): (Vec<usize>, Option<usize>) = match self.seq.last() {
+                None => ((0..self.closure.len()).collect(), None),
+                Some(&last) => (self.sorted_from[last].clone(), Some(last)),
             };
             for x in order {
                 if self.used[x] {
                     continue;
                 }
-                let step = if depth == 0 {
-                    (self.agg.a_in(self.closure.node(x)) as u128) << 16
-                } else {
-                    let last = *self.seq.last().unwrap();
-                    self.seg_rate[depth - 1] * self.closure.cost_ix(last, x) as u128
+                let step = match prev {
+                    None => u128::from(self.agg.a_in(self.closure.node(x))) << 16,
+                    Some(last) => {
+                        self.seg_rate[depth - 1] * u128::from(self.closure.cost_ix(last, x))
+                    }
                 };
                 self.used[x] = true;
                 self.seq.push(x);
@@ -251,7 +259,7 @@ pub fn optimal_placement_scaled(
         agg: &agg,
         closure: &closure,
         seg_rate: &seg_rate,
-        egress_seg: seg[n - 1] as u128 * total_rate as u128,
+        egress_seg: u128::from(seg[n - 1]) * u128::from(total_rate),
         min_edge,
         min_seg_suffix: &min_seg_suffix,
         sorted_from: &sorted_from,

@@ -12,13 +12,16 @@ const T95: [f64; 30] = [
 ];
 
 /// The t quantile for `df` degrees of freedom (95 %, two-sided).
-pub fn t_quantile_95(df: usize) -> f64 {
+/// Returns `None` for `df == 0`: zero degrees of freedom has no
+/// quantile, and an infinity stand-in would silently poison any
+/// arithmetic built on it.
+pub fn t_quantile_95(df: usize) -> Option<f64> {
     if df == 0 {
-        f64::INFINITY
+        None
     } else if df <= 30 {
-        T95[df - 1]
+        Some(T95[df - 1])
     } else {
-        1.96
+        Some(1.96)
     }
 }
 
@@ -45,25 +48,29 @@ impl Summary {
     }
 }
 
-/// Summarizes samples into mean ± 95 % CI.
-///
-/// # Panics
-///
-/// Panics on an empty sample — a data point must come from somewhere.
-pub fn summarize(samples: &[f64]) -> Summary {
-    assert!(!samples.is_empty(), "cannot summarize zero samples");
+/// Summarizes samples into mean ± 95 % CI, or `None` for an empty
+/// sample — there is no data point to report, and callers decide how to
+/// render the gap instead of inheriting a sentinel.
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n < 2 {
-        return Summary { mean, ci95: 0.0, n };
+        return Some(Summary { mean, ci95: 0.0, n });
     }
     let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
     let se = (var / n as f64).sqrt();
-    Summary {
+    // n ≥ 2 here, so df ≥ 1 and the quantile always exists.
+    let Some(t) = t_quantile_95(n - 1) else {
+        return Some(Summary { mean, ci95: 0.0, n });
+    };
+    Some(Summary {
         mean,
-        ci95: t_quantile_95(n - 1) * se,
+        ci95: t * se,
         n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -72,7 +79,7 @@ mod tests {
 
     #[test]
     fn constant_samples_have_zero_ci() {
-        let s = summarize(&[5.0; 20]);
+        let s = summarize(&[5.0; 20]).unwrap();
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.ci95, 0.0);
         assert_eq!(s.n, 20);
@@ -80,7 +87,7 @@ mod tests {
 
     #[test]
     fn single_sample() {
-        let s = summarize(&[3.5]);
+        let s = summarize(&[3.5]).unwrap();
         assert_eq!(s.mean, 3.5);
         assert_eq!(s.ci95, 0.0);
     }
@@ -88,7 +95,7 @@ mod tests {
     #[test]
     fn known_interval() {
         // Samples 1..=5: mean 3, sd sqrt(2.5), se sqrt(0.5), t(4)=2.776.
-        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert!((s.mean - 3.0).abs() < 1e-12);
         let expect = 2.776 * (0.5f64).sqrt();
         assert!((s.ci95 - expect).abs() < 1e-9, "{} vs {expect}", s.ci95);
@@ -98,14 +105,14 @@ mod tests {
 
     #[test]
     fn t_quantiles() {
-        assert!((t_quantile_95(19) - 2.093).abs() < 1e-9, "df for 20 runs");
-        assert_eq!(t_quantile_95(100), 1.96);
-        assert!(t_quantile_95(0).is_infinite());
+        let t19 = t_quantile_95(19).unwrap();
+        assert!((t19 - 2.093).abs() < 1e-9, "df for 20 runs");
+        assert_eq!(t_quantile_95(100), Some(1.96));
+        assert_eq!(t_quantile_95(0), None);
     }
 
     #[test]
-    #[should_panic(expected = "zero samples")]
-    fn empty_rejected() {
-        summarize(&[]);
+    fn empty_sample_summarizes_to_none() {
+        assert_eq!(summarize(&[]), None);
     }
 }

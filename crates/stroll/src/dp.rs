@@ -21,7 +21,7 @@ use crate::instance::{StrollInstance, StrollSolution};
 use crate::StrollError;
 use ppdc_topology::{Cost, MetricClosure, INFINITY};
 
-const NO_SUCC: u32 = u32::MAX;
+const NO_SUCC: usize = usize::MAX;
 
 /// Per-target DP tables for Algorithm 2, grown lazily one edge-count level
 /// at a time.
@@ -32,7 +32,7 @@ pub struct DpTables {
     /// `cost[e-1][u]` = min cost of a `u → t` stroll with exactly `e` edges.
     cost: Vec<Vec<Cost>>,
     /// `succ[e-1][u]` = the next node after `u` on that stroll.
-    succ: Vec<Vec<u32>>,
+    succ: Vec<Vec<usize>>,
 }
 
 impl DpTables {
@@ -44,7 +44,7 @@ impl DpTables {
         for u in 0..m {
             if u != t {
                 c1[u] = closure.cost_ix(u, t);
-                s1[u] = t as u32;
+                s1[u] = t;
             }
         }
         DpTables {
@@ -72,10 +72,12 @@ impl DpTables {
         }
     }
 
-    /// Adds one more edge-count level.
+    /// Adds one more edge-count level. `new` seeds level 1, so the tables
+    /// are never empty here.
     fn extend(&mut self, closure: &MetricClosure) {
-        let prev_c = self.cost.last().expect("tables start at level 1");
-        let prev_s = self.succ.last().expect("tables start at level 1");
+        let level = self.cost.len();
+        let prev_c = &self.cost[level - 1];
+        let prev_s = &self.succ[level - 1];
         let m = self.m;
         let mut c = vec![INFINITY; m];
         let mut s = vec![NO_SUCC; m];
@@ -86,7 +88,7 @@ impl DpTables {
                 // v is the next node: not u itself, not the target
                 // mid-walk, and not an immediate backtrack (the stroll from
                 // v must not hop straight back to u).
-                if v == u || v == self.t || prev_s[v] == u as u32 {
+                if v == u || v == self.t || prev_s[v] == u {
                     continue;
                 }
                 if prev_c[v] >= INFINITY {
@@ -95,7 +97,7 @@ impl DpTables {
                 let cand = closure.cost_ix(u, v) + prev_c[v];
                 if cand < best {
                     best = cand;
-                    best_v = v as u32;
+                    best_v = v;
                 }
             }
             c[u] = best;
@@ -123,7 +125,7 @@ impl DpTables {
         for level in (1..=e).rev() {
             let nxt = self.succ[level - 1][cur];
             debug_assert_ne!(nxt, NO_SUCC);
-            cur = nxt as usize;
+            cur = nxt;
             walk.push(cur);
         }
         debug_assert_eq!(cur, self.t);
@@ -179,8 +181,8 @@ fn perturb_hash(attempt: u64, i: usize, j: usize) -> Cost {
     let (a, b) = if i < j { (i, j) } else { (j, i) };
     let mut x = attempt
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((a as u64) << 32)
-        .wrapping_add(b as u64);
+        .wrapping_add((a as u64) << 32) // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
+        .wrapping_add(b as u64); // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -307,7 +309,7 @@ pub fn dp_stroll_all_sources(
                         max_edges: max_edges(n),
                     };
                     for attempt in 1..MAX_ATTEMPTS {
-                        let idx = (attempt - 1) as usize;
+                        let idx = (attempt - 1) as usize; // analyzer:allow(lossy-cast) -- attempt < MAX_ATTEMPTS = 8, fits usize
                         if retries.len() <= idx {
                             let pc = perturbed_closure(closure, attempt);
                             let tb = DpTables::new(&pc, t);

@@ -81,11 +81,12 @@ impl<'a, 'b> Search<'a, 'b> {
         let mut cur = self.inst.s_ix();
         let mut cost: Cost = 0;
         for _ in 0..n {
-            let next = self.sorted_from[cur]
-                .iter()
-                .copied()
-                .find(|&x| !used[x])
-                .expect("instance guarantees enough candidates");
+            // Instance validation guarantees n candidates; should that
+            // invariant ever break, leave the incumbent at INFINITY and let
+            // the branch-and-bound run unseeded instead of panicking.
+            let Some(next) = self.sorted_from[cur].iter().copied().find(|&x| !used[x]) else {
+                return;
+            };
             cost += self.inst.closure().cost_ix(cur, next);
             used[next] = true;
             seq.push(next);

@@ -29,6 +29,12 @@
 //! invariants are machine-checkable with
 //! [`StrollSolution::validate`].
 
+// The solver crates carry the workspace no-panic discipline at the
+// compiler level too: ppdc-analyzer rule R1 catches unwrap/expect
+// lexically, clippy enforces it semantically.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod dp;
 pub mod exact;
 pub mod instance;

@@ -135,7 +135,7 @@ impl Growth<'_> {
                 if cu == cv {
                     continue;
                 }
-                let speed = (active[cu] as u8 + active[cv] as u8) as f64;
+                let speed = f64::from(u8::from(active[cu]) + u8::from(active[cv]));
                 if speed == 0.0 {
                     continue;
                 }
@@ -250,12 +250,7 @@ impl Growth<'_> {
             }
             let leaf = (0..m)
                 .filter(|&v| in_tree[v] && v != self.s && v != self.t && child_count[v] == 0)
-                .max_by(|&a, &b| {
-                    parent_w[a]
-                        .partial_cmp(&parent_w[b])
-                        .unwrap()
-                        .then(a.cmp(&b))
-                });
+                .max_by(|&a, &b| parent_w[a].total_cmp(&parent_w[b]).then(a.cmp(&b)));
             let Some(leaf) = leaf else { break };
             in_tree[leaf] = false;
             if parent[leaf] != usize::MAX {
@@ -296,7 +291,7 @@ pub fn primal_dual_stroll(
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     for (u, v, w) in graph.edges() {
         if let (Some(lu), Some(lv)) = (closure.index(u), closure.index(v)) {
-            edges.push((lu, lv, w as f64));
+            edges.push((lu, lv, w as f64)); // analyzer:allow(lossy-cast) -- link weights ≪ 2⁵³ are exactly representable in f64
         }
     }
     let n = inst.n();

@@ -137,7 +137,7 @@ impl FaultSet {
             .iter()
             .enumerate()
             .filter(|&(_, &b)| b)
-            .map(|(i, _)| NodeId(i as u32))
+            .map(|(i, _)| NodeId::from_index(i))
     }
 
     /// Currently failed edge ids, in id order.
@@ -146,7 +146,7 @@ impl FaultSet {
             .iter()
             .enumerate()
             .filter(|&(_, &b)| b)
-            .map(|(i, _)| EdgeId(i as u32))
+            .map(|(i, _)| EdgeId::from_index(i))
     }
 }
 
@@ -173,7 +173,7 @@ impl Graph {
             };
         }
         for (i, (u, v, w)) in self.edges().enumerate() {
-            if faults.edge_failed(EdgeId(i as u32))
+            if faults.edge_failed(EdgeId::from_index(i))
                 || faults.node_failed(u)
                 || faults.node_failed(v)
             {
@@ -205,12 +205,13 @@ impl Partition {
             if component[start.index()] != u32::MAX {
                 continue;
             }
-            let c = sizes.len() as u32;
+            let ci = sizes.len();
+            let c = u32::try_from(ci).expect("component count exceeds the u32 id space");
             sizes.push(0);
             component[start.index()] = c;
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
-                sizes[c as usize] += 1;
+                sizes[ci] += 1;
                 for &(v, _) in g.neighbors(u) {
                     if component[v.index()] == u32::MAX {
                         component[v.index()] = c;
@@ -239,7 +240,7 @@ impl Partition {
 
     /// Number of nodes in component `c`.
     pub fn size(&self, c: u32) -> usize {
-        self.sizes[c as usize]
+        self.sizes[c as usize] // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
     }
 
     /// True if `a` and `b` are in the same component.

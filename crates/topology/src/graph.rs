@@ -15,6 +15,41 @@ pub type Cost = u64;
 /// overflow `u64` when added carelessly once.
 pub const INFINITY: Cost = u64::MAX / 4;
 
+/// Saturating cost addition with [`INFINITY`] as a fixed point: if either
+/// operand is at (or beyond) the sentinel the result is *exactly*
+/// [`INFINITY`], never a wrapped or drifting sum. For finite operands the
+/// result is bit-identical to `a + b` (clamped at the sentinel), so
+/// routing exact arithmetic through this helper changes nothing.
+///
+/// This is the only sanctioned way to add possibly-unreachable costs —
+/// the `raw-cost-arith` analyzer rule rejects raw `+` on the sentinel
+/// everywhere outside this module and `model/src/cost.rs`.
+#[inline]
+pub fn sat_add(a: Cost, b: Cost) -> Cost {
+    if a >= INFINITY || b >= INFINITY {
+        INFINITY
+    } else {
+        // Finite operands are each < u64::MAX / 4, so the raw sum cannot
+        // overflow; the clamp pins accumulated sums at the sentinel.
+        (a + b).min(INFINITY)
+    }
+}
+
+/// Saturating cost multiplication with the same sentinel discipline as
+/// [`sat_add`]: `0 · anything = 0` (a zero-rate flow costs nothing even
+/// across a partition), any other product involving [`INFINITY`] — or
+/// overflowing `u64` — is exactly [`INFINITY`].
+#[inline]
+pub fn sat_mul(a: Cost, b: Cost) -> Cost {
+    if a == 0 || b == 0 {
+        0
+    } else if a >= INFINITY || b >= INFINITY {
+        INFINITY
+    } else {
+        a.checked_mul(b).map_or(INFINITY, |p| p.min(INFINITY))
+    }
+}
+
 /// Index of a node in a [`Graph`]. Hosts and switches share one id space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
@@ -23,7 +58,15 @@ impl NodeId {
     /// The raw index, usable to address per-node arrays.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
+    }
+
+    /// Converts a per-node array index back into an id, checking the
+    /// `u32` id space. This is the sanctioned inverse of [`NodeId::index`]
+    /// — use it instead of a bare `as u32` cast.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node index exceeds the u32 id space"))
     }
 }
 
@@ -41,7 +84,14 @@ impl EdgeId {
     /// The raw index, usable to address per-edge arrays.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
+    }
+
+    /// Converts a per-edge array index back into an id, checking the
+    /// `u32` id space (the sanctioned inverse of [`EdgeId::index`]).
+    #[inline]
+    pub fn from_index(i: usize) -> EdgeId {
+        EdgeId(u32::try_from(i).expect("edge index exceeds the u32 id space"))
     }
 }
 
@@ -161,7 +211,7 @@ impl Graph {
 
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.kinds.len() as u32).map(NodeId)
+        (0..self.kinds.len()).map(NodeId::from_index)
     }
 
     /// Iterates over all host ids (`V_h`).
@@ -229,7 +279,7 @@ impl Graph {
             let (u, v, w) = self.edges[e];
             let nw = f(u, v, w);
             if nw != w {
-                self.set_edge_weight(EdgeId(e as u32), nw);
+                self.set_edge_weight(EdgeId::from_index(e), nw);
             }
         }
     }
@@ -374,5 +424,50 @@ mod tests {
     fn top_of_rack_finds_unique_switch() {
         let (g, h, s1, _) = tiny();
         assert_eq!(g.top_of_rack(h), Some(s1));
+    }
+
+    #[test]
+    fn sat_add_matches_raw_addition_for_finite_values() {
+        assert_eq!(sat_add(0, 0), 0);
+        assert_eq!(sat_add(3, 4), 7);
+        assert_eq!(sat_add(1_000_000, 2_000_000), 3_000_000);
+    }
+
+    #[test]
+    fn sat_add_pins_the_sentinel() {
+        assert_eq!(sat_add(INFINITY, 0), INFINITY);
+        assert_eq!(sat_add(0, INFINITY), INFINITY);
+        assert_eq!(sat_add(INFINITY, INFINITY), INFINITY);
+        // Values beyond the sentinel (from legacy raw sums) are pinned too.
+        assert_eq!(sat_add(INFINITY + 1, 1), INFINITY);
+        // Large finite sums clamp instead of drifting past the sentinel.
+        assert_eq!(sat_add(INFINITY - 1, INFINITY - 1), INFINITY);
+    }
+
+    #[test]
+    fn sat_mul_matches_raw_multiplication_for_finite_values() {
+        assert_eq!(sat_mul(3, 4), 12);
+        assert_eq!(sat_mul(1_000_000, 1_000_000), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn sat_mul_zero_annihilates_even_infinity() {
+        // A zero-rate flow costs nothing even across a network partition.
+        assert_eq!(sat_mul(0, INFINITY), 0);
+        assert_eq!(sat_mul(INFINITY, 0), 0);
+    }
+
+    #[test]
+    fn sat_mul_pins_the_sentinel_and_overflow() {
+        assert_eq!(sat_mul(1, INFINITY), INFINITY);
+        assert_eq!(sat_mul(INFINITY, 2), INFINITY);
+        // u64 overflow saturates instead of wrapping or panicking.
+        assert_eq!(sat_mul(u64::MAX / 8, 16), INFINITY);
+    }
+
+    #[test]
+    fn id_round_trips_through_index() {
+        assert_eq!(NodeId::from_index(NodeId(17).index()), NodeId(17));
+        assert_eq!(EdgeId::from_index(EdgeId(3).index()), EdgeId(3));
     }
 }

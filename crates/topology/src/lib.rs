@@ -36,7 +36,7 @@ pub mod shortest;
 
 pub use builders::{fat_tree, leaf_spine, linear, star, FatTree};
 pub use fault::{FaultSet, Partition};
-pub use graph::{Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
+pub use graph::{sat_add, sat_mul, Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
 pub use metric::MetricClosure;
 pub use shortest::{DistanceMatrix, ShortestPaths};
 

@@ -32,7 +32,7 @@ impl MetricClosure {
         let mut index_of = vec![NOT_MEMBER; dm.num_nodes()];
         for (i, &n) in nodes.iter().enumerate() {
             assert_eq!(index_of[n.index()], NOT_MEMBER, "duplicate node in closure");
-            index_of[n.index()] = i as u32;
+            index_of[n.index()] = u32::try_from(i).expect("closure size exceeds the u32 id space");
         }
         let mut cost = vec![0; m * m];
         for (i, &u) in nodes.iter().enumerate() {
@@ -87,6 +87,7 @@ impl MetricClosure {
     #[inline]
     pub fn index(&self, n: NodeId) -> Option<usize> {
         match self.index_of.get(n.index()) {
+            // analyzer:allow(lossy-cast) -- u32 → usize is lossless on every supported target
             Some(&i) if i != NOT_MEMBER => Some(i as usize),
             _ => None,
         }

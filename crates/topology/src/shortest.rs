@@ -46,7 +46,7 @@ fn sssp_into(g: &Graph, source: NodeId, unit_weight: bool, dist: &mut [Cost], pa
         let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
         heap.push(Reverse((0, source.0)));
         while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u as usize] {
+            if d > dist[NodeId(u).index()] {
                 continue;
             }
             for &(v, w) in g.neighbors(NodeId(u)) {
@@ -184,7 +184,7 @@ impl DistanceMatrix {
             .zip(dm.parent.chunks_mut(n.max(1)))
             .enumerate()
         {
-            sssp_into(g, NodeId(u as u32), unit, drow, prow);
+            sssp_into(g, NodeId::from_index(u), unit, drow, prow);
         }
         dm.refresh_summary();
         dm
@@ -222,7 +222,7 @@ impl DistanceMatrix {
             .enumerate()
             .collect();
         rows.into_par_iter().for_each(|(u, (drow, prow))| {
-            sssp_into(g, NodeId(u as u32), unit, drow, prow);
+            sssp_into(g, NodeId::from_index(u), unit, drow, prow);
         });
         self.refresh_summary();
     }
@@ -239,6 +239,39 @@ impl DistanceMatrix {
         }
         self.diameter = diameter;
         self.connected = connected;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_metric_invariants();
+    }
+
+    /// `strict-invariants` contract: every (re)built matrix must be a
+    /// metric — zero on the diagonal, symmetric (the fabric is
+    /// undirected), and triangle-inequality-consistent under saturating
+    /// addition. Exhaustive below 65 nodes; strided sampling keeps the
+    /// check near-cubic-in-32 on big fabrics so contract builds stay
+    /// usable in CI.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_metric_invariants(&self) {
+        use crate::graph::sat_add;
+        let n = self.n;
+        let stride = (n / 32).max(1);
+        for u in (0..n).step_by(stride) {
+            assert_eq!(self.dist[u * n + u], 0, "d({u},{u}) must be 0");
+            for v in (0..n).step_by(stride) {
+                let duv = self.dist[u * n + v];
+                assert_eq!(
+                    duv,
+                    self.dist[v * n + u],
+                    "asymmetric distance between nodes {u} and {v}"
+                );
+                for k in (0..n).step_by(stride) {
+                    let via = sat_add(self.dist[u * n + k], self.dist[k * n + v]);
+                    assert!(
+                        duv <= via,
+                        "triangle inequality violated: d({u},{v}) = {duv} > {via} via node {k}"
+                    );
+                }
+            }
+        }
     }
 
     /// Number of nodes.
