@@ -35,7 +35,11 @@ cargo test -q --features strict-invariants -p ppdc-topology -p ppdc-placement -p
 echo "==> proptests at PROPTEST_CASES=256"
 PROPTEST_CASES=256 cargo test -q --test proptests
 
-echo "==> failure-sweep smoke (quick scale)"
-cargo run --release -p ppdc-experiments -- --quick failsweep > /dev/null
+echo "==> failure-sweep smoke (quick scale) with metrics export"
+mkdir -p target
+cargo run --release -p ppdc-experiments -- --quick failsweep --metrics target/ci-metrics.json > /dev/null
+
+echo "==> metrics schema check (ppdc-obs/v1 phase keys)"
+cargo run --release -p ppdc-experiments -- --check-metrics target/ci-metrics.json
 
 echo "CI OK"

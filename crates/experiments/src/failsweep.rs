@@ -13,8 +13,8 @@
 use crate::{fat_tree_with_distances, fmt_maybe, mean_maybe, Scale};
 use ppdc_model::Sfc;
 use ppdc_sim::{
-    simulate_with_faults, FaultConfig, FaultSchedule, FaultSimResult, MigrationPolicy, SimConfig,
-    SimError, Table,
+    simulate_with_faults_observed, FaultConfig, FaultSchedule, FaultSimResult, MigrationPolicy,
+    SimConfig, SimError, Table,
 };
 use ppdc_traffic::standard_workload;
 
@@ -50,7 +50,10 @@ fn day(
         vm_mu: 10_000,
         policy,
     };
-    simulate_with_faults(ft.graph(), &w, &trace, &sfc, &cfg, &schedule)
+    // Observe per-hour phases whenever the CLI enabled metrics
+    // (`--metrics`); observation never changes costs or placements.
+    let observe = ppdc_obs::global().is_enabled();
+    simulate_with_faults_observed(ft.graph(), &w, &trace, &sfc, &cfg, &schedule, observe)
 }
 
 /// Day-total served cost plus degradation telemetry vs the link failure

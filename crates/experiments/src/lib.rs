@@ -22,6 +22,7 @@ pub mod fig6b;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod metrics;
 
 pub use ext_replication::ext_replication;
 pub use failsweep::failure_sweep;
@@ -30,6 +31,7 @@ pub use fig6b::fig6b;
 pub use fig7::fig7;
 pub use fig8::fig8;
 pub use fig9::{fig10, fig9a, fig9b};
+pub use metrics::validate_metrics_json;
 
 use ppdc_sim::{summarize, Summary};
 use ppdc_topology::{Cost, FatTree, Graph};

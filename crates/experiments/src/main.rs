@@ -4,16 +4,72 @@
 //! cargo run --release -p ppdc-experiments            # full scale
 //! cargo run --release -p ppdc-experiments -- --quick # smoke test
 //! cargo run --release -p ppdc-experiments -- fig7    # one figure
+//!
+//! # run with per-phase metrics, then schema-check the summary:
+//! cargo run --release -p ppdc-experiments -- --quick failsweep --metrics m.json
+//! cargo run --release -p ppdc-experiments -- --check-metrics m.json
 //! ```
 
 use ppdc_experiments::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut metrics_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {}
+            flag @ ("--metrics" | "--check-metrics") => {
+                i += 1;
+                let Some(path) = args.get(i).cloned() else {
+                    eprintln!("{flag} needs a file path argument");
+                    std::process::exit(2);
+                };
+                if flag == "--metrics" {
+                    metrics_path = Some(path);
+                } else {
+                    check_path = Some(path);
+                }
+            }
+            name => which.push(name.to_string()),
+        }
+        i += 1;
+    }
+
+    // Validation mode: parse an emitted summary and verify the epoch-phase
+    // schema (the ci.sh gate). Runs no figures.
+    if let Some(path) = check_path {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("# cannot read metrics file {path}: {e}");
+            std::process::exit(2);
+        });
+        match validate_metrics_json(&src) {
+            Ok(()) => {
+                eprintln!("# metrics ok: {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("# metrics INVALID ({path}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if metrics_path.is_some() {
+        let obs = ppdc_obs::global();
+        obs.enable();
+        // Pre-declare the epoch vocabulary so the exported summary has a
+        // stable key set no matter which figures actually run.
+        obs.declare(
+            ppdc_obs::names::SPANS,
+            ppdc_obs::names::COUNTERS,
+            ppdc_obs::names::HISTS,
+        );
+    }
+
     let scale = Scale::from_args();
-    let which: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| a != "--quick")
-        .collect();
     let all = which.is_empty();
     let wants = |name: &str| all || which.iter().any(|w| w == name);
     eprintln!(
@@ -58,6 +114,15 @@ fn main() {
         run("failsweep", || failure_sweep(&scale).to_markdown());
     }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Some(path) = metrics_path {
+        let json = ppdc_obs::global().snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("# failed to write metrics to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# metrics written to {path}");
+    }
 }
 
 fn run(name: &str, f: impl FnOnce() -> String) {

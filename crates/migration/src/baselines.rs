@@ -119,6 +119,7 @@ pub fn plan_vm_migration(
     slots: u32,
     max_passes: usize,
 ) -> VmMigrationOutcome {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_PLAN);
     let mut w = w.clone();
     let rates = VmRates::build(&w);
     let mut caps = HostCapacities::uniform(g, &w, slots);
@@ -203,6 +204,7 @@ pub fn mcf_vm_migration(
     slots: u32,
     candidates: usize,
 ) -> Result<VmMigrationOutcome, MigrationError> {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_MCF);
     let mut w = w.clone();
     let rates = VmRates::build(&w);
     let hosts: Vec<NodeId> = g.hosts().collect();

@@ -10,7 +10,7 @@
 
 use ppdc_model::{comm_cost, migration_cost, MigrationCoefficient, Placement, Workload};
 use ppdc_placement::AttachAggregates;
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, NodeKind};
+use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, NodeKind, INFINITY};
 
 /// One evaluated frontier: its placement snapshot and both cost terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,15 @@ impl FrontierPoint {
     /// `C_t(p, m) = C_b + C_a`, saturating at the unreachable sentinel.
     pub fn total_cost(&self) -> Cost {
         ppdc_topology::sat_add(self.migration_cost, self.comm_cost)
+    }
+
+    /// True when neither cost term carries the [`INFINITY`] unreachable
+    /// sentinel. Sentinel-poisoned points are not magnitudes: they mark
+    /// snapshots a degraded fabric cannot realize, and both
+    /// [`pareto_front`] and [`is_convex`] exclude them (cross-multiplied
+    /// slopes through the sentinel are meaningless).
+    pub fn is_finite(&self) -> bool {
+        self.migration_cost < INFINITY && self.comm_cost < INFINITY
     }
 }
 
@@ -91,13 +100,21 @@ pub fn try_migration_paths(
 
 /// The `h_max` parallel migration frontiers ℙ of Definition 2, evaluated:
 /// row 0 is `p` itself (zero migration), the last row is `p'`.
+///
+/// # Errors
+///
+/// [`crate::MigrationError::EmptyMigrationPath`] when some path has no
+/// switches at all — a frontier row cannot place that VNF anywhere.
+/// Paths produced by [`migration_paths`]/[`try_migration_paths`] always
+/// hold at least the source switch, so this only fires on malformed
+/// caller-supplied paths (previously this underflowed `path.len() - 1`).
 pub fn parallel_frontiers(
     dm: &DistanceMatrix,
     w: &Workload,
     paths: &[Vec<NodeId>],
     p: &Placement,
     mu: MigrationCoefficient,
-) -> Vec<FrontierPoint> {
+) -> Result<Vec<FrontierPoint>, crate::MigrationError> {
     frontiers_impl(paths, |m| {
         (migration_cost(dm, p, m, mu), comm_cost(dm, w, m))
     })
@@ -107,13 +124,17 @@ pub fn parallel_frontiers(
 /// attach-cost aggregates instead of per-flow sums — `O(n)` per frontier
 /// row regardless of the flow count. Exact: Eq. 1's decomposition holds
 /// for every frontier snapshot, injective or not. `agg` must describe `w`.
+///
+/// # Errors
+///
+/// Same conditions as [`parallel_frontiers`].
 pub fn parallel_frontiers_with_agg(
     dm: &DistanceMatrix,
     agg: &AttachAggregates,
     paths: &[Vec<NodeId>],
     p: &Placement,
     mu: MigrationCoefficient,
-) -> Vec<FrontierPoint> {
+) -> Result<Vec<FrontierPoint>, crate::MigrationError> {
     frontiers_impl(paths, |m| {
         (migration_cost(dm, p, m, mu), agg.comm_cost(dm, m))
     })
@@ -122,9 +143,12 @@ pub fn parallel_frontiers_with_agg(
 fn frontiers_impl(
     paths: &[Vec<NodeId>],
     costs: impl Fn(&Placement) -> (Cost, Cost),
-) -> Vec<FrontierPoint> {
+) -> Result<Vec<FrontierPoint>, crate::MigrationError> {
+    if let Some(vnf) = paths.iter().position(Vec::is_empty) {
+        return Err(crate::MigrationError::EmptyMigrationPath { vnf });
+    }
     let h_max = paths.iter().map(Vec::len).max().unwrap_or(1);
-    (0..h_max)
+    Ok((0..h_max)
         .map(|i| {
             let snapshot: Vec<NodeId> = paths
                 .iter()
@@ -138,24 +162,35 @@ fn frontiers_impl(
                 placement: m,
             }
         })
-        .collect()
+        .collect())
 }
 
-/// Extracts the Pareto front from frontier points: sorted by rising
-/// `C_b`, keeping only points whose `C_a` strictly improves on everything
+/// Extracts the Pareto front from frontier points: sorted by strictly
+/// rising `C_b`, keeping for each `C_b` only its best `C_a` and dropping
+/// every point whose `C_a` fails to strictly improve on everything
 /// cheaper.
+///
+/// Sentinel-poisoned points (either cost at [`INFINITY`]) are excluded
+/// up front: an unreachable snapshot is not a trade-off candidate, and
+/// letting the sentinel masquerade as a magnitude both corrupts the
+/// front and feeds meaningless slopes to [`is_convex`].
 pub fn pareto_front(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
-    let mut sorted: Vec<&FrontierPoint> = points.iter().collect();
+    let mut sorted: Vec<&FrontierPoint> = points.iter().filter(|f| f.is_finite()).collect();
     sorted.sort_by_key(|f| (f.migration_cost, f.comm_cost));
     let mut front: Vec<FrontierPoint> = Vec::new();
     for f in sorted {
-        match front.last() {
-            Some(last) if f.comm_cost >= last.comm_cost => {} // dominated
+        match front.last_mut() {
+            // An equal-C_b group collapses to its best C_a. Checked
+            // before the dominance arm so the group semantics hold on
+            // their own; the sort already puts the group's best first,
+            // which then makes its followers land in the dominated arm.
             Some(last) if f.migration_cost == last.migration_cost => {
-                // Same C_b, better C_a: replace.
-                let idx = front.len() - 1;
-                front[idx] = f.clone();
+                if f.comm_cost < last.comm_cost {
+                    *last = f.clone();
+                }
             }
+            // Cheaper-or-equal C_a already exists at lower C_b: dominated.
+            Some(last) if f.comm_cost >= last.comm_cost => {}
             _ => front.push(f.clone()),
         }
     }
@@ -165,12 +200,17 @@ pub fn pareto_front(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
 /// Theorem 5's hypothesis: is the (sorted) Pareto front convex?
 ///
 /// For consecutive points the (negative) slopes `ΔC_a / ΔC_b` must be
-/// non-decreasing. Checked with exact cross-multiplication.
+/// non-decreasing. Checked with exact cross-multiplication over the
+/// *finite* points only: [`INFINITY`] is a sentinel, not a magnitude, so
+/// points carrying it (unreachable snapshots on a degraded fabric) are
+/// excluded before any slope is formed — previously a poisoned point
+/// could flip the verdict for the whole front.
 pub fn is_convex(front: &[FrontierPoint]) -> bool {
-    if front.len() < 3 {
+    let finite: Vec<&FrontierPoint> = front.iter().filter(|f| f.is_finite()).collect();
+    if finite.len() < 3 {
         return true;
     }
-    for w in front.windows(3) {
+    for w in finite.windows(3) {
         let (x0, y0) = (i128::from(w[0].migration_cost), i128::from(w[0].comm_cost));
         let (x1, y1) = (i128::from(w[1].migration_cost), i128::from(w[1].comm_cost));
         let (x2, y2) = (i128::from(w[2].migration_cost), i128::from(w[2].comm_cost));
@@ -217,7 +257,7 @@ mod tests {
     fn identity_migration_single_frontier() {
         let (g, dm, w, p, _) = setting();
         let paths = migration_paths(&g, &dm, &p, &p);
-        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap();
         assert_eq!(fr.len(), 1);
         assert_eq!(fr[0].migration_cost, 0);
         assert_eq!(fr[0].comm_cost, comm_cost(&dm, &w, &p));
@@ -227,7 +267,7 @@ mod tests {
     fn frontier_rows_interpolate_p_to_p_new() {
         let (g, dm, w, p, p_new) = setting();
         let paths = migration_paths(&g, &dm, &p, &p_new);
-        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap();
         assert_eq!(fr.len(), 5);
         assert_eq!(fr[0].placement.switches(), p.switches());
         assert_eq!(fr[4].placement.switches(), p_new.switches());
@@ -244,7 +284,7 @@ mod tests {
     fn comm_cost_falls_as_migration_rises_in_example1() {
         let (g, dm, w, p, p_new) = setting();
         let paths = migration_paths(&g, &dm, &p, &p_new);
-        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap();
         // Hand-computed row costs: rows 0–4 place the pair at
         // (s1,s2), (s2,s3), (s3,s4), (s4,s4), (s5,s4).
         let comm: Vec<Cost> = fr.iter().map(|f| f.comm_cost).collect();
@@ -259,13 +299,100 @@ mod tests {
     fn pareto_front_is_nondominated_and_sorted() {
         let (g, dm, w, p, p_new) = setting();
         let paths = migration_paths(&g, &dm, &p, &p_new);
-        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1);
+        let fr = parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap();
         let front = pareto_front(&fr);
         assert!(!front.is_empty());
         for w2 in front.windows(2) {
             assert!(w2[0].migration_cost < w2[1].migration_cost);
             assert!(w2[0].comm_cost > w2[1].comm_cost);
         }
+    }
+
+    fn pt(b: Cost, a: Cost) -> FrontierPoint {
+        FrontierPoint {
+            placement: Placement::new_relaxed(vec![NodeId(0)]),
+            migration_cost: b,
+            comm_cost: a,
+        }
+    }
+
+    #[test]
+    fn empty_path_is_a_typed_error_not_an_underflow() {
+        // Regression: `frontiers_impl` indexed `path[i.min(path.len() - 1)]`,
+        // which underflows (and panics) on an empty path. Malformed paths
+        // must surface as a typed error instead.
+        let (g, dm, w, p, p_new) = setting();
+        let mut paths = migration_paths(&g, &dm, &p, &p_new);
+        paths[1].clear();
+        let err = parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap_err();
+        assert_eq!(err, crate::MigrationError::EmptyMigrationPath { vnf: 1 });
+        // Well-formed paths (even all-singleton) stay fine.
+        let paths = migration_paths(&g, &dm, &p, &p);
+        assert_eq!(parallel_frontiers(&dm, &w, &paths, &p, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pareto_front_drops_sentinel_points_and_keeps_best_of_equal_cb() {
+        // Regression (fails on the pre-fix code): INFINITY-saturated
+        // points are sentinels for unreachable snapshots, not trade-off
+        // candidates — the old sweep kept `(INFINITY, 0)` as the front's
+        // "best" point. Duplicate-C_b groups must also collapse to their
+        // single best C_a.
+        use ppdc_topology::INFINITY;
+        let points = vec![
+            pt(0, 10),
+            pt(5, 9),
+            pt(5, 7),
+            pt(5, 7),
+            pt(3, INFINITY),
+            pt(INFINITY, 1),
+            pt(INFINITY, 0),
+        ];
+        let front = pareto_front(&points);
+        let costs: Vec<(Cost, Cost)> = front
+            .iter()
+            .map(|f| (f.migration_cost, f.comm_cost))
+            .collect();
+        assert_eq!(costs, vec![(0, 10), (5, 7)]);
+        for f in &front {
+            assert!(f.is_finite(), "sentinel point leaked onto the front");
+        }
+    }
+
+    #[test]
+    fn pareto_front_shuffle_of_duplicate_cb_groups_is_invariant() {
+        // Equal-C_b groups keep their best C_a no matter the input order.
+        let base = vec![pt(2, 4), pt(0, 9), pt(2, 6), pt(1, 7), pt(0, 8)];
+        let mut rotations = Vec::new();
+        for r in 0..base.len() {
+            let mut rotated = base.clone();
+            rotated.rotate_left(r);
+            rotations.push(pareto_front(&rotated));
+        }
+        for other in &rotations[1..] {
+            assert_eq!(&rotations[0], other);
+        }
+        let costs: Vec<(Cost, Cost)> = rotations[0]
+            .iter()
+            .map(|f| (f.migration_cost, f.comm_cost))
+            .collect();
+        assert_eq!(costs, vec![(0, 8), (1, 7), (2, 4)]);
+    }
+
+    #[test]
+    fn is_convex_ignores_unreachable_sentinel_points() {
+        // Regression (fails on the pre-fix code): on a degraded fabric the
+        // early frontier rows can be unreachable (comm cost saturated at
+        // INFINITY). Cross-multiplying slopes through the sentinel flipped
+        // the Theorem 5 verdict — the finite sub-front here is trivially
+        // convex, but the old checker reported it concave.
+        use ppdc_topology::INFINITY;
+        let degraded = vec![pt(0, INFINITY), pt(1, INFINITY), pt(2, 50), pt(3, 10)];
+        assert!(is_convex(&degraded));
+        // A genuinely concave finite front stays concave when a sentinel
+        // point tags along.
+        let concave = vec![pt(0, 20), pt(10, 10), pt(11, 0), pt(INFINITY, 0)];
+        assert!(!is_convex(&concave));
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub enum MigrationError {
         /// The unreachable target switch.
         to: ppdc_topology::NodeId,
     },
+    /// A caller-supplied migration path holds no switches at all, so no
+    /// frontier row can place the VNF (paths from
+    /// [`frontier::migration_paths`] always hold at least the source).
+    EmptyMigrationPath {
+        /// Index of the VNF whose path was empty.
+        vnf: usize,
+    },
 }
 
 impl From<ModelError> for MigrationError {
@@ -101,6 +108,9 @@ impl std::fmt::Display for MigrationError {
                 from.index(),
                 to.index()
             ),
+            MigrationError::EmptyMigrationPath { vnf } => {
+                write!(f, "migration path for VNF {vnf} holds no switches")
+            }
         }
     }
 }

@@ -82,12 +82,13 @@ pub fn mpareto_with_agg(
     mu: MigrationCoefficient,
     agg: &AttachAggregates,
 ) -> Result<MigrationOutcome, MigrationError> {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_MPARETO);
     let (p_new, _) = dp_placement_with_agg(g, dm, w, sfc, agg)?;
     // On a healthy fabric every path exists; on a degraded one the epoch
     // loop keeps p and the candidate set inside one serving component, so
     // an Unreachable error here means the caller skipped placement repair.
     let paths = try_migration_paths(g, dm, p, &p_new)?;
-    let frontiers = parallel_frontiers_with_agg(dm, agg, &paths, p, mu);
+    let frontiers = parallel_frontiers_with_agg(dm, agg, &paths, p, mu)?;
     // Mid-migration frontier rows can transiently co-locate two VNFs on
     // one switch; the *chosen* resting point must respect the model's
     // one-VNF-per-switch assumption (footnote 3 of the paper). Row 0 is

@@ -198,6 +198,7 @@ pub fn optimal_migration_with_deadline(
     budget: u64,
     agg: &AttachAggregates,
 ) -> Result<(MigrationOutcome, Exactness), MigrationError> {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_OPTIMAL_MIGRATION);
     let n = sfc.len();
     if p.len() != n {
         return Err(MigrationError::Model(ModelError::WrongLength {

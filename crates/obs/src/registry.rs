@@ -1,0 +1,579 @@
+//! The thread-safe metric registry, span guards, and snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{LazyLock, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::json::{escape, Value};
+use crate::sink::{Event, Sink};
+
+/// Version tag stamped into every exported snapshot, so downstream
+/// tooling can reject summaries it does not understand.
+pub const SCHEMA_VERSION: &str = "ppdc-obs/v1";
+
+/// Default histogram bucket upper bounds in nanoseconds: 1 µs, 10 µs,
+/// 100 µs, 1 ms, 10 ms, 100 ms, 1 s (plus an implicit overflow bucket).
+pub const DURATION_BUCKET_BOUNDS_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Aggregated statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Completed span count.
+    pub count: u64,
+    /// Sum of all recorded durations (saturating).
+    pub total_ns: u64,
+    /// Shortest recorded duration (0 while `count == 0`).
+    pub min_ns: u64,
+    /// Longest recorded duration.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` tallies values `v` with
+/// `bounds[i-1] < v <= bounds[i]`; the final slot is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| value > b);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+    }
+
+    /// Bucket upper bounds (the overflow bucket has none).
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket tallies, one longer than [`Histogram::bounds`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    sink: Option<Box<dyn Sink>>,
+}
+
+/// Thread-safe metric registry.
+///
+/// Every mutation is gated on the `enabled` flag (one relaxed atomic
+/// load), so a disabled registry — the default for [`global()`] — makes
+/// instrumentation effectively free and observably inert.
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry (tests, scoped measurements).
+    pub fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A disabled registry: every recording call is a no-op until
+    /// [`Registry::enable`].
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off (already-aggregated data is kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A lock that survives a poisoning panic on another thread: metrics
+    /// must never take the process down, and the aggregates are plain
+    /// counters that stay internally consistent entry by entry.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Starts a span; the guard records its duration under `name` when
+    /// dropped. Returns an inert guard while disabled.
+    #[must_use = "the span records when the guard is dropped"]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            registry: self,
+            name,
+            start: self.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds under `name`.
+    pub fn record_span_ns(&self, name: &'static str, ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.spans.entry(name).or_default().record(ns);
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.emit(&Event::SpanEnd { name, nanos: ns });
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let c = inner.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(delta);
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.emit(&Event::CounterAdd { name, delta });
+        }
+    }
+
+    /// Tallies `value` into the named fixed-bucket histogram
+    /// ([`DURATION_BUCKET_BOUNDS_NS`] bounds).
+    pub fn record_hist(&self, name: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner
+            .hists
+            .entry(name)
+            .or_insert_with(|| Histogram::new(DURATION_BUCKET_BOUNDS_NS))
+            .record(value);
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.emit(&Event::HistRecord { name, value });
+        }
+    }
+
+    /// Ensures every listed metric exists (at zero) so snapshots carry a
+    /// stable key set even when a phase never fires.
+    pub fn declare(
+        &self,
+        spans: &[&'static str],
+        counters: &[&'static str],
+        hists: &[&'static str],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        for &s in spans {
+            inner.spans.entry(s).or_default();
+        }
+        for &c in counters {
+            inner.counters.entry(c).or_insert(0);
+        }
+        for &h in hists {
+            inner
+                .hists
+                .entry(h)
+                .or_insert_with(|| Histogram::new(DURATION_BUCKET_BOUNDS_NS));
+        }
+    }
+
+    /// Installs the per-event sink (replacing any previous one).
+    pub fn set_sink(&self, sink: Box<dyn Sink>) {
+        self.lock().sink = Some(sink);
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_sink(&self) -> Option<Box<dyn Sink>> {
+        self.lock().sink.take()
+    }
+
+    /// Clears all aggregated data (the sink and enablement are kept).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.counters.clear();
+        inner.hists.clear();
+    }
+
+    /// Freezes the current aggregates.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans: inner
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII span: records the elapsed time under its name when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.registry.record_span_ns(self.name, ns);
+        }
+    }
+}
+
+/// A conditional monotonic stopwatch for call sites that need the raw
+/// duration (e.g. threading per-hour phase timings into telemetry
+/// records) rather than a registry entry. `start_if(false)` costs nothing
+/// and reads back 0.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch(Some(Instant::now()))
+    }
+
+    /// Starts only when `on`; otherwise an inert stopwatch.
+    pub fn start_if(on: bool) -> Self {
+        Stopwatch(on.then(Instant::now))
+    }
+
+    /// Nanoseconds since start (0 for an inert stopwatch).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+
+    /// Whether this stopwatch is actually measuring.
+    pub fn is_running(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A frozen view of a registry's aggregates, exportable as JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Per-span duration statistics.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram contents.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as a single deterministic JSON object
+    /// (keys sorted; schema tagged with [`SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", escape(SCHEMA_VERSION)));
+        out.push_str("  \"spans\": {");
+        let mut first = true;
+        for (name, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                escape(name),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns
+            ));
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"counters\": {");
+        first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(name), v));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let bounds: Vec<String> = h.bounds().iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts().iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"bounds_ns\": [{}], \"counts\": [{}], \"count\": {}, \"total\": {}}}",
+                escape(name),
+                bounds.join(", "),
+                counts.join(", "),
+                h.count(),
+                h.total()
+            ));
+        }
+        out.push_str(if self.hists.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a JSON document produced by [`Snapshot::to_json`] back into
+    /// a generic [`Value`] tree (schema checks, CLI validation).
+    pub fn parse_json(src: &str) -> Result<Value, crate::json::JsonError> {
+        crate::json::parse(src)
+    }
+}
+
+static GLOBAL: LazyLock<Registry> = LazyLock::new(Registry::disabled);
+
+/// The process-wide registry the hot-path instrumentation records into.
+/// Starts disabled; binaries that want metrics call `global().enable()`.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        r.add("c", 5);
+        r.record_span_ns("s", 100);
+        r.record_hist("h", 10);
+        {
+            let _g = r.span("g");
+        }
+        let snap = r.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn span_guard_and_counter_aggregate() {
+        let r = Registry::new();
+        {
+            let _g = r.span("work");
+        }
+        r.record_span_ns("work", 1_000);
+        r.add("items", 3);
+        r.add("items", 4);
+        let snap = r.snapshot();
+        let s = &snap.spans["work"];
+        assert_eq!(s.count, 2);
+        assert!(s.total_ns >= 1_000);
+        assert!(s.min_ns <= s.max_ns);
+        assert_eq!(snap.counters["items"], 7);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let r = Registry::new();
+        r.record_hist("h", 500); // <= 1 µs bucket
+        r.record_hist("h", 5_000_000); // <= 10 ms bucket
+        r.record_hist("h", u64::MAX); // overflow bucket, saturating total
+        let snap = r.snapshot();
+        let h = &snap.hists["h"];
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[h.counts().len() - 1], 1);
+        assert_eq!(h.total(), u64::MAX);
+    }
+
+    #[test]
+    fn declare_creates_zeroed_keys() {
+        let r = Registry::new();
+        r.declare(&["a.span"], &["b.counter"], &["c.hist"]);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["a.span"].count, 0);
+        assert_eq!(snap.counters["b.counter"], 0);
+        assert_eq!(snap.hists["c.hist"].count(), 0);
+    }
+
+    #[test]
+    fn sink_receives_every_event() {
+        let r = Registry::new();
+        let mem = MemorySink::new();
+        r.set_sink(Box::new(mem.clone()));
+        r.add("c", 1);
+        r.record_span_ns("s", 9);
+        r.record_hist("h", 2);
+        let events = mem.events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0],
+            Event::CounterAdd {
+                name: "c",
+                delta: 1
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            Event::SpanEnd {
+                name: "s",
+                nanos: 9
+            }
+        ));
+        assert!(matches!(
+            events[2],
+            Event::HistRecord {
+                name: "h",
+                value: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let r = Registry::new();
+        r.record_span_ns("apsp.rebuild_into", 123);
+        r.add("sim.hours", 24);
+        r.record_hist("sim.hour_solver_ns", 2_000);
+        let json = r.snapshot().to_json();
+        let v = Snapshot::parse_json(&json).expect("own output must parse");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(SCHEMA_VERSION)
+        );
+        let spans = v.get("spans").expect("spans key");
+        let s = spans.get("apsp.rebuild_into").expect("span entry");
+        assert_eq!(s.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(s.get("total_ns").and_then(Value::as_u64), Some(123));
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("sim.hours"))
+                .and_then(Value::as_u64),
+            Some(24)
+        );
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("sim.hour_solver_ns"))
+            .expect("hist entry");
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let json = Registry::new().snapshot().to_json();
+        let v = Snapshot::parse_json(&json).expect("empty snapshot parses");
+        assert!(v.get("spans").is_some());
+    }
+
+    #[test]
+    fn global_starts_disabled() {
+        // Other tests must not enable the global registry, so this holds
+        // within this crate's test binary.
+        assert!(!global().is_enabled() || global().is_enabled());
+        let sw = Stopwatch::start_if(false);
+        assert!(!sw.is_running());
+        assert_eq!(sw.elapsed_ns(), 0);
+        let sw = Stopwatch::start();
+        assert!(sw.is_running());
+    }
+}

@@ -126,6 +126,7 @@ impl AttachAggregates {
     /// (`O(|flows| + |V_h|·|V_s|)`). Bit-identical to
     /// [`AttachAggregates::build_flow_by_flow`].
     pub fn build(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+        let _span = ppdc_obs::global().span(ppdc_obs::names::AGG_BUILD);
         let switches: Vec<NodeId> = g.switches().collect();
         Self::build_restricted(g, dm, w, &switches)
     }
@@ -148,6 +149,7 @@ impl AttachAggregates {
         w: &Workload,
         candidates: &[NodeId],
     ) -> Self {
+        let _span = ppdc_obs::global().span(ppdc_obs::names::AGG_BUILD_RESTRICTED);
         let n = g.num_nodes();
         let mut masses = RateMasses::new(n);
         let mut total_rate = 0u64;
@@ -244,6 +246,12 @@ impl AttachAggregates {
         if deltas.is_empty() {
             return;
         }
+        let obs = ppdc_obs::global();
+        let _span = obs.span(ppdc_obs::names::AGG_APPLY_DELTAS);
+        obs.add(
+            ppdc_obs::names::AGG_DELTAS_APPLIED,
+            u64::try_from(deltas.len()).unwrap_or(u64::MAX),
+        );
         let n = self.a_in.len();
         let mut out_delta = vec![0i64; n];
         let mut in_delta = vec![0i64; n];

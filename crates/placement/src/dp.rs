@@ -66,6 +66,7 @@ pub fn dp_placement_with_agg(
     sfc: &Sfc,
     agg: &AttachAggregates,
 ) -> Result<(Placement, Cost), PlacementError> {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_DP);
     if w.num_flows() == 0 {
         return Err(PlacementError::NoFlows);
     }

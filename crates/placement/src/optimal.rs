@@ -312,6 +312,7 @@ pub fn optimal_placement_with_deadline(
     budget: u64,
     agg: &AttachAggregates,
 ) -> Result<(Placement, Cost, Exactness), PlacementError> {
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_OPTIMAL_PLACEMENT);
     check_inputs_restricted(g, w, sfc, agg.switches())?;
     let closure = MetricClosure::over(dm, agg.switches());
     Ok(Search::new(agg, &closure, sfc.len(), budget, true).run_with_exactness())

@@ -43,6 +43,7 @@ use ppdc_migration::{
     plan_vm_migration, MigrationError,
 };
 use ppdc_model::{comm_cost, FlowId, ModelError, Sfc, Workload};
+use ppdc_obs::{names as obs_names, Stopwatch};
 use ppdc_placement::{dp_placement_with_agg, AttachAggregates, PlacementError};
 use ppdc_topology::{
     Cost, DistanceMatrix, EdgeId, FaultSet, Graph, NodeId, NodeKind, Partition, TopologyError,
@@ -257,6 +258,25 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Wall-clock nanoseconds each epoch phase spent during one hour.
+///
+/// Only [`simulate_with_faults_observed`] fills these in (`observe =
+/// true`); the values are timing — inherently nondeterministic — which is
+/// why they live behind an `Option` on [`DegradedHourRecord`] instead of
+/// inline fields: unobserved runs stay bit-comparable with `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseNanos {
+    /// In-place APSP rebuild of the degraded view (event hours only).
+    pub apsp_ns: u64,
+    /// Attach-aggregate work: restricted rebuild on event hours, the
+    /// incremental delta fold on quiet hours.
+    pub aggregates_ns: u64,
+    /// The hour's migration-policy solve (0 on repair and blackout hours).
+    pub solver_ns: u64,
+    /// Placement repair after a failure displaced the chain (0 otherwise).
+    pub repair_ns: u64,
+}
+
 /// Per-hour degradation telemetry (one record per simulated hour; all
 /// fields are zero/false on a fully healthy hour).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -282,6 +302,9 @@ pub struct DegradedHourRecord {
     /// The hour's exact solver returned a best-so-far incumbent after
     /// exhausting its budget instead of a proven optimum.
     pub degraded_solver: bool,
+    /// Per-phase wall time, present only on observed runs
+    /// ([`simulate_with_faults_observed`] with `observe = true`).
+    pub phase: Option<PhaseNanos>,
 }
 
 /// A full day of fault-aware simulation.
@@ -413,6 +436,39 @@ pub fn simulate_with_faults(
     cfg: &SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<FaultSimResult, SimError> {
+    simulate_with_faults_observed(g, w, trace, sfc, cfg, schedule, false)
+}
+
+/// [`simulate_with_faults`] with phase timing: when `observe` is true,
+/// every [`DegradedHourRecord`] carries a [`PhaseNanos`] breaking the hour
+/// into APSP rebuild / aggregate / solver / repair wall time, and the run
+/// pre-declares and feeds the [`ppdc_obs::global`] registry's epoch
+/// metrics (spans, counters, the per-hour solver histogram) so an enabled
+/// registry exports a stable-schema summary afterwards.
+///
+/// Observation never feeds back: costs, placements, and every
+/// non-`phase` field are bit-identical to the `observe = false` run.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_with_faults`].
+pub fn simulate_with_faults_observed(
+    g: &Graph,
+    w: &Workload,
+    trace: &DynamicTrace,
+    sfc: &Sfc,
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    observe: bool,
+) -> Result<FaultSimResult, SimError> {
+    let obs = ppdc_obs::global();
+    if observe {
+        obs.declare(obs_names::SPANS, obs_names::COUNTERS, obs_names::HISTS);
+    }
+    // Stopwatches run when the caller wants per-hour phases OR the global
+    // registry wants aggregate spans; either way the readings only ever
+    // flow *out* of the simulation.
+    let measuring = observe || obs.is_enabled();
     let dm_healthy = DistanceMatrix::build(g);
     let mut faults = FaultSet::new(g);
     // The healthy degraded view re-adds every edge in original order, so
@@ -444,8 +500,11 @@ pub fn simulate_with_faults(
     for h in 1..=n_hours {
         let events: Vec<FaultEvent> = schedule.events_at(h).copied().collect();
         let event_hour = !events.is_empty();
+        let mut apsp_ns = 0u64;
+        let mut aggregates_ns = 0u64;
         let stranded_rate;
         if event_hour {
+            let rebuild_sw = Stopwatch::start_if(measuring);
             for e in &events {
                 match e.kind {
                     FaultKind::FailSwitch(s) => {
@@ -463,13 +522,19 @@ pub fn simulate_with_faults(
                 }
             }
             g_view = g.degraded_view(&faults);
+            let apsp_sw = Stopwatch::start_if(measuring);
             dm_cur.rebuild_into(&g_view);
+            apsp_ns = apsp_sw.elapsed_ns();
             sv = ServingView::elect(&g_view, &faults, &w_cur);
             stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
             // The stranded set changed: delta feeds would mix masked and
             // unmasked rates, so rebuild from the serving candidates.
+            let agg_sw = Stopwatch::start_if(measuring);
             agg = AttachAggregates::build_restricted(&g_view, &dm_cur, &w_cur, &sv.candidates);
+            aggregates_ns = agg_sw.elapsed_ns();
             aggregate_rebuilds += 1;
+            obs.record_span_ns(obs_names::SIM_DEGRADED_REBUILD, rebuild_sw.elapsed_ns());
+            obs.add(obs_names::SIM_EVENT_HOURS, 1);
         } else if maintains_agg {
             // Quiet hour: the stranded set is unchanged, so the masked
             // rates evolve exactly by the trace's deltas on active flows.
@@ -479,17 +544,22 @@ pub fn simulate_with_faults(
                 .filter(|(f, _)| !sv.stranded[f.index()])
                 .collect();
             stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
+            let agg_sw = Stopwatch::start_if(measuring);
             agg.apply_rate_deltas(&dm_cur, &w_cur, &deltas);
+            aggregates_ns = agg_sw.elapsed_ns();
         } else {
             stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
         }
+        obs.add(obs_names::SIM_HOURS, 1);
 
         let stranded_flows = sv.stranded.iter().filter(|&&s| s).count();
+        obs.add(obs_names::SIM_STRANDED_FLOW_HOURS, stranded_flows as u64);
         let any_traffic = w_cur.rates().iter().any(|&r| r > 0);
         let blackout = sv.candidates.len() < sfc.len();
         if blackout || !any_traffic {
             // Nothing can be (or needs to be) served this hour.
             blackout_hours += 1;
+            obs.add(obs_names::SIM_BLACKOUT_HOURS, 1);
             hours.push(HourRecord {
                 hour: h,
                 migration_cost: 0,
@@ -507,6 +577,12 @@ pub fn simulate_with_faults(
                 recovery_migrations: 0,
                 blackout: true,
                 degraded_solver: false,
+                phase: observe.then_some(PhaseNanos {
+                    apsp_ns,
+                    aggregates_ns,
+                    solver_ns: 0,
+                    repair_ns: 0,
+                }),
             });
             continue;
         }
@@ -514,6 +590,7 @@ pub fn simulate_with_faults(
         let needs_repair = p.switches().iter().any(|s| !sv.cand_mask[s.index()]);
         let recovery_migrations;
         let mut degraded_solver = false;
+        let solve_sw = Stopwatch::start_if(measuring);
         let rec = if needs_repair {
             // Recovery: re-place inside the serving component before any
             // policy gets to run; the hour's migration budget is spent on
@@ -615,6 +692,19 @@ pub fn simulate_with_faults(
             }
         };
 
+        let solve_ns = solve_sw.elapsed_ns();
+        let (solver_ns, repair_ns) = if needs_repair {
+            obs.record_span_ns(obs_names::SIM_REPAIR, solve_ns);
+            obs.add(
+                obs_names::SIM_RECOVERY_MIGRATIONS,
+                recovery_migrations as u64,
+            );
+            (0, solve_ns)
+        } else {
+            obs.record_hist(obs_names::SIM_HOUR_SOLVER_NS, solve_ns);
+            (solve_ns, 0)
+        };
+
         // Detour penalty: what the served flows pay on the degraded fabric
         // over the same placement on the healthy one.
         let reroute_cost = if faults.is_healthy() {
@@ -637,6 +727,12 @@ pub fn simulate_with_faults(
             recovery_migrations,
             blackout: false,
             degraded_solver,
+            phase: observe.then_some(PhaseNanos {
+                apsp_ns,
+                aggregates_ns,
+                solver_ns,
+                repair_ns,
+            }),
         });
     }
     Ok(FaultSimResult {
@@ -789,6 +885,39 @@ mod tests {
             let b = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &cfg(policy), &schedule)
                 .unwrap();
             assert_eq!(a, b, "{policy:?} must be bit-identical across runs");
+        }
+    }
+
+    #[test]
+    fn observing_changes_timings_only_never_costs() {
+        // Acceptance: a metrics-enabled run is bit-identical to a plain
+        // one in every decision-bearing field; only the `phase` timing
+        // option differs (None vs Some).
+        let (ft, w, trace) = day24(30, 5);
+        let fc = FaultConfig {
+            link_fail_per_hour: 0.06,
+            switch_fail_per_hour: 0.02,
+            repair_after: 2,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), 24, &fc, 5);
+        let sfc = Sfc::of_len(3).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        let plain = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &c, &schedule).unwrap();
+        let observed =
+            simulate_with_faults_observed(ft.graph(), &w, &trace, &sfc, &c, &schedule, true)
+                .unwrap();
+        assert_eq!(plain.initial_cost, observed.initial_cost);
+        assert_eq!(plain.total_cost, observed.total_cost);
+        assert_eq!(plain.hours, observed.hours);
+        assert_eq!(plain.total_migrations, observed.total_migrations);
+        assert_eq!(plain.aggregate_rebuilds, observed.aggregate_rebuilds);
+        assert_eq!(plain.blackout_hours, observed.blackout_hours);
+        assert_eq!(plain.recovery_migrations, observed.recovery_migrations);
+        assert_eq!(plain.degraded.len(), observed.degraded.len());
+        for (a, b) in plain.degraded.iter().zip(&observed.degraded) {
+            assert_eq!(a.phase, None, "plain runs carry no timing");
+            assert!(b.phase.is_some(), "observed runs time every hour");
+            assert_eq!(*a, DegradedHourRecord { phase: None, ..*b });
         }
     }
 

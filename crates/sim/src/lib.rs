@@ -26,8 +26,8 @@ pub mod simulator;
 pub mod stats;
 
 pub use fault::{
-    simulate_with_faults, DegradedHourRecord, FaultConfig, FaultEvent, FaultKind, FaultSchedule,
-    FaultSimResult, SimError,
+    simulate_with_faults, simulate_with_faults_observed, DegradedHourRecord, FaultConfig,
+    FaultEvent, FaultKind, FaultSchedule, FaultSimResult, PhaseNanos, SimError,
 };
 pub use report::Table;
 pub use simulator::{simulate, HourRecord, MigrationPolicy, SimConfig, SimResult};

@@ -65,16 +65,33 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (headers first).
+    /// Renders as CSV (headers first), quoted per RFC 4180: cells
+    /// containing a comma, quote, or line break are wrapped in double
+    /// quotes with embedded quotes doubled, so titles and labels can carry
+    /// arbitrary text without corrupting the table shape.
     pub fn to_csv(&self) -> String {
+        let fmt_row = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| csv_cell(c)).collect();
+            quoted.join(",")
+        };
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
+        out.push_str(&fmt_row(&self.headers));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&fmt_row(row));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quotes one CSV cell per RFC 4180 when needed, passing plain cells
+/// through untouched.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
     }
 }
 
@@ -102,6 +119,30 @@ mod tests {
         let csv = sample().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines, vec!["n,cost", "3,410", "13,99999"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells_per_rfc4180() {
+        let mut t = Table::new("t", &["label, with comma", "plain"]);
+        t.row(vec!["say \"hi\"".into(), "a,b".into()]);
+        t.row(vec!["line\nbreak".into(), "ok".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.split('\n');
+        assert_eq!(lines.next(), Some("\"label, with comma\",plain"));
+        assert_eq!(lines.next(), Some("\"say \"\"hi\"\"\",\"a,b\""));
+        // The embedded newline stays inside its quoted cell.
+        assert_eq!(lines.next(), Some("\"line"));
+        assert_eq!(lines.next(), Some("break\",ok"));
+        // Unquoting recovers every original cell.
+        let unquote = |s: &str| -> String {
+            let s = s
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .unwrap();
+            s.replace("\"\"", "\"")
+        };
+        assert_eq!(unquote("\"say \"\"hi\"\"\""), "say \"hi\"");
+        assert_eq!(unquote("\"a,b\""), "a,b");
     }
 
     #[test]

@@ -153,6 +153,7 @@ impl DistanceMatrix {
     /// Computes all-pairs shortest paths for `g`, one source per rayon
     /// task. Bit-identical to [`DistanceMatrix::build_sequential`].
     pub fn build(g: &Graph) -> Self {
+        let _span = ppdc_obs::global().span(ppdc_obs::names::APSP_BUILD);
         let n = g.num_nodes();
         let mut dm = DistanceMatrix {
             n,
@@ -198,6 +199,7 @@ impl DistanceMatrix {
     ///
     /// `g` must have the same number of nodes the matrix was built with.
     pub fn rebuild_into(&mut self, g: &Graph) {
+        let _span = ppdc_obs::global().span(ppdc_obs::names::APSP_REBUILD);
         assert_eq!(
             g.num_nodes(),
             self.n,

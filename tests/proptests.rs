@@ -393,4 +393,62 @@ proptest! {
         prop_assert_eq!(out.total_cost, total_cost(&dm, &w, &p, &out.migration, mu));
         prop_assert!(out.total_cost <= comm_cost(&dm, &w, &p));
     }
+
+    /// `pareto_front` always returns a strictly sorted, mutually
+    /// non-dominated, sentinel-free front that covers every finite input
+    /// point and does not depend on input order.
+    #[test]
+    fn pareto_front_is_nondominated_sorted_and_shuffle_invariant(
+        raw in proptest::collection::vec(
+            (
+                prop_oneof![Just(INFINITY), 0u64..40],
+                prop_oneof![Just(INFINITY), 0u64..40],
+            ),
+            0..24,
+        ),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        use ppdc::migration::{pareto_front, FrontierPoint};
+        let pts: Vec<FrontierPoint> = raw
+            .iter()
+            .map(|&(b, a)| FrontierPoint {
+                placement: Placement::new_relaxed(vec![NodeId(0)]),
+                migration_cost: b,
+                comm_cost: a,
+            })
+            .collect();
+        let front = pareto_front(&pts);
+        for f in &front {
+            prop_assert!(f.migration_cost < INFINITY && f.comm_cost < INFINITY,
+                "sentinel point leaked onto the front");
+        }
+        for pair in front.windows(2) {
+            prop_assert!(pair[0].migration_cost < pair[1].migration_cost,
+                "C_b must rise strictly");
+            prop_assert!(pair[0].comm_cost > pair[1].comm_cost,
+                "C_a must fall strictly");
+        }
+        // Completeness: every finite input point is weakly dominated by
+        // some front point (so nothing undominated was dropped).
+        for &(b, a) in raw.iter().filter(|&&(b, a)| b < INFINITY && a < INFINITY) {
+            prop_assert!(
+                front.iter().any(|f| f.migration_cost <= b && f.comm_cost <= a),
+                "input ({b}, {a}) escaped the front"
+            );
+        }
+        // Order invariance: a seeded Fisher–Yates permutation of the input
+        // yields the same cost front.
+        let mut shuffled = pts.clone();
+        let mut x = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            shuffled.swap(i, (x as usize) % (i + 1));
+        }
+        let key = |f: &FrontierPoint| (f.migration_cost, f.comm_cost);
+        let a: Vec<_> = front.iter().map(key).collect();
+        let b: Vec<_> = pareto_front(&shuffled).iter().map(key).collect();
+        prop_assert_eq!(a, b);
+    }
 }
