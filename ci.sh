@@ -42,4 +42,14 @@ cargo run --release -p ppdc-experiments -- --quick failsweep --metrics target/ci
 echo "==> metrics schema check (ppdc-obs/v1 phase keys)"
 cargo run --release -p ppdc-experiments -- --check-metrics target/ci-metrics.json
 
+echo "==> placement bench smoke (dp_placement group once, trajectory appended)"
+rm -f target/ci-bench-samples.jsonl
+PPDC_BENCH_ONLY=dp_placement PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+    cargo bench -p ppdc-bench --bench placement
+cargo run --release -p ppdc-experiments -- \
+    --append-bench BENCH_placement.json \
+    --bench-samples target/ci-bench-samples.jsonl \
+    --label "prune-and-reuse solver core" \
+    --date "$(date +%F)"
+
 echo "CI OK"

@@ -1,4 +1,8 @@
 //! TOP solver benchmarks (the Fig. 9/10 algorithms' runtimes).
+//!
+//! `PPDC_BENCH_ONLY=dp_placement` (comma-separated group names) restricts
+//! the run to the named groups — the vendored criterion stand-in has no
+//! CLI filter, and CI's bench smoke only needs the placement group.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdc_bench::fixture;
@@ -6,7 +10,17 @@ use ppdc_model::Sfc;
 use ppdc_placement::{dp_placement, greedy_placement, optimal_placement, steering_placement};
 use std::time::Duration;
 
+fn enabled(group: &str) -> bool {
+    match std::env::var("PPDC_BENCH_ONLY") {
+        Ok(only) => only.split(',').any(|g| g.trim() == group),
+        Err(_) => true,
+    }
+}
+
 fn bench_dp_placement(c: &mut Criterion) {
+    if !enabled("dp_placement") {
+        return;
+    }
     let mut group = c.benchmark_group("dp_placement");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
@@ -24,6 +38,9 @@ fn bench_dp_placement(c: &mut Criterion) {
 }
 
 fn bench_baselines(c: &mut Criterion) {
+    if !enabled("baselines") {
+        return;
+    }
     let (ft, dm, w) = fixture(8, 100);
     let sfc = Sfc::of_len(5).unwrap();
     c.bench_function("steering_k8_l100", |b| {
@@ -35,6 +52,9 @@ fn bench_baselines(c: &mut Criterion) {
 }
 
 fn bench_optimal(c: &mut Criterion) {
+    if !enabled("optimal_placement_k4") {
+        return;
+    }
     let (ft, dm, w) = fixture(4, 20);
     let mut group = c.benchmark_group("optimal_placement_k4");
     group.sample_size(10);
@@ -50,6 +70,9 @@ fn bench_optimal(c: &mut Criterion) {
 }
 
 fn bench_extensions(c: &mut Criterion) {
+    if !enabled("extensions_k4") {
+        return;
+    }
     use ppdc_placement::{greedy_replication, optimal_placement_scaled, TrafficScaling};
     let (ft, dm, w) = fixture(4, 20);
     let sfc = Sfc::of_len(3).unwrap();

@@ -15,6 +15,7 @@
 //! Each data point reports mean ± 95 % CI over the configured runs, as in
 //! the paper. Budget-capped exact searches that do not finish report "n/c".
 
+pub mod bench;
 pub mod ext_replication;
 pub mod failsweep;
 pub mod fig11;
@@ -24,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod metrics;
 
+pub use bench::{append_bench_trajectory, parse_bench_samples, BenchSample};
 pub use ext_replication::ext_replication;
 pub use failsweep::failure_sweep;
 pub use fig11::{fig11a_b, fig11c, fig11d};

@@ -8,6 +8,11 @@
 //! # run with per-phase metrics, then schema-check the summary:
 //! cargo run --release -p ppdc-experiments -- --quick failsweep --metrics m.json
 //! cargo run --release -p ppdc-experiments -- --check-metrics m.json
+//!
+//! # fold one bench run's PPDC_BENCH_JSON lines into the trajectory file:
+//! cargo run --release -p ppdc-experiments -- \
+//!     --append-bench BENCH_placement.json --bench-samples samples.jsonl \
+//!     --label "prune-and-reuse solver core" --date 2026-08-06
 //! ```
 
 use ppdc_experiments::*;
@@ -17,25 +22,74 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut append_bench: Option<String> = None;
+    let mut bench_samples: Option<String> = None;
+    let mut label: Option<String> = None;
+    let mut date: Option<String> = None;
+    let mut note: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
-            flag @ ("--metrics" | "--check-metrics") => {
+            flag @ ("--metrics" | "--check-metrics" | "--append-bench" | "--bench-samples"
+            | "--label" | "--date" | "--note") => {
                 i += 1;
-                let Some(path) = args.get(i).cloned() else {
-                    eprintln!("{flag} needs a file path argument");
+                let Some(value) = args.get(i).cloned() else {
+                    eprintln!("{flag} needs an argument");
                     std::process::exit(2);
                 };
-                if flag == "--metrics" {
-                    metrics_path = Some(path);
-                } else {
-                    check_path = Some(path);
+                match flag {
+                    "--metrics" => metrics_path = Some(value),
+                    "--check-metrics" => check_path = Some(value),
+                    "--append-bench" => append_bench = Some(value),
+                    "--bench-samples" => bench_samples = Some(value),
+                    "--label" => label = Some(value),
+                    "--date" => date = Some(value),
+                    _ => note = Some(value),
                 }
             }
             name => which.push(name.to_string()),
         }
         i += 1;
+    }
+
+    // Trajectory mode: fold one bench run into BENCH_placement.json and
+    // exit. Runs no figures.
+    if let Some(doc_path) = append_bench {
+        let Some(samples_path) = bench_samples else {
+            eprintln!("--append-bench needs --bench-samples <jsonl>");
+            std::process::exit(2);
+        };
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("# cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let doc = read(&doc_path);
+        let samples = read(&samples_path);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+        let updated = append_bench_trajectory(
+            &doc,
+            &samples,
+            label.as_deref().unwrap_or("unlabelled"),
+            date.as_deref().unwrap_or("unknown"),
+            cores,
+            note.as_deref().unwrap_or(
+                "Timings from the offline stopwatch criterion stand-in (vendor/criterion), \
+                 min/median/mean ns per iteration.",
+            ),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("# cannot append bench entry: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = std::fs::write(&doc_path, updated) {
+            eprintln!("# cannot write {doc_path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# bench trajectory appended to {doc_path}");
+        return;
     }
 
     // Validation mode: parse an emitted summary and verify the epoch-phase

@@ -30,6 +30,8 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     names::SIM_BLACKOUT_HOURS,
     names::SIM_RECOVERY_MIGRATIONS,
     names::SIM_STRANDED_FLOW_HOURS,
+    names::SOLVER_DP_EGRESS_PRUNED,
+    names::APSP_ROWS_DIRTY,
 ];
 
 /// Validates a `--metrics` JSON document: it must parse, carry the

@@ -39,7 +39,7 @@ pub use frontier::{
     is_convex, migration_paths, parallel_frontiers, parallel_frontiers_with_agg, pareto_front,
     try_migration_paths, FrontierPoint,
 };
-pub use mpareto::{mpareto, mpareto_with_agg, MigrationOutcome};
+pub use mpareto::{mpareto, mpareto_with_agg, mpareto_with_closure, MigrationOutcome};
 pub use optimal::{
     optimal_migration, optimal_migration_with_agg, optimal_migration_with_budget,
     optimal_migration_with_deadline,

@@ -82,8 +82,48 @@ pub fn mpareto_with_agg(
     mu: MigrationCoefficient,
     agg: &AttachAggregates,
 ) -> Result<MigrationOutcome, MigrationError> {
+    mpareto_inner(g, dm, w, sfc, p, mu, agg, None)
+}
+
+/// [`mpareto_with_agg`] against a caller-cached metric closure over `agg`'s
+/// candidate switches (see
+/// [`ppdc_placement::dp_placement_with_closure`]): the simulators hold one
+/// [`ppdc_topology::CachedClosure`] per day segment so the inner
+/// Algorithm 3 call skips even the closure refill.
+///
+/// # Errors
+///
+/// Same conditions as [`mpareto`].
+#[allow(clippy::too_many_arguments)]
+pub fn mpareto_with_closure(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    agg: &AttachAggregates,
+    closure: &ppdc_topology::MetricClosure,
+) -> Result<MigrationOutcome, MigrationError> {
+    mpareto_inner(g, dm, w, sfc, p, mu, agg, Some(closure))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mpareto_inner(
+    g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    p: &Placement,
+    mu: MigrationCoefficient,
+    agg: &AttachAggregates,
+    closure: Option<&ppdc_topology::MetricClosure>,
+) -> Result<MigrationOutcome, MigrationError> {
     let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_MPARETO);
-    let (p_new, _) = dp_placement_with_agg(g, dm, w, sfc, agg)?;
+    let (p_new, _) = match closure {
+        Some(c) => ppdc_placement::dp_placement_with_closure(g, dm, w, sfc, agg, c)?,
+        None => dp_placement_with_agg(g, dm, w, sfc, agg)?,
+    };
     // On a healthy fabric every path exists; on a degraded one the epoch
     // loop keeps p and the candidate set inside one serving component, so
     // an Unreachable error here means the caller skipped placement repair.

@@ -19,7 +19,14 @@ pub type MigrationCoefficient = u64;
 /// of the chain is unreachable (degraded fabric), the chain cost is exactly
 /// the sentinel instead of a drifting multiple of it.
 pub fn chain_cost(dm: &DistanceMatrix, p: &Placement) -> Cost {
-    p.switches()
+    chain_cost_switches(dm, p.switches())
+}
+
+/// [`chain_cost`] over a bare switch sequence — for solvers that evaluate
+/// candidate chains in a reused scratch buffer without materializing a
+/// [`Placement`] per candidate.
+pub fn chain_cost_switches(dm: &DistanceMatrix, switches: &[NodeId]) -> Cost {
+    switches
         .windows(2)
         .map(|w| dm.cost(w[0], w[1]))
         .fold(0, sat_add)

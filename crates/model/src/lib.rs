@@ -23,8 +23,8 @@ pub mod sfc;
 pub mod vm;
 
 pub use cost::{
-    attach_cost, chain_cost, comm_cost, comm_cost_flow, migration_cost, total_cost,
-    MigrationCoefficient,
+    attach_cost, chain_cost, chain_cost_switches, comm_cost, comm_cost_flow, migration_cost,
+    total_cost, MigrationCoefficient,
 };
 pub use sfc::{Placement, Sfc};
 pub use vm::{Flow, FlowId, HostCapacities, VmId, Workload};

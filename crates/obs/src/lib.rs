@@ -96,6 +96,10 @@ pub mod names {
     pub const SIM_STRANDED_FLOW_HOURS: &str = "sim.stranded_flow_hours";
     /// Per-hour wall time spent in the policy/repair solve.
     pub const SIM_HOUR_SOLVER_NS: &str = "sim.hour_solver_ns";
+    /// Egress candidates pruned by Algorithm 3's admissible-bound test.
+    pub const SOLVER_DP_EGRESS_PRUNED: &str = "solver.dp.egress_pruned";
+    /// Source rows the dirty-row APSP rebuild actually re-ran.
+    pub const APSP_ROWS_DIRTY: &str = "apsp.rows_dirty";
 
     /// Every span name the epoch loop pre-declares.
     pub const SPANS: &[&str] = &[
@@ -121,6 +125,8 @@ pub mod names {
         SIM_BLACKOUT_HOURS,
         SIM_RECOVERY_MIGRATIONS,
         SIM_STRANDED_FLOW_HOURS,
+        SOLVER_DP_EGRESS_PRUNED,
+        APSP_ROWS_DIRTY,
     ];
     /// Every histogram name the epoch loop pre-declares.
     pub const HISTS: &[&str] = &[SIM_HOUR_SOLVER_NS];

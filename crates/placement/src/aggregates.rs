@@ -331,13 +331,25 @@ impl AttachAggregates {
     /// Exact `C_a(p)` using the aggregates (equals
     /// [`ppdc_model::comm_cost`]).
     pub fn comm_cost(&self, dm: &DistanceMatrix, p: &Placement) -> Cost {
+        self.comm_cost_switches(dm, p.switches())
+    }
+
+    /// [`AttachAggregates::comm_cost`] over a bare switch sequence, so the
+    /// placement sweep can price candidate chains straight out of a reused
+    /// scratch buffer. Exactly the same arithmetic — bit-identical costs.
+    pub fn comm_cost_switches(&self, dm: &DistanceMatrix, switches: &[NodeId]) -> Cost {
         use ppdc_topology::{sat_add, sat_mul};
+        let ingress = switches[0];
+        let egress = switches[switches.len() - 1];
         sat_add(
             sat_add(
-                self.a_in(p.ingress()),
-                sat_mul(self.total_rate, ppdc_model::chain_cost(dm, p)),
+                self.a_in(ingress),
+                sat_mul(
+                    self.total_rate,
+                    ppdc_model::chain_cost_switches(dm, switches),
+                ),
             ),
-            self.a_out(p.egress()),
+            self.a_out(egress),
         )
     }
 

@@ -6,17 +6,63 @@
 //! solving an `(n−2)`-stroll between the two switches with Algorithm 2.
 //!
 //! Because the stroll DP's tables depend only on the *target*, all
-//! ingresses for one egress share a single table
-//! ([`ppdc_stroll::dp_stroll_all_sources`]), collapsing the pair sweep from
-//! `O(|V_s|²)` DP runs to `O(|V_s|)`. Egress switches are processed in
-//! parallel with rayon.
+//! ingresses for one egress share a single table; egress switches are
+//! processed in parallel with rayon.
+//!
+//! # Branch-and-bound sweep
+//!
+//! The sweep is best-first rather than exhaustive. Every ordered pair
+//! `(i, j)` has an admissible lower bound
+//!
+//! `lb(i, j) = A_in[i] + Σλ · max(c(i, j), (n−1)·c_min) + A_out[j]`
+//!
+//! computed from the aggregates and metric closure alone (`c_min` is the
+//! cheapest distinct-pair closure cost): any placement with ingress `i` and
+//! egress `j` walks an interior chain of `n−1` closure segments whose total
+//! is at least `c(i, j)` (triangle inequality) and at least `(n−1)·c_min`
+//! (each segment joins distinct switches). Egresses are sorted by their
+//! best bound and share an incumbent — the cheapest exact candidate seen so
+//! far — through an `AtomicU64`; an egress (or a single ingress row inside
+//! one) is skipped when its bound **strictly** exceeds the incumbent.
+//! Strictness is what keeps the result bit-identical to the exhaustive
+//! sweep ([`dp_placement_exhaustive_with_agg`]): an optimal candidate has
+//! `lb ≤ cost = optimum ≤ incumbent` at every point in time, so no
+//! cost-optimal candidate is ever pruned and the deterministic
+//! lexicographic tie-break sees exactly the same contenders.
+//!
+//! All per-egress state (stroll tables, candidate chains) lives in
+//! per-worker thread-local scratch reused across egresses and epochs, so
+//! the steady-state sweep allocates nothing but the final placement.
 
 use crate::aggregates::AttachAggregates;
 use crate::PlacementError;
 use ppdc_model::{Placement, Sfc, Workload};
-use ppdc_stroll::dp_stroll_all_sources;
-use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId};
+use ppdc_stroll::{dp_stroll_all_sources, DpBatchSolver};
+use ppdc_topology::{
+    sat_add, sat_mul, Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY,
+};
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Closure scratch for [`dp_placement_with_agg`]: refilled in place
+    /// each call, so the hourly loop never re-allocates the `m × m` cost
+    /// matrix or the node-universe-sized reverse index.
+    static CLOSURE_SCRATCH: RefCell<MetricClosure> = RefCell::new(MetricClosure::default());
+    /// Per-worker sweep scratch: stroll tables and chain buffers reused
+    /// across egresses and epochs.
+    static EGRESS_SCRATCH: RefCell<EgressScratch> = RefCell::new(EgressScratch::default());
+}
+
+/// Reused buffers for one egress worker: the batch stroll solver plus the
+/// candidate/best chain scratch the rows are priced through.
+#[derive(Default)]
+struct EgressScratch {
+    solver: DpBatchSolver,
+    chain: Vec<NodeId>,
+    best_chain: Vec<NodeId>,
+}
 
 fn too_few(switches: usize, vnfs: usize) -> PlacementError {
     PlacementError::Model(ppdc_model::ModelError::TooFewSwitches { switches, vnfs })
@@ -56,6 +102,11 @@ pub fn dp_placement(
 /// serving component of a partitioned fabric. For full aggregates the
 /// candidate set equals `g.switches()` and behavior is unchanged.
 ///
+/// The metric closure is rebuilt into thread-local scratch each call;
+/// callers that hold `dm` and the switch set fixed across calls should pass
+/// a [`ppdc_topology::CachedClosure`]'s contents to
+/// [`dp_placement_with_closure`] instead and skip even the refill.
+///
 /// # Errors
 ///
 /// Same conditions as [`dp_placement`].
@@ -66,19 +117,57 @@ pub fn dp_placement_with_agg(
     sfc: &Sfc,
     agg: &AttachAggregates,
 ) -> Result<(Placement, Cost), PlacementError> {
+    if sfc.len() < 3 {
+        // The small-n paths never touch the closure; skip the refill.
+        return dp_placement_inner(dm, w, sfc, agg, None);
+    }
+    CLOSURE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut mc) => {
+            mc.rebuild_over(dm, agg.switches());
+            dp_placement_inner(dm, w, sfc, agg, Some(&mc))
+        }
+        // Re-entrant call on this thread (no such caller today): fall back
+        // to a fresh closure rather than risking a borrow panic.
+        Err(_) => dp_placement_inner(dm, w, sfc, agg, None),
+    })
+}
+
+/// [`dp_placement_with_agg`] against a caller-cached metric closure, which
+/// must cover exactly `agg`'s candidate switches on `dm` (checked in debug
+/// builds). The simulator's hourly loop holds one
+/// [`ppdc_topology::CachedClosure`] per day segment — the switch set and
+/// distance matrix only change on fault events — and runs every solve
+/// through it.
+///
+/// # Errors
+///
+/// Same conditions as [`dp_placement`].
+pub fn dp_placement_with_closure(
+    _g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+    closure: &MetricClosure,
+) -> Result<(Placement, Cost), PlacementError> {
+    dp_placement_inner(dm, w, sfc, agg, Some(closure))
+}
+
+fn dp_placement_inner(
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+    closure: Option<&MetricClosure>,
+) -> Result<(Placement, Cost), PlacementError> {
     let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_DP);
     if w.num_flows() == 0 {
         return Err(PlacementError::NoFlows);
     }
     let n = sfc.len();
-    let switches: Vec<NodeId> = agg.switches().to_vec();
+    let switches = agg.switches();
     if switches.len() < n {
-        return Err(PlacementError::Model(
-            ppdc_model::ModelError::TooFewSwitches {
-                switches: switches.len(),
-                vnfs: n,
-            },
-        ));
+        return Err(too_few(switches.len(), n));
     }
     let result = match n {
         1 => {
@@ -95,8 +184,8 @@ pub fn dp_placement_with_agg(
         2 => {
             let rate = agg.total_rate();
             let mut best: Option<(Cost, NodeId, NodeId)> = None;
-            for &i in &switches {
-                for &j in &switches {
+            for &i in switches {
+                for &j in switches {
                     if i == j {
                         continue;
                     }
@@ -112,23 +201,17 @@ pub fn dp_placement_with_agg(
             };
             Ok((Placement::new_unchecked(vec![i, j]), cost))
         }
-        _ => {
-            let closure = MetricClosure::over(dm, &switches);
-            let results: Vec<(Cost, Placement)> = (0..switches.len())
-                .into_par_iter()
-                .filter_map(|t_ix| best_for_egress(dm, agg, &closure, t_ix, n))
-                .collect();
-            results
-                .into_iter()
-                .min_by(|a, b| {
-                    a.0.cmp(&b.0)
-                        .then_with(|| a.1.switches().cmp(b.1.switches()))
-                })
-                .map(|(c, p)| (p, c))
-                .ok_or(PlacementError::Stroll(
-                    ppdc_stroll::StrollError::Unreachable,
-                ))
-        }
+        _ => match closure {
+            Some(c) => {
+                debug_assert_eq!(
+                    c.nodes(),
+                    switches,
+                    "metric closure does not cover the aggregate candidate set"
+                );
+                bb_sweep(dm, agg, c, n)
+            }
+            None => bb_sweep(dm, agg, &MetricClosure::over(dm, switches), n),
+        },
     };
     // `strict-invariants` contract: Algorithm 3 must return an injective
     // placement (one VNF per switch, footnote 3 of the paper) whose
@@ -149,8 +232,199 @@ pub fn dp_placement_with_agg(
     result
 }
 
-/// Best placement whose egress is closure node `t_ix`.
-fn best_for_egress(
+/// Shared read-only state of one branch-and-bound sweep, plus the
+/// incumbent the workers race against.
+struct SweepCtx<'a> {
+    dm: &'a DistanceMatrix,
+    agg: &'a AttachAggregates,
+    closure: &'a MetricClosure,
+    n: usize,
+    rate: u64,
+    /// `(n−1) · c_min`: every chain has `n−1` segments between distinct
+    /// switches, each at least the cheapest closure edge.
+    seg_lb: Cost,
+    /// `A_in` / `A_out` re-indexed by closure index.
+    a_in: Vec<Cost>,
+    a_out: Vec<Cost>,
+    /// Cheapest exact candidate cost seen so far (`u64::MAX` until the
+    /// first candidate; every real bound saturates at [`INFINITY`], which
+    /// is far below it, so nothing is pruned before a candidate exists).
+    incumbent: AtomicU64,
+}
+
+impl SweepCtx<'_> {
+    /// The admissible bound `lb(i, j)` of the module docs.
+    fn pair_bound(&self, s_ix: usize, t_ix: usize) -> Cost {
+        let chain_lb = self.closure.cost_ix(s_ix, t_ix).max(self.seg_lb);
+        sat_add(
+            sat_add(self.a_in[s_ix], sat_mul(self.rate, chain_lb)),
+            self.a_out[t_ix],
+        )
+    }
+
+    /// Best placement whose egress is closure node `t_ix`, skipping every
+    /// ingress row whose bound strictly exceeds the incumbent. May return
+    /// a non-minimal candidate for an egress that cannot win anyway (its
+    /// pruned rows all cost strictly more than the optimum), never for one
+    /// that can — see the module docs.
+    fn best_for_egress(
+        &self,
+        t_ix: usize,
+        scratch: &mut EgressScratch,
+    ) -> Option<(Cost, Placement)> {
+        let m = self.closure.len();
+        scratch.solver.reset(self.closure, t_ix);
+        let egress = self.closure.node(t_ix);
+        let mut best_cost: Option<Cost> = None;
+        for s_ix in 0..m {
+            if s_ix == t_ix {
+                continue;
+            }
+            if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Relaxed) {
+                continue;
+            }
+            let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
+                continue;
+            };
+            scratch.chain.clear();
+            scratch.chain.push(self.closure.node(s_ix));
+            scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
+            scratch.chain.push(egress);
+            let cost = self.agg.comm_cost_switches(self.dm, &scratch.chain);
+            self.incumbent.fetch_min(cost, Ordering::Relaxed);
+            let better = match best_cost {
+                None => true,
+                Some(c) => {
+                    cost < c
+                        || (cost == c && scratch.chain.as_slice() < scratch.best_chain.as_slice())
+                }
+            };
+            if better {
+                best_cost = Some(cost);
+                std::mem::swap(&mut scratch.chain, &mut scratch.best_chain);
+            }
+        }
+        best_cost.map(|c| (c, Placement::new_unchecked(scratch.best_chain.clone())))
+    }
+}
+
+/// The `n ≥ 3` best-first sweep over all egresses.
+fn bb_sweep(
+    dm: &DistanceMatrix,
+    agg: &AttachAggregates,
+    closure: &MetricClosure,
+    n: usize,
+) -> Result<(Placement, Cost), PlacementError> {
+    let m = closure.len();
+    let mut c_min = INFINITY;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            c_min = c_min.min(closure.cost_ix(i, j));
+        }
+    }
+    let interior = u64::try_from(n - 1).unwrap_or(u64::MAX);
+    let ctx = SweepCtx {
+        dm,
+        agg,
+        closure,
+        n,
+        rate: agg.total_rate(),
+        seg_lb: sat_mul(interior, c_min),
+        a_in: (0..m).map(|i| agg.a_in(closure.node(i))).collect(),
+        a_out: (0..m).map(|i| agg.a_out(closure.node(i))).collect(),
+        incumbent: AtomicU64::new(u64::MAX),
+    };
+    // Best-bound-first egress order: the cheapest egress is solved first,
+    // so the incumbent is near-optimal almost immediately and the tail of
+    // the (sorted) order prunes wholesale.
+    let mut order: Vec<(Cost, usize)> = (0..m)
+        .map(|t_ix| {
+            let bound = (0..m)
+                .filter(|&s_ix| s_ix != t_ix)
+                .map(|s_ix| ctx.pair_bound(s_ix, t_ix))
+                .min()
+                .unwrap_or(u64::MAX);
+            (bound, t_ix)
+        })
+        .collect();
+    order.sort_unstable();
+    let results: Vec<Option<(Cost, Placement)>> = order
+        .into_par_iter()
+        .map(|(bound, t_ix)| {
+            if bound > ctx.incumbent.load(Ordering::Relaxed) {
+                ppdc_obs::global().add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
+                return None;
+            }
+            EGRESS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                Ok(mut scratch) => ctx.best_for_egress(t_ix, &mut scratch),
+                // Re-entrant worker on this thread (no such path today):
+                // fresh scratch instead of a borrow panic.
+                Err(_) => ctx.best_for_egress(t_ix, &mut EgressScratch::default()),
+            })
+        })
+        .collect();
+    results
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.switches().cmp(b.1.switches()))
+        })
+        .map(|(c, p)| (p, c))
+        .ok_or(PlacementError::Stroll(
+            ppdc_stroll::StrollError::Unreachable,
+        ))
+}
+
+/// The pre-pruning exhaustive (ingress, egress) sweep, kept verbatim as the
+/// bit-identity oracle for the branch-and-bound solver: `tests/proptests.rs`
+/// asserts both return the same cost **and** switch sequence on random
+/// workloads, and the benches use it as the baseline.
+///
+/// # Errors
+///
+/// Same conditions as [`dp_placement`].
+pub fn dp_placement_exhaustive_with_agg(
+    _g: &Graph,
+    dm: &DistanceMatrix,
+    w: &Workload,
+    sfc: &Sfc,
+    agg: &AttachAggregates,
+) -> Result<(Placement, Cost), PlacementError> {
+    if sfc.len() < 3 {
+        // The small-n paths have no pruning to ablate.
+        return dp_placement_inner(dm, w, sfc, agg, None);
+    }
+    let _span = ppdc_obs::global().span(ppdc_obs::names::SOLVER_DP);
+    if w.num_flows() == 0 {
+        return Err(PlacementError::NoFlows);
+    }
+    let n = sfc.len();
+    let switches = agg.switches();
+    if switches.len() < n {
+        return Err(too_few(switches.len(), n));
+    }
+    let closure = MetricClosure::over(dm, switches);
+    let results: Vec<(Cost, Placement)> = (0..switches.len())
+        .into_par_iter()
+        .filter_map(|t_ix| best_for_egress_exhaustive(dm, agg, &closure, t_ix, n))
+        .collect();
+    results
+        .into_iter()
+        .min_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.switches().cmp(b.1.switches()))
+        })
+        .map(|(c, p)| (p, c))
+        .ok_or(PlacementError::Stroll(
+            ppdc_stroll::StrollError::Unreachable,
+        ))
+}
+
+/// Best placement whose egress is closure node `t_ix`, every ingress row
+/// solved unconditionally (the oracle counterpart of
+/// [`SweepCtx::best_for_egress`]).
+fn best_for_egress_exhaustive(
     dm: &DistanceMatrix,
     agg: &AttachAggregates,
     closure: &MetricClosure,
@@ -249,6 +523,48 @@ mod tests {
             let (p, cost) = dp_placement(&g, &dm, &w, &sfc).unwrap();
             assert_eq!(cost, comm_cost(&dm, &w, &p), "n={n}");
             assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_matches_exhaustive_oracle() {
+        // The branch-and-bound must agree with the exhaustive sweep bit
+        // for bit — cost AND switch sequence — across chain lengths and
+        // fabrics (proptests cover random workloads on top of this).
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for i in 0..8 {
+            w.add_pair(hosts[i], hosts[15 - i], (i as u64).pow(2) + 3);
+        }
+        for n in 3..=6 {
+            let sfc = Sfc::of_len(n).unwrap();
+            let agg = AttachAggregates::build(&g, &dm, &w);
+            let (p_bb, c_bb) = dp_placement_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+            let (p_ex, c_ex) = dp_placement_exhaustive_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+            assert_eq!(c_bb, c_ex, "n={n}");
+            assert_eq!(p_bb.switches(), p_ex.switches(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cached_closure_entry_point_matches() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        w.add_pair(hosts[1], hosts[9], 17);
+        w.add_pair(hosts[4], hosts[2], 3);
+        let sfc = Sfc::of_len(4).unwrap();
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        let mut cc = ppdc_topology::CachedClosure::new();
+        let (p1, c1) = dp_placement_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+        for _ in 0..2 {
+            let closure = cc.get_or_rebuild(&dm, agg.switches());
+            let (p2, c2) = dp_placement_with_closure(&g, &dm, &w, &sfc, &agg, closure).unwrap();
+            assert_eq!(c1, c2);
+            assert_eq!(p1.switches(), p2.switches());
         }
     }
 

@@ -48,7 +48,10 @@ pub use aggregates::AttachAggregates;
 pub use baselines::{
     greedy_placement, greedy_placement_with_agg, steering_placement, steering_placement_with_agg,
 };
-pub use dp::{dp_placement, dp_placement_with_agg};
+pub use dp::{
+    dp_placement, dp_placement_exhaustive_with_agg, dp_placement_with_agg,
+    dp_placement_with_closure,
+};
 pub use optimal::{
     exhaustive_placement, optimal_placement, optimal_placement_with_agg,
     optimal_placement_with_budget, optimal_placement_with_deadline,

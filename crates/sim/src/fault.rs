@@ -39,15 +39,17 @@
 //! priced like the longest possible copy. Recovery hours skip the policy.
 
 use ppdc_migration::{
-    mcf_vm_migration, mpareto_with_agg, no_migration_with_agg, optimal_migration_with_deadline,
-    plan_vm_migration, MigrationError,
+    mcf_vm_migration, mpareto_with_agg, mpareto_with_closure, no_migration_with_agg,
+    optimal_migration_with_deadline, plan_vm_migration, MigrationError,
 };
 use ppdc_model::{comm_cost, FlowId, ModelError, Sfc, Workload};
 use ppdc_obs::{names as obs_names, Stopwatch};
-use ppdc_placement::{dp_placement_with_agg, AttachAggregates, PlacementError};
+use ppdc_placement::{
+    dp_placement_with_agg, dp_placement_with_closure, AttachAggregates, PlacementError,
+};
 use ppdc_topology::{
-    Cost, DistanceMatrix, EdgeId, FaultSet, Graph, NodeId, NodeKind, Partition, TopologyError,
-    INFINITY,
+    CachedClosure, Cost, DistanceMatrix, EdgeId, FaultSet, Graph, NodeId, NodeKind, Partition,
+    TopologyError, INFINITY,
 };
 use ppdc_traffic::{rng_for_run, DynamicTrace};
 use rand::Rng;
@@ -480,7 +482,17 @@ pub fn simulate_with_faults_observed(
     w_cur.set_rates(&trace.rates_at(0))?;
     let mut agg = AttachAggregates::build(&g_view, &dm_cur, &w_cur);
     let mut aggregate_rebuilds = 1usize;
-    let (mut p, initial_cost) = dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?;
+    // One metric closure serves every Algorithm 3 / mPareto call between
+    // fault events: only event hours change `dm_cur` or the candidate set,
+    // so only they invalidate it (the small-n paths never touch it).
+    let mut closure_cache = CachedClosure::new();
+    let use_closure = sfc.len() >= 3;
+    let (mut p, initial_cost) = if use_closure {
+        let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
+        dp_placement_with_closure(&g_view, &dm_cur, &w_cur, sfc, &agg, c)?
+    } else {
+        dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?
+    };
     let mut sv = ServingView::elect(&g_view, &faults, &w_cur);
 
     let maintains_agg = matches!(
@@ -505,26 +517,37 @@ pub fn simulate_with_faults_observed(
         let stranded_rate;
         if event_hour {
             let rebuild_sw = Stopwatch::start_if(measuring);
+            // Every edge an event can have toggled, with its healthy
+            // weight from the original graph; over-listing (a repair of a
+            // link whose endpoint switch is still down, say) is harmless —
+            // `rebuild_dirty` consults the new view for presence and at
+            // worst re-runs a clean row.
+            let mut changed: Vec<(NodeId, NodeId, Cost)> = Vec::new();
             for e in &events {
                 match e.kind {
                     FaultKind::FailSwitch(s) => {
                         faults.fail_node(s)?;
+                        changed.extend(g.neighbors(s).iter().map(|&(v, wv)| (s, v, wv)));
                     }
                     FaultKind::RepairSwitch(s) => {
                         faults.repair_node(s)?;
+                        changed.extend(g.neighbors(s).iter().map(|&(v, wv)| (s, v, wv)));
                     }
                     FaultKind::FailLink(l) => {
                         faults.fail_edge(l)?;
+                        changed.push(g.edge(l));
                     }
                     FaultKind::RepairLink(l) => {
                         faults.repair_edge(l)?;
+                        changed.push(g.edge(l));
                     }
                 }
             }
             g_view = g.degraded_view(&faults);
             let apsp_sw = Stopwatch::start_if(measuring);
-            dm_cur.rebuild_into(&g_view);
+            dm_cur.rebuild_dirty(&g_view, &changed);
             apsp_ns = apsp_sw.elapsed_ns();
+            closure_cache.invalidate();
             sv = ServingView::elect(&g_view, &faults, &w_cur);
             stranded_rate = set_masked_rates(&mut w_cur, trace, h, &sv.stranded)?;
             // The stranded set changed: delta feeds would mix masked and
@@ -595,7 +618,12 @@ pub fn simulate_with_faults_observed(
             // Recovery: re-place inside the serving component before any
             // policy gets to run; the hour's migration budget is spent on
             // getting the chain back up.
-            let (p_new, comm) = dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?;
+            let (p_new, comm) = if use_closure {
+                let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
+                dp_placement_with_closure(&g_view, &dm_cur, &w_cur, sfc, &agg, c)?
+            } else {
+                dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?
+            };
             let reinstantiate = dm_cur.diameter();
             let mut migration_cost: Cost = 0;
             let mut moved = 0usize;
@@ -622,7 +650,12 @@ pub fn simulate_with_faults_observed(
             recovery_migrations = 0;
             match cfg.policy {
                 MigrationPolicy::MPareto => {
-                    let out = mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?;
+                    let out = if use_closure {
+                        let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
+                        mpareto_with_closure(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg, c)?
+                    } else {
+                        mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?
+                    };
                     p = out.migration.clone();
                     HourRecord {
                         hour: h,
@@ -633,7 +666,12 @@ pub fn simulate_with_faults_observed(
                     }
                 }
                 MigrationPolicy::OptimalVnf { budget } => {
-                    let seed = mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?;
+                    let seed = if use_closure {
+                        let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
+                        mpareto_with_closure(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg, c)?
+                    } else {
+                        mpareto_with_agg(&g_view, &dm_cur, &w_cur, sfc, &p, cfg.mu, &agg)?
+                    };
                     let (out, exactness) = optimal_migration_with_deadline(
                         &g_view,
                         &dm_cur,

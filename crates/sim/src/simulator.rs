@@ -9,12 +9,12 @@
 //! run flow-level after hour 0, exactly as before.
 
 use ppdc_migration::{
-    mcf_vm_migration, mpareto_with_agg, no_migration_with_agg, optimal_migration_with_agg,
-    plan_vm_migration, MigrationError,
+    mcf_vm_migration, mpareto_with_agg, mpareto_with_closure, no_migration_with_agg,
+    optimal_migration_with_agg, plan_vm_migration, MigrationError,
 };
 use ppdc_model::{MigrationCoefficient, Sfc, Workload};
-use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
-use ppdc_topology::{Cost, DistanceMatrix, Graph};
+use ppdc_placement::{dp_placement_with_agg, dp_placement_with_closure, AttachAggregates};
+use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure};
 use ppdc_traffic::DynamicTrace;
 
 /// Which adaptation mechanism runs each hour.
@@ -108,7 +108,14 @@ pub fn simulate(
     w.set_rates(&trace.rates_at(0))?;
     let mut agg = AttachAggregates::build(g, dm, &w);
     let aggregate_rebuilds = 1;
-    let (mut p, initial_cost) = dp_placement_with_agg(g, dm, &w, sfc, &agg)?;
+    // The fabric and candidate set are fixed all day, so Algorithm 3's
+    // metric closure is built once here and shared by every hourly solve
+    // (the small-n paths never touch it).
+    let closure = (sfc.len() >= 3).then(|| MetricClosure::over(dm, agg.switches()));
+    let (mut p, initial_cost) = match &closure {
+        Some(c) => dp_placement_with_closure(g, dm, &w, sfc, &agg, c)?,
+        None => dp_placement_with_agg(g, dm, &w, sfc, &agg)?,
+    };
     // PLAN/MCF migrate VMs: their endpoint rewrites invalidate the
     // aggregates, and the policies work on per-VM sums anyway.
     let maintains_agg = matches!(
@@ -131,7 +138,10 @@ pub fn simulate(
         }
         let rec = match cfg.policy {
             MigrationPolicy::MPareto => {
-                let out = mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?;
+                let out = match &closure {
+                    Some(c) => mpareto_with_closure(g, dm, &w, sfc, &p, cfg.mu, &agg, c)?,
+                    None => mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?,
+                };
                 p = out.migration.clone();
                 HourRecord {
                     hour: h,
@@ -142,7 +152,10 @@ pub fn simulate(
                 }
             }
             MigrationPolicy::OptimalVnf { budget } => {
-                let seed = mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?;
+                let seed = match &closure {
+                    Some(c) => mpareto_with_closure(g, dm, &w, sfc, &p, cfg.mu, &agg, c)?,
+                    None => mpareto_with_agg(g, dm, &w, sfc, &p, cfg.mu, &agg)?,
+                };
                 let out = optimal_migration_with_agg(
                     g,
                     dm,

@@ -25,33 +25,50 @@ const NO_SUCC: usize = usize::MAX;
 
 /// Per-target DP tables for Algorithm 2, grown lazily one edge-count level
 /// at a time.
-#[derive(Debug, Clone)]
+///
+/// Both tables live in single flat arenas indexed `(e - 1) * m + u` — one
+/// allocation each, reused level after level and (via [`DpTables::reset`])
+/// egress after egress, so the inner DP loop walks contiguous memory and
+/// the placement sweep stops paying a pair of `Vec` allocations per level
+/// per egress.
+#[derive(Debug, Clone, Default)]
 pub struct DpTables {
     m: usize,
     t: usize,
-    /// `cost[e-1][u]` = min cost of a `u → t` stroll with exactly `e` edges.
-    cost: Vec<Vec<Cost>>,
-    /// `succ[e-1][u]` = the next node after `u` on that stroll.
-    succ: Vec<Vec<usize>>,
+    /// Number of edge-count levels currently materialized.
+    levels: usize,
+    /// `cost[(e-1)*m + u]` = min cost of a `u → t` stroll with exactly `e`
+    /// edges.
+    cost: Vec<Cost>,
+    /// `succ[(e-1)*m + u]` = the next node after `u` on that stroll.
+    succ: Vec<usize>,
 }
 
 impl DpTables {
     /// Initializes tables for target closure-index `t` (level `e = 1`).
     pub fn new(closure: &MetricClosure, t: usize) -> Self {
+        let mut tables = DpTables::default();
+        tables.reset(closure, t);
+        tables
+    }
+
+    /// Re-targets the tables at closure-index `t`, truncating back to
+    /// level `e = 1` while keeping both arena allocations. This is what
+    /// lets one scratch `DpTables` serve every egress of Algorithm 3.
+    pub fn reset(&mut self, closure: &MetricClosure, t: usize) {
         let m = closure.len();
-        let mut c1 = vec![INFINITY; m];
-        let mut s1 = vec![NO_SUCC; m];
+        self.m = m;
+        self.t = t;
+        self.levels = 1;
+        self.cost.clear();
+        self.cost.resize(m, INFINITY);
+        self.succ.clear();
+        self.succ.resize(m, NO_SUCC);
         for u in 0..m {
             if u != t {
-                c1[u] = closure.cost_ix(u, t);
-                s1[u] = t;
+                self.cost[u] = closure.cost_ix(u, t);
+                self.succ[u] = t;
             }
-        }
-        DpTables {
-            m,
-            t,
-            cost: vec![c1],
-            succ: vec![s1],
         }
     }
 
@@ -62,25 +79,27 @@ impl DpTables {
 
     /// Highest edge count `e` computed so far.
     pub fn levels(&self) -> usize {
-        self.cost.len()
+        self.levels
     }
 
     /// Grows the tables until level `e` exists.
     pub fn grow_to(&mut self, closure: &MetricClosure, e: usize) {
-        while self.cost.len() < e {
+        while self.levels < e {
             self.extend(closure);
         }
     }
 
-    /// Adds one more edge-count level. `new` seeds level 1, so the tables
-    /// are never empty here.
+    /// Adds one more edge-count level. `new`/`reset` seed level 1, so the
+    /// tables are never empty here.
     fn extend(&mut self, closure: &MetricClosure) {
-        let level = self.cost.len();
-        let prev_c = &self.cost[level - 1];
-        let prev_s = &self.succ[level - 1];
         let m = self.m;
-        let mut c = vec![INFINITY; m];
-        let mut s = vec![NO_SUCC; m];
+        let filled = self.levels * m;
+        self.cost.resize(filled + m, INFINITY);
+        self.succ.resize(filled + m, NO_SUCC);
+        let (prev_c, cur_c) = self.cost.split_at_mut(filled);
+        let prev_c = &prev_c[filled - m..];
+        let (prev_s, cur_s) = self.succ.split_at_mut(filled);
+        let prev_s = &prev_s[filled - m..];
         for u in 0..m {
             let mut best = INFINITY;
             let mut best_v = NO_SUCC;
@@ -100,17 +119,16 @@ impl DpTables {
                     best_v = v;
                 }
             }
-            c[u] = best;
-            s[u] = best_v;
+            cur_c[u] = best;
+            cur_s[u] = best_v;
         }
-        self.cost.push(c);
-        self.succ.push(s);
+        self.levels += 1;
     }
 
     /// Cost of the best `e`-edge stroll from `u` to the target
     /// ([`INFINITY`] if none exists). Level `e` must have been grown.
     pub fn cost(&self, u: usize, e: usize) -> Cost {
-        self.cost[e - 1][u]
+        self.cost[(e - 1) * self.m + u]
     }
 
     /// Reconstructs the `e`-edge stroll from `s` as closure indices
@@ -123,7 +141,7 @@ impl DpTables {
         walk.push(s);
         let mut cur = s;
         for level in (1..=e).rev() {
-            let nxt = self.succ[level - 1][cur];
+            let nxt = self.succ[(level - 1) * self.m + cur];
             debug_assert_ne!(nxt, NO_SUCC);
             cur = nxt;
             walk.push(cur);
@@ -282,9 +300,83 @@ fn dp_stroll_on_closure(
     }
 }
 
+/// Reusable scratch state for solving many stroll instances that share one
+/// target: the unperturbed [`DpTables`] plus the lazily-built perturbed
+/// retries. [`DpBatchSolver::reset`] re-targets everything without giving
+/// the arena allocations back, so Algorithm 3 can sweep hundreds of
+/// egresses through one solver with zero steady-state allocation — and its
+/// branch-and-bound can solve sources *one at a time*, skipping the ones
+/// its incumbent already rules out.
+#[derive(Debug, Clone, Default)]
+pub struct DpBatchSolver {
+    tables: DpTables,
+    /// `(perturbed closure, its tables)` for attempts `1..MAX_ATTEMPTS`,
+    /// built on first need and only valid for the current `reset` target.
+    retries: Vec<(MetricClosure, DpTables)>,
+}
+
+impl DpBatchSolver {
+    /// A solver with no target; call [`DpBatchSolver::reset`] before
+    /// [`DpBatchSolver::solve`].
+    pub fn new() -> Self {
+        DpBatchSolver::default()
+    }
+
+    /// Re-targets the solver at closure-index `t` of `closure`, keeping
+    /// allocations. Drops any perturbed retries (they are keyed to the old
+    /// target and closure).
+    pub fn reset(&mut self, closure: &MetricClosure, t: usize) {
+        self.tables.reset(closure, t);
+        self.retries.clear();
+    }
+
+    /// Solves the n-stroll from source closure-index `s` to the target set
+    /// by the last [`DpBatchSolver::reset`], sharing tables with every
+    /// other source of that target (attempt 0 unperturbed, perturbed
+    /// retries lazily).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`dp_stroll`].
+    pub fn solve(
+        &mut self,
+        closure: &MetricClosure,
+        s: usize,
+        n: usize,
+    ) -> Result<StrollSolution, StrollError> {
+        let t = self.tables.target();
+        let inst = StrollInstance::new_unvalidated(closure, closure.node(s), closure.node(t), n)?;
+        match dp_stroll_on_closure(&inst, closure, &mut self.tables) {
+            Ok(sol) => Ok(sol),
+            Err(StrollError::NoConvergence { .. }) => {
+                let mut last = StrollError::NoConvergence {
+                    max_edges: max_edges(n),
+                };
+                for attempt in 1..MAX_ATTEMPTS {
+                    let idx = (attempt - 1) as usize; // analyzer:allow(lossy-cast) -- attempt < MAX_ATTEMPTS = 8, fits usize
+                    if self.retries.len() <= idx {
+                        let pc = perturbed_closure(closure, attempt);
+                        let tb = DpTables::new(&pc, t);
+                        self.retries.push((pc, tb));
+                    }
+                    let (pc, tb) = &mut self.retries[idx];
+                    match dp_stroll_on_closure(&inst, pc, tb) {
+                        Ok(sol) => return Ok(sol),
+                        Err(e @ StrollError::NoConvergence { .. }) => last = e,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(last)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Solves the n-stroll problem from **every source in `sources`** to the one
 /// target `t`, sharing one DP table per tie-breaking attempt. This is the
-/// workhorse of Algorithm 3.
+/// exhaustive-sweep workhorse of Algorithm 3 (its branch-and-bound drives a
+/// [`DpBatchSolver`] directly to interleave solving with pruning).
 ///
 /// Returns one solution per source, in order.
 pub fn dp_stroll_all_sources(
@@ -293,40 +385,11 @@ pub fn dp_stroll_all_sources(
     t: usize,
     n: usize,
 ) -> Vec<Result<StrollSolution, StrollError>> {
-    // Attempt 0 shares the unperturbed tables; later attempts (rarely
-    // needed) build perturbed closures lazily and share them too.
-    let mut tables0 = DpTables::new(closure, t);
-    let mut retries: Vec<(MetricClosure, DpTables)> = Vec::new();
+    let mut solver = DpBatchSolver::new();
+    solver.reset(closure, t);
     sources
         .iter()
-        .map(|&s| {
-            let inst =
-                StrollInstance::new_unvalidated(closure, closure.node(s), closure.node(t), n)?;
-            match dp_stroll_on_closure(&inst, closure, &mut tables0) {
-                Ok(sol) => Ok(sol),
-                Err(StrollError::NoConvergence { .. }) => {
-                    let mut last = StrollError::NoConvergence {
-                        max_edges: max_edges(n),
-                    };
-                    for attempt in 1..MAX_ATTEMPTS {
-                        let idx = (attempt - 1) as usize; // analyzer:allow(lossy-cast) -- attempt < MAX_ATTEMPTS = 8, fits usize
-                        if retries.len() <= idx {
-                            let pc = perturbed_closure(closure, attempt);
-                            let tb = DpTables::new(&pc, t);
-                            retries.push((pc, tb));
-                        }
-                        let (pc, tb) = &mut retries[idx];
-                        match dp_stroll_on_closure(&inst, pc, tb) {
-                            Ok(sol) => return Ok(sol),
-                            Err(e @ StrollError::NoConvergence { .. }) => last = e,
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    Err(last)
-                }
-                Err(e) => Err(e),
-            }
-        })
+        .map(|&s| solver.solve(closure, s, n))
         .collect()
 }
 

@@ -40,7 +40,7 @@ pub mod exact;
 pub mod instance;
 pub mod primal_dual;
 
-pub use dp::{dp_stroll, dp_stroll_all_sources, DpTables};
+pub use dp::{dp_stroll, dp_stroll_all_sources, DpBatchSolver, DpTables};
 pub use exact::{
     exhaustive_stroll, optimal_stroll, optimal_stroll_with_budget, optimal_stroll_with_deadline,
 };

@@ -37,7 +37,7 @@ pub mod shortest;
 pub use builders::{fat_tree, leaf_spine, linear, star, FatTree};
 pub use fault::{FaultSet, Partition};
 pub use graph::{sat_add, sat_mul, Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
-pub use metric::MetricClosure;
+pub use metric::{CachedClosure, MetricClosure};
 pub use shortest::{DistanceMatrix, ShortestPaths};
 
 /// Errors produced by topology construction and queries.

@@ -11,7 +11,7 @@ use crate::shortest::DistanceMatrix;
 
 /// A dense complete graph over a subset of the original nodes, with
 /// shortest-path costs as edge weights.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricClosure {
     nodes: Vec<NodeId>,
     index_of: Vec<u32>,
@@ -28,22 +28,48 @@ impl MetricClosure {
     ///
     /// Panics if `nodes` contains duplicates or ids outside `dm`.
     pub fn over(dm: &DistanceMatrix, nodes: &[NodeId]) -> Self {
-        let m = nodes.len();
-        let mut index_of = vec![NOT_MEMBER; dm.num_nodes()];
-        for (i, &n) in nodes.iter().enumerate() {
-            assert_eq!(index_of[n.index()], NOT_MEMBER, "duplicate node in closure");
-            index_of[n.index()] = u32::try_from(i).expect("closure size exceeds the u32 id space");
-        }
-        let mut cost = vec![0; m * m];
-        for (i, &u) in nodes.iter().enumerate() {
-            for (j, &v) in nodes.iter().enumerate() {
-                cost[i * m + j] = dm.cost(u, v);
+        let mut mc = MetricClosure::default();
+        mc.rebuild_over(dm, nodes);
+        mc
+    }
+
+    /// Refills the closure in place for a (possibly different) member set
+    /// and matrix, reusing all three allocations. Clearing the reverse
+    /// index touches only the *previous* members — `O(m_old)` instead of
+    /// `O(|V|)` — so a solver calling this once per epoch never pays the
+    /// node-universe-sized scratch that [`MetricClosure::over`] allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or ids outside `dm`.
+    pub fn rebuild_over(&mut self, dm: &DistanceMatrix, nodes: &[NodeId]) {
+        for &n in &self.nodes {
+            if let Some(e) = self.index_of.get_mut(n.index()) {
+                *e = NOT_MEMBER;
             }
         }
-        MetricClosure {
-            nodes: nodes.to_vec(),
-            index_of,
-            cost,
+        if self.index_of.len() != dm.num_nodes() {
+            self.index_of.clear();
+            self.index_of.resize(dm.num_nodes(), NOT_MEMBER);
+        }
+        self.nodes.clear();
+        self.nodes.extend_from_slice(nodes);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(
+                self.index_of[n.index()],
+                NOT_MEMBER,
+                "duplicate node in closure"
+            );
+            self.index_of[n.index()] =
+                u32::try_from(i).expect("closure size exceeds the u32 id space");
+        }
+        let m = nodes.len();
+        self.cost.clear();
+        self.cost.resize(m * m, 0);
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate() {
+                self.cost[i * m + j] = dm.cost(u, v);
+            }
         }
     }
 
@@ -124,6 +150,51 @@ impl MetricClosure {
     }
 }
 
+/// A [`MetricClosure`] cached across solver calls that share one distance
+/// matrix and member set — the simulator's hourly loop, where the fabric
+/// (and therefore `dm` and the candidate switches) only changes on fault
+/// events.
+///
+/// The contract is explicit rather than fingerprint-based: the owner calls
+/// [`CachedClosure::invalidate`] whenever the matrix contents or member set
+/// may have changed, and [`CachedClosure::get_or_rebuild`] refills the
+/// closure in place (via [`MetricClosure::rebuild_over`]) only then.
+#[derive(Debug, Clone, Default)]
+pub struct CachedClosure {
+    closure: MetricClosure,
+    valid: bool,
+}
+
+impl CachedClosure {
+    /// An empty, invalid cache: the first `get_or_rebuild` fills it.
+    pub fn new() -> Self {
+        CachedClosure::default()
+    }
+
+    /// Marks the cached closure stale; the next
+    /// [`CachedClosure::get_or_rebuild`] rebuilds it.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Returns the cached closure, rebuilding it over `dm`/`nodes` first if
+    /// it has been invalidated (or never built). While the cache is valid
+    /// the caller must pass the same member set it was built with — checked
+    /// in debug builds.
+    pub fn get_or_rebuild(&mut self, dm: &DistanceMatrix, nodes: &[NodeId]) -> &MetricClosure {
+        if !self.valid {
+            self.closure.rebuild_over(dm, nodes);
+            self.valid = true;
+        }
+        debug_assert_eq!(
+            self.closure.nodes(),
+            nodes,
+            "CachedClosure reused with a different member set without invalidate()"
+        );
+        &self.closure
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +236,57 @@ mod tests {
         let (g, h1, _) = linear(2).unwrap();
         let dm = DistanceMatrix::build(&g);
         MetricClosure::over(&dm, &[h1, h1]);
+    }
+
+    #[test]
+    fn rebuild_over_matches_fresh_build() {
+        // One closure object cycled through different member sets (and a
+        // different-size universe) must equal a fresh `over` each time.
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let (lin, h1, h2) = linear(4).unwrap();
+        let lin_dm = DistanceMatrix::build(&lin);
+        let mut lin_members = vec![h1, h2];
+        lin_members.extend(lin.switches());
+        let mut mc = MetricClosure::over(&dm, &switches);
+        for members in [&switches[..8], &switches[..], &lin_members[..]] {
+            let (d, mems): (&DistanceMatrix, &[NodeId]) = if members.len() == lin_members.len() {
+                (&lin_dm, members)
+            } else {
+                (&dm, members)
+            };
+            mc.rebuild_over(d, mems);
+            let fresh = MetricClosure::over(d, mems);
+            assert_eq!(mc.nodes(), fresh.nodes());
+            for i in 0..mems.len() {
+                assert_eq!(mc.index(mems[i]), Some(i));
+                for j in 0..mems.len() {
+                    assert_eq!(mc.cost_ix(i, j), fresh.cost_ix(i, j));
+                }
+            }
+        }
+        // Old members that left the set are no longer indexed.
+        assert_eq!(mc.index(switches[10]), None);
+    }
+
+    #[test]
+    fn cached_closure_rebuilds_only_when_invalidated() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let mut cc = CachedClosure::new();
+        let c1 = cc.get_or_rebuild(&dm, &switches).clone();
+        assert_eq!(c1.len(), switches.len());
+        // A valid cache serves the same contents without rebuilding.
+        assert_eq!(cc.get_or_rebuild(&dm, &switches).nodes(), c1.nodes());
+        // After invalidation it refills against the new matrix.
+        let mut g2 = g.clone();
+        g2.map_edge_weights(|_, _, w| w * 2);
+        let dm2 = DistanceMatrix::build(&g2);
+        cc.invalidate();
+        let c2 = cc.get_or_rebuild(&dm2, &switches);
+        assert_eq!(c2.cost_ix(0, 1), 2 * c1.cost_ix(0, 1));
     }
 
     #[test]

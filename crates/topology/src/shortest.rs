@@ -13,7 +13,7 @@
 //! graphs (every PPDC builder in this repo) are detected once up front and
 //! use BFS instead of Dijkstra for every source.
 
-use crate::graph::{Cost, Graph, NodeId, INFINITY};
+use crate::graph::{sat_add, Cost, Graph, NodeId, INFINITY};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -206,6 +206,119 @@ impl DistanceMatrix {
             "rebuild_into needs an equal-size graph"
         );
         self.fill_parallel(g);
+    }
+
+    /// Recomputes the matrix for `g`, re-running the per-source search only
+    /// for rows whose shortest-path structure can differ — the dirty rows.
+    /// Returns how many rows were re-run.
+    ///
+    /// `changed` lists the edges toggled between the graph this matrix
+    /// currently describes and `g` (failed or repaired, with the healthy
+    /// weight `w`; listing extra untoggled edges is harmless, it can only
+    /// mark more rows dirty). On the **old** row of source `u`, edge
+    /// `(a, b, w)` dirties the row iff
+    ///
+    /// - `u`'s parent tree routes through the edge (`parent_u(b) = a` or
+    ///   `parent_u(a) = b`) — the only way a *removal* can change the row:
+    ///   if the tree avoids the edge, the tree itself is a certificate
+    ///   that every node keeps its distance, and tie-broken parents depend
+    ///   only on distances and the (otherwise unchanged) adjacency; or
+    /// - the edge is present in `g` and strictly improves an endpoint
+    ///   (`d_u(a) + w < d_u(b)` or symmetric) — by the triangle
+    ///   inequality an *insertion* changes some distance iff it changes
+    ///   one at an endpoint of the new edge; or
+    /// - the edge is present in `g` and ties an endpoint with a smaller
+    ///   predecessor id (`d_u(a) + w = d_u(b)` with `a < parent_u(b)`, or
+    ///   symmetric) — the insertion leaves distances alone but wins the
+    ///   deterministic lowest-id parent tie-break at that endpoint.
+    ///
+    /// Clean rows keep their exact bits, making the result bit-identical
+    /// to [`DistanceMatrix::rebuild_into`] — debug builds assert this
+    /// against a from-scratch build. See DESIGN.md for the full argument.
+    ///
+    /// # Panics
+    ///
+    /// `g` must have the same number of nodes the matrix was built with.
+    pub fn rebuild_dirty(&mut self, g: &Graph, changed: &[(NodeId, NodeId, Cost)]) -> usize {
+        let _span = ppdc_obs::global().span(ppdc_obs::names::APSP_REBUILD);
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "rebuild_dirty needs an equal-size graph"
+        );
+        let n = self.n;
+        if n == 0 {
+            return 0;
+        }
+        // Presence in the *new* graph decides which tests apply: absent
+        // edges are removals (tree test only), present ones are insertions
+        // (improvement and parent-tie tests; the tree test also fires for
+        // them, which only matters if a caller over-lists untoggled edges).
+        let present: Vec<bool> = changed
+            .iter()
+            .map(|&(a, b, _)| g.neighbors(a).iter().any(|&(v, _)| v == b))
+            .collect();
+        let mut dirty = vec![false; n];
+        let mut num_dirty = 0usize;
+        for (u, (drow, prow)) in self.dist.chunks(n).zip(self.parent.chunks(n)).enumerate() {
+            let hit = changed
+                .iter()
+                .zip(&present)
+                .any(|(&(a, b, w), &is_present)| {
+                    let (ai, bi) = (a.index(), b.index());
+                    if prow[bi] == a.0 || prow[ai] == b.0 {
+                        return true;
+                    }
+                    if !is_present {
+                        return false;
+                    }
+                    let (da, db) = (drow[ai], drow[bi]);
+                    (da < INFINITY
+                        && (sat_add(da, w) < db || (sat_add(da, w) == db && a.0 < prow[bi])))
+                        || (db < INFINITY
+                            && (sat_add(db, w) < da || (sat_add(db, w) == da && b.0 < prow[ai])))
+                });
+            if hit {
+                dirty[u] = true;
+                num_dirty += 1;
+            }
+        }
+        if num_dirty > 0 {
+            let unit = is_unit_weight(g);
+            type Row<'a> = (usize, (&'a mut [Cost], &'a mut [u32]));
+            let rows: Vec<Row<'_>> = self
+                .dist
+                .chunks_mut(n)
+                .zip(self.parent.chunks_mut(n))
+                .enumerate()
+                .filter(|(u, _)| dirty[*u])
+                .collect();
+            rows.into_par_iter().for_each(|(u, (drow, prow))| {
+                sssp_into(g, NodeId::from_index(u), unit, drow, prow);
+            });
+            self.refresh_summary();
+        }
+        ppdc_obs::global().add(
+            ppdc_obs::names::APSP_ROWS_DIRTY,
+            u64::try_from(num_dirty).unwrap_or(u64::MAX),
+        );
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.same_as(&DistanceMatrix::build(g)),
+            "rebuild_dirty diverged from a full rebuild"
+        );
+        num_dirty
+    }
+
+    /// Exact equality of distances, parents, and the cached summary — the
+    /// oracle for [`DistanceMatrix::rebuild_dirty`]'s bit-identity
+    /// guarantee.
+    pub fn same_as(&self, other: &DistanceMatrix) -> bool {
+        self.n == other.n
+            && self.dist == other.dist
+            && self.parent == other.parent
+            && self.diameter == other.diameter
+            && self.connected == other.connected
     }
 
     fn fill_parallel(&mut self, g: &Graph) {
@@ -475,6 +588,46 @@ mod tests {
         dm.rebuild_into(&g);
         assert_eq!(dm.dist, before.dist);
         assert_eq!(dm.parent, before.parent);
+    }
+
+    #[test]
+    fn rebuild_dirty_matches_full_rebuild_on_fault_cycle() {
+        use crate::fault::FaultSet;
+        use crate::graph::EdgeId;
+        let g = fat_tree(4).unwrap();
+        let mut dm = DistanceMatrix::build(&g);
+        let mut faults = FaultSet::new(&g);
+        let e0 = EdgeId(5);
+        let (a, b, w) = g.edge(e0);
+        let s = g.switches().nth(2).unwrap();
+        let switch_edges: Vec<_> = g.neighbors(s).iter().map(|&(v, wv)| (s, v, wv)).collect();
+        // Fail one link: only rows whose DAG used it are re-run.
+        faults.fail_edge(e0).unwrap();
+        let view = g.degraded_view(&faults);
+        let rows = dm.rebuild_dirty(&view, &[(a, b, w)]);
+        assert!(rows > 0 && rows < dm.num_nodes(), "rows={rows}");
+        assert!(dm.same_as(&DistanceMatrix::build(&view)));
+        // Fail a whole switch on top (all its incident edges change).
+        faults.fail_node(s).unwrap();
+        let view = g.degraded_view(&faults);
+        dm.rebuild_dirty(&view, &switch_edges);
+        assert!(dm.same_as(&DistanceMatrix::build(&view)));
+        // Repair everything: back to the healthy matrix bit for bit.
+        faults.repair_edge(e0).unwrap();
+        faults.repair_node(s).unwrap();
+        let view = g.degraded_view(&faults);
+        let mut changed = vec![(a, b, w)];
+        changed.extend(switch_edges.iter().copied());
+        dm.rebuild_dirty(&view, &changed);
+        assert!(dm.same_as(&DistanceMatrix::build(&g)));
+    }
+
+    #[test]
+    fn rebuild_dirty_with_no_changes_touches_no_rows() {
+        let g = fat_tree(4).unwrap();
+        let mut dm = DistanceMatrix::build(&g);
+        assert_eq!(dm.rebuild_dirty(&g, &[]), 0);
+        assert!(dm.same_as(&DistanceMatrix::build(&g)));
     }
 
     #[test]

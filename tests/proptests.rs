@@ -2,8 +2,8 @@
 
 use ppdc::model::{comm_cost, comm_cost_flow, total_cost, Placement, Sfc, Workload};
 use ppdc::placement::{
-    dp_placement, exhaustive_placement, greedy_placement, optimal_placement, steering_placement,
-    AttachAggregates,
+    dp_placement, dp_placement_exhaustive_with_agg, dp_placement_with_agg, exhaustive_placement,
+    greedy_placement, optimal_placement, steering_placement, AttachAggregates,
 };
 use ppdc::stroll::{dp_stroll, exhaustive_stroll, optimal_stroll, StrollInstance};
 use ppdc::topology::{
@@ -276,6 +276,86 @@ proptest! {
         // Linear in the rate.
         let single = comm_cost_flow(&dm, hosts[0], hosts[1], 1, &p);
         prop_assert_eq!(comm_cost_flow(&dm, hosts[0], hosts[1], rate, &p), rate * single);
+    }
+
+    /// The branch-and-bound Algorithm 3 sweep is bit-identical — cost AND
+    /// switch sequence — to the exhaustive (ingress, egress) sweep it
+    /// replaced: strict-inequality pruning never discards a cost-optimal
+    /// candidate, so the deterministic lexicographic tie-break sees the
+    /// same contenders.
+    #[test]
+    fn bb_placement_equals_exhaustive_sweep(
+        (g, hosts) in arb_ppdc(),
+        n in 3usize..6,
+        rates in proptest::collection::vec(1u64..10_000, 1..6),
+        dirs in any::<u64>(),
+    ) {
+        prop_assume!(g.num_switches() >= n);
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        for (i, &r) in rates.iter().enumerate() {
+            let (a, b) = if (dirs >> i) & 1 == 0 {
+                (hosts[0], hosts[1])
+            } else {
+                (hosts[1], hosts[0])
+            };
+            w.add_pair(a, b, r);
+        }
+        let sfc = Sfc::of_len(n).unwrap();
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        let (p_bb, c_bb) = dp_placement_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+        let (p_ex, c_ex) = dp_placement_exhaustive_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+        prop_assert_eq!(c_bb, c_ex);
+        prop_assert_eq!(p_bb.switches(), p_ex.switches());
+    }
+
+    /// After any interleaving of fail/repair events, `rebuild_dirty` fed
+    /// the toggled edges is bit-identical to a from-scratch build of the
+    /// degraded view — distances, parents, diameter, and connectivity.
+    #[test]
+    fn dirty_row_apsp_equals_full_rebuild(
+        (g, _hosts) in arb_ppdc(),
+        seed in any::<u64>(),
+        steps in 1usize..8,
+    ) {
+        let mut faults = FaultSet::new(&g);
+        let mut dm = DistanceMatrix::build(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let num_edges = g.num_edges() as u64;
+        let mut x = seed | 1;
+        let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        for _ in 0..steps {
+            let mut changed = Vec::new();
+            // 1–3 events per step, mirroring multi-event fault hours.
+            for _ in 0..(1 + next() % 3) {
+                match next() % 4 {
+                    0 => {
+                        let e = EdgeId((next() % num_edges) as u32);
+                        faults.fail_edge(e).unwrap();
+                        changed.push(g.edge(e));
+                    }
+                    1 => {
+                        let e = EdgeId((next() % num_edges) as u32);
+                        faults.repair_edge(e).unwrap();
+                        changed.push(g.edge(e));
+                    }
+                    2 => {
+                        let s = switches[(next() as usize) % switches.len()];
+                        faults.fail_node(s).unwrap();
+                        changed.extend(g.neighbors(s).iter().map(|&(v, w)| (s, v, w)));
+                    }
+                    _ => {
+                        let s = switches[(next() as usize) % switches.len()];
+                        faults.repair_node(s).unwrap();
+                        changed.extend(g.neighbors(s).iter().map(|&(v, w)| (s, v, w)));
+                    }
+                }
+            }
+            let view = g.degraded_view(&faults);
+            dm.rebuild_dirty(&view, &changed);
+            prop_assert!(dm.same_as(&DistanceMatrix::build(&view)),
+                "dirty-row rebuild diverged from a full build");
+        }
     }
 
     /// Failing and repairing elements round-trips to bit-identical
