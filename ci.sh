@@ -42,14 +42,21 @@ cargo run --release -p ppdc-experiments -- --quick failsweep --metrics target/ci
 echo "==> metrics schema check (ppdc-obs/v1 phase keys)"
 cargo run --release -p ppdc-experiments -- --check-metrics target/ci-metrics.json
 
-echo "==> placement bench smoke (dp_placement group once, trajectory appended)"
+echo "==> k=32 oracle smoke (1,280 switches, no dense matrix, 15s budget)"
+cargo run --release -p ppdc-experiments -- smoke-k32 --budget-ms 15000
+
+echo "==> bench smoke (oracle + placement groups once, trajectory appended)"
 rm -f target/ci-bench-samples.jsonl
-PPDC_BENCH_ONLY=dp_placement PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+PPDC_BENCH_ONLY=dp_placement,dp_placement_k32 \
+    PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench placement
+PPDC_BENCH_ONLY=distance_oracle \
+    PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+    cargo bench -p ppdc-bench --bench topology
 cargo run --release -p ppdc-experiments -- \
     --append-bench BENCH_placement.json \
     --bench-samples target/ci-bench-samples.jsonl \
-    --label "prune-and-reuse solver core" \
+    --label "analytic fat-tree oracle + orbit-compressed B&B" \
     --date "$(date +%F)"
 
 echo "CI OK"

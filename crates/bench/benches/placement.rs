@@ -5,7 +5,7 @@
 //! CLI filter, and CI's bench smoke only needs the placement group.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppdc_bench::fixture;
+use ppdc_bench::{fixture, oracle_fixture};
 use ppdc_model::Sfc;
 use ppdc_placement::{dp_placement, greedy_placement, optimal_placement, steering_placement};
 use std::time::Duration;
@@ -34,6 +34,28 @@ fn bench_dp_placement(c: &mut Criterion) {
             |b, _| b.iter(|| dp_placement(ft.graph(), &dm, &w, &sfc).unwrap()),
         );
     }
+    group.finish();
+}
+
+/// Algorithm 3 at k = 32 (1,280 switches / 8,192 hosts), driven entirely
+/// by the closed-form oracle: the fixture never builds a dense matrix, so
+/// this group exists at a scale the `dp_placement` group cannot reach.
+/// One solve is seconds on a single core (the orbit-compressed sweep still
+/// pays O(m²) DP fills for surviving egresses) — sample counts are kept
+/// minimal.
+fn bench_dp_placement_k32(c: &mut Criterion) {
+    if !enabled("dp_placement_k32") {
+        return;
+    }
+    let (ft, oracle, w) = oracle_fixture(32, 64);
+    let sfc = Sfc::of_len(4).unwrap();
+    let mut group = c.benchmark_group("dp_placement_k32");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(1));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter("k32_l64"), &(), |b, _| {
+        b.iter(|| dp_placement(ft.graph(), &oracle, &w, &sfc).unwrap())
+    });
     group.finish();
 }
 
@@ -94,6 +116,7 @@ fn bench_extensions(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dp_placement,
+    bench_dp_placement_k32,
     bench_baselines,
     bench_optimal,
     bench_extensions

@@ -100,6 +100,23 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// The machine context a bench entry was recorded under.
+///
+/// `cpu_cores` must come from `std::thread::available_parallelism()` (not a
+/// hand-typed constant — the seed entries carried a stale `1` on multi-core
+/// runners), and `rayon_threads` from `rayon::current_num_threads()` so the
+/// entry records whether the parallel sweeps actually fanned out. The
+/// emitted `rayon_parallelized` flag is `rayon_threads > 1`.
+#[derive(Debug, Clone)]
+pub struct BenchEnvironment {
+    /// Logical CPUs visible to the process.
+    pub cpu_cores: u64,
+    /// Threads in the rayon pool the bench run used.
+    pub rayon_threads: u64,
+    /// Free-form provenance note.
+    pub note: String,
+}
+
 /// Appends one labelled entry to a `BENCH_placement.json`-style document
 /// and returns the updated document text.
 ///
@@ -116,8 +133,7 @@ pub fn append_bench_trajectory(
     samples_jsonl: &str,
     label: &str,
     date: &str,
-    cpu_cores: u64,
-    note: &str,
+    env: &BenchEnvironment,
 ) -> Result<String, String> {
     let doc = json::parse(doc_src).map_err(|e| format!("invalid trajectory document: {e}"))?;
     let samples = parse_bench_samples(samples_jsonl)?;
@@ -157,11 +173,13 @@ pub fn append_bench_trajectory(
         })
         .collect();
     entries.push(format!(
-        "{{\"label\": \"{}\", \"date\": \"{}\", \"environment\": {{\"cpu_cores\": {}, \"note\": \"{}\"}}, \"highlights\": {{{}}}, \"results\": [{}]}}",
+        "{{\"label\": \"{}\", \"date\": \"{}\", \"environment\": {{\"cpu_cores\": {}, \"rayon_threads\": {}, \"rayon_parallelized\": {}, \"note\": \"{}\"}}, \"highlights\": {{{}}}, \"results\": [{}]}}",
         escape(label),
         escape(date),
-        cpu_cores,
-        escape(note),
+        env.cpu_cores,
+        env.rayon_threads,
+        env.rayon_threads > 1,
+        escape(&env.note),
         highlights.join(", "),
         results.join(", "),
     ));
@@ -195,6 +213,14 @@ fn write_value(v: &Value) -> String {
 mod tests {
     use super::*;
 
+    fn env() -> BenchEnvironment {
+        BenchEnvironment {
+            cpu_cores: 8,
+            rayon_threads: 8,
+            note: "n".to_string(),
+        }
+    }
+
     const DOC: &str = r#"{"trajectory": [{"label": "seed", "date": "2026-08-01",
         "environment": {"cpu_cores": 1, "note": "n"},
         "highlights": {},
@@ -210,7 +236,7 @@ mod tests {
 
     #[test]
     fn appends_an_entry_with_speedup_highlights() {
-        let out = append_bench_trajectory(DOC, LINES, "round 2", "2026-08-06", 1, "note").unwrap();
+        let out = append_bench_trajectory(DOC, LINES, "round 2", "2026-08-06", &env()).unwrap();
         let v = json::parse(&out).unwrap();
         let traj = v.get("trajectory").and_then(Value::as_arr).unwrap();
         assert_eq!(traj.len(), 2);
@@ -235,8 +261,8 @@ mod tests {
 
     #[test]
     fn history_round_trips_through_append() {
-        let once = append_bench_trajectory(DOC, LINES, "a", "2026-08-06", 1, "n").unwrap();
-        let twice = append_bench_trajectory(&once, LINES, "b", "2026-08-07", 1, "n").unwrap();
+        let once = append_bench_trajectory(DOC, LINES, "a", "2026-08-06", &env()).unwrap();
+        let twice = append_bench_trajectory(&once, LINES, "b", "2026-08-07", &env()).unwrap();
         let v = json::parse(&twice).unwrap();
         let traj = v.get("trajectory").and_then(Value::as_arr).unwrap();
         assert_eq!(traj.len(), 3);
@@ -258,9 +284,33 @@ mod tests {
     }
 
     #[test]
+    fn environment_records_cores_and_rayon_fanout() {
+        let out = append_bench_trajectory(DOC, LINES, "r", "2026-08-07", &env()).unwrap();
+        let v = json::parse(&out).unwrap();
+        let entry = &v.get("trajectory").and_then(Value::as_arr).unwrap()[1];
+        let e = entry.get("environment").unwrap();
+        assert_eq!(e.get("cpu_cores").and_then(Value::as_u64), Some(8));
+        assert_eq!(e.get("rayon_threads").and_then(Value::as_u64), Some(8));
+        assert_eq!(
+            e.get("rayon_parallelized").and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(true)
+        );
+        // A single-thread pool is recorded as not parallelized.
+        let serial = BenchEnvironment {
+            rayon_threads: 1,
+            ..env()
+        };
+        let out = append_bench_trajectory(DOC, LINES, "r", "2026-08-07", &serial).unwrap();
+        assert!(out.contains("\"rayon_parallelized\": false"));
+    }
+
+    #[test]
     fn rejects_malformed_inputs() {
-        assert!(append_bench_trajectory("{}", LINES, "x", "d", 1, "n").is_err());
-        assert!(append_bench_trajectory(DOC, "", "x", "d", 1, "n").is_err());
-        assert!(append_bench_trajectory(DOC, "{\"id\":\"a\"}", "x", "d", 1, "n").is_err());
+        assert!(append_bench_trajectory("{}", LINES, "x", "d", &env()).is_err());
+        assert!(append_bench_trajectory(DOC, "", "x", "d", &env()).is_err());
+        assert!(append_bench_trajectory(DOC, "{\"id\":\"a\"}", "x", "d", &env()).is_err());
     }
 }

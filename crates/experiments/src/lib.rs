@@ -25,7 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod metrics;
 
-pub use bench::{append_bench_trajectory, parse_bench_samples, BenchSample};
+pub use bench::{append_bench_trajectory, parse_bench_samples, BenchEnvironment, BenchSample};
 pub use ext_replication::ext_replication;
 pub use failsweep::failure_sweep;
 pub use fig11::{fig11a_b, fig11c, fig11d};

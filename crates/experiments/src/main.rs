@@ -27,12 +27,13 @@ fn main() {
     let mut label: Option<String> = None;
     let mut date: Option<String> = None;
     let mut note: Option<String> = None;
+    let mut budget_ms: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
             flag @ ("--metrics" | "--check-metrics" | "--append-bench" | "--bench-samples"
-            | "--label" | "--date" | "--note") => {
+            | "--label" | "--date" | "--note" | "--budget-ms") => {
                 i += 1;
                 let Some(value) = args.get(i).cloned() else {
                     eprintln!("{flag} needs an argument");
@@ -45,6 +46,7 @@ fn main() {
                     "--bench-samples" => bench_samples = Some(value),
                     "--label" => label = Some(value),
                     "--date" => date = Some(value),
+                    "--budget-ms" => budget_ms = Some(value),
                     _ => note = Some(value),
                 }
             }
@@ -68,17 +70,21 @@ fn main() {
         };
         let doc = read(&doc_path);
         let samples = read(&samples_path);
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+        let env = BenchEnvironment {
+            cpu_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            rayon_threads: rayon::current_num_threads() as u64,
+            note: note.unwrap_or_else(|| {
+                "Timings from the offline stopwatch criterion stand-in (vendor/criterion), \
+                 min/median/mean ns per iteration."
+                    .to_string()
+            }),
+        };
         let updated = append_bench_trajectory(
             &doc,
             &samples,
             label.as_deref().unwrap_or("unlabelled"),
             date.as_deref().unwrap_or("unknown"),
-            cores,
-            note.as_deref().unwrap_or(
-                "Timings from the offline stopwatch criterion stand-in (vendor/criterion), \
-                 min/median/mean ns per iteration.",
-            ),
+            &env,
         )
         .unwrap_or_else(|e| {
             eprintln!("# cannot append bench entry: {e}");
@@ -89,6 +95,24 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("# bench trajectory appended to {doc_path}");
+        return;
+    }
+
+    // k=32 smoke: prove the analytic oracle path solves a 1,280-switch /
+    // 8,192-host fat-tree inside a wall-clock budget, with ZERO dense V²
+    // matrix build (this mode never constructs a DistanceMatrix). The
+    // ci.sh gate runs it with a tight `--budget-ms`; breach exits nonzero.
+    if which.iter().any(|w| w == "smoke-k32") {
+        let budget = budget_ms
+            .as_deref()
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--budget-ms needs an integer, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(10_000);
+        smoke_k32(budget);
         return;
     }
 
@@ -176,6 +200,68 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("# metrics written to {path}");
+    }
+}
+
+/// Builds the k=32 fat-tree, attaches the closed-form oracle, and runs one
+/// full Algorithm 3 solve (aggregates + closure + orbit-compressed B&B)
+/// against a deterministic cross-pod workload. Exits 1 when the end-to-end
+/// wall time breaches `budget_ms`.
+fn smoke_k32(budget_ms: u64) {
+    use ppdc_model::{Sfc, Workload};
+    use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
+    use ppdc_topology::{FatTree, FatTreeOracle};
+
+    let obs = ppdc_obs::global();
+    obs.enable();
+    obs.declare(
+        ppdc_obs::names::SPANS,
+        ppdc_obs::names::COUNTERS,
+        ppdc_obs::names::HISTS,
+    );
+    let t0 = std::time::Instant::now();
+    let ft = FatTree::build(32).expect("k=32 is a valid arity");
+    let oracle = FatTreeOracle::new(&ft);
+    let g = ft.graph();
+    eprintln!(
+        "# smoke-k32: {} switches / {} hosts, oracle built in {:.1}ms (no V² matrix)",
+        oracle.num_switches(),
+        oracle.num_hosts(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    let hosts: Vec<ppdc_topology::NodeId> = g.hosts().collect();
+    let mut w = Workload::new();
+    for i in 0..64usize {
+        // Deterministic cross-pod pairs with spread rates.
+        let a = hosts[(i * 131) % hosts.len()];
+        let b = hosts[(i * 2_477 + 4_096) % hosts.len()];
+        w.add_pair(a, b, (i as u64 % 97) * 13 + 1);
+    }
+    let sfc = Sfc::of_len(4).expect("length 4 is valid");
+    let t1 = std::time::Instant::now();
+    let agg = AttachAggregates::build(g, &oracle, &w);
+    let (p, cost) =
+        dp_placement_with_agg(g, &oracle, &w, &sfc, &agg).expect("k=32 placement must be feasible");
+    let solve_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "# smoke-k32: solved n={} at cost {} (first switch {:?}) in {solve_ms:.1}ms, \
+         {total_ms:.1}ms end to end (budget {budget_ms}ms)",
+        sfc.len(),
+        cost,
+        p.switch(0),
+    );
+    let snap = obs.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    eprintln!(
+        "# smoke-k32: oracle.queries={} solver.dp.egress_pruned={} solver.dp.orbit_pruned={}",
+        counter(ppdc_obs::names::ORACLE_QUERIES),
+        counter(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED),
+        counter(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED),
+    );
+    if total_ms > budget_ms as f64 {
+        eprintln!("# smoke-k32: FAILED wall-clock budget");
+        std::process::exit(1);
     }
 }
 

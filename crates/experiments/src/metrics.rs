@@ -31,7 +31,9 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     names::SIM_RECOVERY_MIGRATIONS,
     names::SIM_STRANDED_FLOW_HOURS,
     names::SOLVER_DP_EGRESS_PRUNED,
+    names::SOLVER_DP_ORBIT_PRUNED,
     names::APSP_ROWS_DIRTY,
+    names::ORACLE_QUERIES,
 ];
 
 /// Validates a `--metrics` JSON document: it must parse, carry the

@@ -22,7 +22,7 @@
 use crate::MigrationError;
 use ppdc_mcf::McfNetwork;
 use ppdc_model::{comm_cost, HostCapacities, MigrationCoefficient, Placement, VmId, Workload};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, INFINITY};
+use ppdc_topology::{Cost, DistanceOracle, Graph, NodeId, INFINITY};
 
 /// `mass · cost` with the unreachable sentinel handled: a zero mass never
 /// observes an [`INFINITY`] distance, a positive mass pins the product at
@@ -55,14 +55,14 @@ pub struct VmMigrationOutcome {
 
 /// **NoMigration**: the cost of simply riding out the new rates on the old
 /// placement.
-pub fn no_migration(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
+pub fn no_migration<D: DistanceOracle + ?Sized>(dm: &D, w: &Workload, p: &Placement) -> Cost {
     comm_cost(dm, w, p)
 }
 
 /// [`no_migration`] through precomputed attach-cost aggregates — `O(n)`
 /// instead of `O(|flows|·n)`. `agg` must describe the current workload.
-pub fn no_migration_with_agg(
-    dm: &DistanceMatrix,
+pub fn no_migration_with_agg<D: DistanceOracle + ?Sized>(
+    dm: &D,
     agg: &ppdc_placement::AttachAggregates,
     p: &Placement,
 ) -> Cost {
@@ -93,7 +93,13 @@ impl VmRates {
     /// of `C_a` its position influences). Saturates at [`INFINITY`] when a
     /// positive-rate VM cannot reach the chain end from `h` — degraded
     /// fabrics must never wrap a `rate × INFINITY` product around `u64`.
-    fn attach_cost(&self, dm: &DistanceMatrix, p: &Placement, v: VmId, h: NodeId) -> Cost {
+    fn attach_cost<D: DistanceOracle + ?Sized>(
+        &self,
+        dm: &D,
+        p: &Placement,
+        v: VmId,
+        h: NodeId,
+    ) -> Cost {
         attach_term(self.src[v.index()], dm.cost(h, p.ingress()))
             .saturating_add(attach_term(self.dst[v.index()], dm.cost(p.egress(), h)))
             .min(INFINITY)
@@ -110,9 +116,9 @@ impl VmRates {
 /// `slots` is the uniform per-host VM capacity; `vm_mu` the VM migration
 /// coefficient (VM and VNF images are both ~100 MB, so the paper's μ is
 /// the natural default). `max_passes` bounds the improvement loop.
-pub fn plan_vm_migration(
+pub fn plan_vm_migration<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     p: &Placement,
     vm_mu: MigrationCoefficient,
@@ -195,9 +201,9 @@ pub fn plan_vm_migration(
 ///
 /// [`MigrationError::Infeasible`] when the flow solver cannot place every
 /// VM (cannot happen with the occupancy floor; kept as a typed guard).
-pub fn mcf_vm_migration(
+pub fn mcf_vm_migration<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     p: &Placement,
     vm_mu: MigrationCoefficient,
@@ -309,6 +315,7 @@ mod tests {
     use ppdc_model::Sfc;
     use ppdc_placement::dp_placement;
     use ppdc_topology::builders::fat_tree;
+    use ppdc_topology::DistanceMatrix;
 
     fn setup() -> (Graph, DistanceMatrix, Workload, Placement) {
         let g = fat_tree(4).unwrap();

@@ -10,7 +10,7 @@
 
 use ppdc_model::{comm_cost, migration_cost, MigrationCoefficient, Placement, Workload};
 use ppdc_placement::AttachAggregates;
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, NodeKind, INFINITY};
+use ppdc_topology::{Cost, DistanceOracle, Graph, NodeId, NodeKind, INFINITY};
 
 /// One evaluated frontier: its placement snapshot and both cost terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,9 +47,9 @@ impl FrontierPoint {
 /// Panics if the two placements differ in length or some `p(j)` cannot
 /// reach `p'(j)` — use [`try_migration_paths`] when the fabric may be
 /// partitioned.
-pub fn migration_paths(
+pub fn migration_paths<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     p: &Placement,
     p_new: &Placement,
 ) -> Vec<Vec<NodeId>> {
@@ -68,9 +68,9 @@ pub fn migration_paths(
 /// sit in different components — the epoch loop must then repair the
 /// placement (both placements inside one serving component make every path
 /// exist).
-pub fn try_migration_paths(
+pub fn try_migration_paths<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     p: &Placement,
     p_new: &Placement,
 ) -> Result<Vec<Vec<NodeId>>, crate::MigrationError> {
@@ -108,8 +108,8 @@ pub fn try_migration_paths(
 /// Paths produced by [`migration_paths`]/[`try_migration_paths`] always
 /// hold at least the source switch, so this only fires on malformed
 /// caller-supplied paths (previously this underflowed `path.len() - 1`).
-pub fn parallel_frontiers(
-    dm: &DistanceMatrix,
+pub fn parallel_frontiers<D: DistanceOracle + ?Sized>(
+    dm: &D,
     w: &Workload,
     paths: &[Vec<NodeId>],
     p: &Placement,
@@ -128,8 +128,8 @@ pub fn parallel_frontiers(
 /// # Errors
 ///
 /// Same conditions as [`parallel_frontiers`].
-pub fn parallel_frontiers_with_agg(
-    dm: &DistanceMatrix,
+pub fn parallel_frontiers_with_agg<D: DistanceOracle + ?Sized>(
+    dm: &D,
     agg: &AttachAggregates,
     paths: &[Vec<NodeId>],
     p: &Placement,
@@ -227,6 +227,7 @@ mod tests {
     use super::*;
     use ppdc_model::Sfc;
     use ppdc_topology::builders::linear;
+    use ppdc_topology::DistanceMatrix;
 
     /// Example-1 setting: p = (s1, s2), p' = (s5, s4) on the 5-switch line.
     fn setting() -> (Graph, DistanceMatrix, Workload, Placement, Placement) {

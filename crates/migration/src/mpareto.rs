@@ -4,7 +4,7 @@ use crate::frontier::{parallel_frontiers_with_agg, try_migration_paths, Frontier
 use crate::MigrationError;
 use ppdc_model::{MigrationCoefficient, Placement, Sfc, Workload};
 use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
-use ppdc_topology::{Cost, DistanceMatrix, Graph};
+use ppdc_topology::{Cost, DistanceOracle, Graph};
 
 /// Result of a TOM solve (mPareto or Optimal).
 #[derive(Debug, Clone)]
@@ -53,9 +53,9 @@ impl MigrationOutcome {
 /// # Errors
 ///
 /// Propagates failures of the inner Algorithm 3 call.
-pub fn mpareto(
+pub fn mpareto<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -73,9 +73,9 @@ pub fn mpareto(
 /// # Errors
 ///
 /// Same conditions as [`mpareto`].
-pub fn mpareto_with_agg(
+pub fn mpareto_with_agg<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -95,9 +95,9 @@ pub fn mpareto_with_agg(
 ///
 /// Same conditions as [`mpareto`].
 #[allow(clippy::too_many_arguments)]
-pub fn mpareto_with_closure(
+pub fn mpareto_with_closure<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -109,9 +109,9 @@ pub fn mpareto_with_closure(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn mpareto_inner(
+fn mpareto_inner<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -168,7 +168,7 @@ mod tests {
     use ppdc_model::{comm_cost, total_cost, Sfc};
     use ppdc_placement::dp_placement;
     use ppdc_topology::builders::{fat_tree, linear};
-    use ppdc_topology::NodeId;
+    use ppdc_topology::{DistanceMatrix, NodeId};
 
     fn example1() -> (Graph, DistanceMatrix, Workload, Sfc, Placement) {
         let (g, h1, h2) = linear(5).unwrap();

@@ -19,7 +19,7 @@ use crate::MigrationError;
 use ppdc_model::{migration_cost, MigrationCoefficient, ModelError, Placement, Sfc, Workload};
 use ppdc_placement::AttachAggregates;
 use ppdc_stroll::{Exactness, StrollError};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY};
+use ppdc_topology::{Cost, DistanceOracle, Graph, MetricClosure, NodeId, INFINITY};
 
 /// Default expansion budget for the migration branch-and-bound.
 pub const DEFAULT_BUDGET: u64 = 200_000_000;
@@ -108,9 +108,9 @@ impl<'a> Search<'a> {
 
 /// Exact optimal migration with the default budget, seeded by `seed` (pass
 /// mPareto's outcome for fast pruning) when provided.
-pub fn optimal_migration(
+pub fn optimal_migration<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -127,9 +127,9 @@ pub fn optimal_migration(
 /// [`MigrationError::Stroll`] with `BudgetExhausted` when the search could
 /// not be completed within `budget` expansions.
 #[allow(clippy::too_many_arguments)]
-pub fn optimal_migration_with_budget(
+pub fn optimal_migration_with_budget<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     p: &Placement,
@@ -151,9 +151,9 @@ pub fn optimal_migration_with_budget(
 ///
 /// Same conditions as [`optimal_migration_with_budget`].
 #[allow(clippy::too_many_arguments)]
-pub fn optimal_migration_with_agg(
+pub fn optimal_migration_with_agg<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     sfc: &Sfc,
     p: &Placement,
     mu: MigrationCoefficient,
@@ -188,9 +188,9 @@ pub fn optimal_migration_with_agg(
 /// candidate set — the epoch loop must repair such a placement *before*
 /// asking for a migration.
 #[allow(clippy::too_many_arguments)]
-pub fn optimal_migration_with_deadline(
+pub fn optimal_migration_with_deadline<D: DistanceOracle + ?Sized>(
     _g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     sfc: &Sfc,
     p: &Placement,
     mu: MigrationCoefficient,
@@ -332,6 +332,7 @@ mod tests {
     use ppdc_model::{comm_cost, total_cost};
     use ppdc_placement::dp_placement;
     use ppdc_topology::builders::{fat_tree, linear};
+    use ppdc_topology::DistanceMatrix;
 
     fn example1_swapped() -> (Graph, DistanceMatrix, Workload, Sfc, Placement) {
         let (g, h1, h2) = linear(5).unwrap();

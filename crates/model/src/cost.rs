@@ -2,7 +2,7 @@
 
 use crate::sfc::Placement;
 use crate::vm::Workload;
-use ppdc_topology::{sat_add, sat_mul, Cost, DistanceMatrix, NodeId};
+use ppdc_topology::{sat_add, sat_mul, Cost, DistanceOracle, NodeId};
 
 /// The VNF migration coefficient `μ`: the ratio between the cost of moving
 /// one VNF one cost-unit and the cost of one unit of VM traffic over one
@@ -18,14 +18,14 @@ pub type MigrationCoefficient = u64;
 /// All arithmetic here saturates at [`ppdc_topology::INFINITY`]: if any hop
 /// of the chain is unreachable (degraded fabric), the chain cost is exactly
 /// the sentinel instead of a drifting multiple of it.
-pub fn chain_cost(dm: &DistanceMatrix, p: &Placement) -> Cost {
+pub fn chain_cost<D: DistanceOracle + ?Sized>(dm: &D, p: &Placement) -> Cost {
     chain_cost_switches(dm, p.switches())
 }
 
 /// [`chain_cost`] over a bare switch sequence — for solvers that evaluate
 /// candidate chains in a reused scratch buffer without materializing a
 /// [`Placement`] per candidate.
-pub fn chain_cost_switches(dm: &DistanceMatrix, switches: &[NodeId]) -> Cost {
+pub fn chain_cost_switches<D: DistanceOracle + ?Sized>(dm: &D, switches: &[NodeId]) -> Cost {
     switches
         .windows(2)
         .map(|w| dm.cost(w[0], w[1]))
@@ -34,7 +34,12 @@ pub fn chain_cost_switches(dm: &DistanceMatrix, switches: &[NodeId]) -> Cost {
 
 /// Attachment cost `c(s(v_i), p(1)) + c(p(n), s(v'_i))` for one flow — the
 /// per-rate-unit cost of reaching the ingress and leaving the egress.
-pub fn attach_cost(dm: &DistanceMatrix, src_host: NodeId, dst_host: NodeId, p: &Placement) -> Cost {
+pub fn attach_cost<D: DistanceOracle + ?Sized>(
+    dm: &D,
+    src_host: NodeId,
+    dst_host: NodeId,
+    p: &Placement,
+) -> Cost {
     sat_add(
         dm.cost(src_host, p.ingress()),
         dm.cost(p.egress(), dst_host),
@@ -43,8 +48,8 @@ pub fn attach_cost(dm: &DistanceMatrix, src_host: NodeId, dst_host: NodeId, p: &
 
 /// Communication cost of a single flow under placement `p`:
 /// `λ · (c(s, p(1)) + Σ c(p(j), p(j+1)) + c(p(n), t))`.
-pub fn comm_cost_flow(
-    dm: &DistanceMatrix,
+pub fn comm_cost_flow<D: DistanceOracle + ?Sized>(
+    dm: &D,
     src_host: NodeId,
     dst_host: NodeId,
     rate: u64,
@@ -60,7 +65,7 @@ pub fn comm_cost_flow(
 ///
 /// The interior chain is shared by every flow, so it is computed once and
 /// multiplied by the total rate.
-pub fn comm_cost(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
+pub fn comm_cost<D: DistanceOracle + ?Sized>(dm: &D, w: &Workload, p: &Placement) -> Cost {
     let chain = chain_cost(dm, p);
     let mut total = sat_mul(w.total_rate(), chain);
     for (_, src, dst, rate) in w.iter() {
@@ -74,8 +79,8 @@ pub fn comm_cost(dm: &DistanceMatrix, w: &Workload, p: &Placement) -> Cost {
 /// # Panics
 ///
 /// `p` and `m` must have the same length.
-pub fn migration_cost(
-    dm: &DistanceMatrix,
+pub fn migration_cost<D: DistanceOracle + ?Sized>(
+    dm: &D,
     p: &Placement,
     m: &Placement,
     mu: MigrationCoefficient,
@@ -92,8 +97,8 @@ pub fn migration_cost(
 
 /// Total cost of migrating from `p` to `m` and then communicating (Eq. 8):
 /// `C_t(p, m) = C_b(p, m) + C_a(m)`.
-pub fn total_cost(
-    dm: &DistanceMatrix,
+pub fn total_cost<D: DistanceOracle + ?Sized>(
+    dm: &D,
     w: &Workload,
     p: &Placement,
     m: &Placement,
@@ -107,6 +112,7 @@ mod tests {
     use super::*;
     use crate::sfc::Sfc;
     use ppdc_topology::builders::linear;
+    use ppdc_topology::DistanceMatrix;
     use ppdc_topology::Graph;
 
     /// The paper's running example (Fig. 1 / Fig. 3, Example 1): a 5-switch

@@ -100,6 +100,12 @@ pub mod names {
     pub const SOLVER_DP_EGRESS_PRUNED: &str = "solver.dp.egress_pruned";
     /// Source rows the dirty-row APSP rebuild actually re-ran.
     pub const APSP_ROWS_DIRTY: &str = "apsp.rows_dirty";
+    /// Point distance queries answered by a `DistanceOracle` (batched:
+    /// closure fills and aggregate builds add their whole query count).
+    pub const ORACLE_QUERIES: &str = "oracle.queries";
+    /// Candidate rows/egresses skipped because an interchangeability class
+    /// they share a bound with was pruned as a whole.
+    pub const SOLVER_DP_ORBIT_PRUNED: &str = "solver.dp.orbit_pruned";
 
     /// Every span name the epoch loop pre-declares.
     pub const SPANS: &[&str] = &[
@@ -127,6 +133,8 @@ pub mod names {
         SIM_STRANDED_FLOW_HOURS,
         SOLVER_DP_EGRESS_PRUNED,
         APSP_ROWS_DIRTY,
+        ORACLE_QUERIES,
+        SOLVER_DP_ORBIT_PRUNED,
     ];
     /// Every histogram name the epoch loop pre-declares.
     pub const HISTS: &[&str] = &[SIM_HOUR_SOLVER_NS];

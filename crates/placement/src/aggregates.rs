@@ -35,7 +35,7 @@
 //! epoch instead of a full rebuild.
 
 use ppdc_model::{FlowId, Placement, Workload};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, NodeId, INFINITY};
+use ppdc_topology::{Cost, DistanceOracle, Graph, NodeId, INFINITY};
 
 /// One `λ·c(h, x)` attachment term, with the unreachable sentinel kept
 /// intact: a positive mass across an [`INFINITY`] distance contributes
@@ -125,7 +125,7 @@ impl AttachAggregates {
     /// folding the workload into per-attach-node rate masses
     /// (`O(|flows| + |V_h|·|V_s|)`). Bit-identical to
     /// [`AttachAggregates::build_flow_by_flow`].
-    pub fn build(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+    pub fn build<D: DistanceOracle + ?Sized>(g: &Graph, dm: &D, w: &Workload) -> Self {
         let _span = ppdc_obs::global().span(ppdc_obs::names::AGG_BUILD);
         let switches: Vec<NodeId> = g.switches().collect();
         Self::build_restricted(g, dm, w, &switches)
@@ -143,9 +143,9 @@ impl AttachAggregates {
     /// partitioned fabric. [`AttachAggregates::apply_rate_deltas`] must
     /// only be fed aggregates whose entries are all finite (the epoch loop
     /// rebuilds on failure/repair events before delta-feeding resumes).
-    pub fn build_restricted(
+    pub fn build_restricted<D: DistanceOracle + ?Sized>(
         g: &Graph,
-        dm: &DistanceMatrix,
+        dm: &D,
         w: &Workload,
         candidates: &[NodeId],
     ) -> Self {
@@ -169,6 +169,12 @@ impl AttachAggregates {
             a_in[x.index()] = ain;
             a_out[x.index()] = aout;
         }
+        // One batched count for the whole sweep (two queries per
+        // touched-host/candidate pair) — no per-query atomics.
+        ppdc_obs::global().add(
+            ppdc_obs::names::ORACLE_QUERIES,
+            u64::try_from(2 * masses.touched.len() * candidates.len()).unwrap_or(u64::MAX),
+        );
         let agg = AttachAggregates {
             a_in,
             a_out,
@@ -189,16 +195,16 @@ impl AttachAggregates {
     /// The original `O(|flows|·|V_s|)` build, one flow at a time. Kept as
     /// the parity oracle for [`AttachAggregates::build`] /
     /// [`AttachAggregates::apply_rate_deltas`] and as the bench baseline.
-    pub fn build_flow_by_flow(g: &Graph, dm: &DistanceMatrix, w: &Workload) -> Self {
+    pub fn build_flow_by_flow<D: DistanceOracle + ?Sized>(g: &Graph, dm: &D, w: &Workload) -> Self {
         let switches: Vec<NodeId> = g.switches().collect();
         Self::build_restricted_flow_by_flow(g, dm, w, &switches)
     }
 
     /// Flow-by-flow parity oracle for [`AttachAggregates::build_restricted`]
     /// (same candidate restriction and saturation semantics).
-    pub fn build_restricted_flow_by_flow(
+    pub fn build_restricted_flow_by_flow<D: DistanceOracle + ?Sized>(
         g: &Graph,
-        dm: &DistanceMatrix,
+        dm: &D,
         w: &Workload,
         candidates: &[NodeId],
     ) -> Self {
@@ -237,9 +243,9 @@ impl AttachAggregates {
     /// Panics (in all build profiles) if a delta drives an aggregate
     /// negative — i.e. the deltas disagree with the rates the aggregates
     /// were built from.
-    pub fn apply_rate_deltas(
+    pub fn apply_rate_deltas<D: DistanceOracle + ?Sized>(
         &mut self,
-        dm: &DistanceMatrix,
+        dm: &D,
         w: &Workload,
         deltas: &[(FlowId, i64)],
     ) {
@@ -330,14 +336,18 @@ impl AttachAggregates {
 
     /// Exact `C_a(p)` using the aggregates (equals
     /// [`ppdc_model::comm_cost`]).
-    pub fn comm_cost(&self, dm: &DistanceMatrix, p: &Placement) -> Cost {
+    pub fn comm_cost<D: DistanceOracle + ?Sized>(&self, dm: &D, p: &Placement) -> Cost {
         self.comm_cost_switches(dm, p.switches())
     }
 
     /// [`AttachAggregates::comm_cost`] over a bare switch sequence, so the
     /// placement sweep can price candidate chains straight out of a reused
     /// scratch buffer. Exactly the same arithmetic — bit-identical costs.
-    pub fn comm_cost_switches(&self, dm: &DistanceMatrix, switches: &[NodeId]) -> Cost {
+    pub fn comm_cost_switches<D: DistanceOracle + ?Sized>(
+        &self,
+        dm: &D,
+        switches: &[NodeId],
+    ) -> Cost {
         use ppdc_topology::{sat_add, sat_mul};
         let ingress = switches[0];
         let egress = switches[switches.len() - 1];
@@ -368,6 +378,7 @@ mod tests {
     use super::*;
     use ppdc_model::{comm_cost, Sfc};
     use ppdc_topology::builders::{fat_tree, linear};
+    use ppdc_topology::DistanceMatrix;
 
     #[test]
     fn aggregate_cost_matches_direct_eq1() {

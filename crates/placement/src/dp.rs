@@ -30,16 +30,42 @@
 //! cost-optimal candidate is ever pruned and the deterministic
 //! lexicographic tie-break sees exactly the same contenders.
 //!
+//! # Orbit compression
+//!
+//! The bound `lb(i, j)` only reads `A_in[i]`, `A_out[j]`, and `c(i, j)`,
+//! so switches that agree on all three are *interchangeable* to every
+//! bound decision. The sweep groups the candidate set into
+//! interchangeability classes — `u ≡ v` iff `A_in`, `A_out` agree and
+//! their closure rows agree off `{u, v}` — and evaluates each bound once
+//! per class representative: one comparison covers `|S|·|T|` pairs. On a
+//! fat-tree these classes recover the topology's automorphism orbits
+//! ([`ppdc_topology::FatTreeOracle::orbits`]) refined by the workload:
+//! edge switches within a pod and core switches within a core group merge
+//! whenever their attached rate masses agree (aggregation switches stay
+//! singletons among switch candidates — their distance to core group `a`
+//! is 1 for agg `a` and 3 otherwise, so their rows differ). Compression
+//! applies to **bounds only**: every surviving member is still solved
+//! individually, because the stroll DP's reconstruction argmins are
+//! index-dependent; since class members share one bound value, pruning by
+//! the representative prunes exactly the rows the per-row test would
+//! have, and the bit-identity argument above carries over unchanged (see
+//! DESIGN.md §8).
+//!
 //! All per-egress state (stroll tables, candidate chains) lives in
 //! per-worker thread-local scratch reused across egresses and epochs, so
 //! the steady-state sweep allocates nothing but the final placement.
+//!
+//! Every distance is consumed through [`DistanceOracle`], so the sweep
+//! runs identically over a dense [`ppdc_topology::DistanceMatrix`] or the
+//! zero-build [`ppdc_topology::FatTreeOracle`] — the latter is what makes
+//! k = 32 (1,280 switches) solves possible without a V² matrix.
 
 use crate::aggregates::AttachAggregates;
 use crate::PlacementError;
 use ppdc_model::{Placement, Sfc, Workload};
 use ppdc_stroll::{dp_stroll_all_sources, DpBatchSolver};
 use ppdc_topology::{
-    sat_add, sat_mul, Cost, DistanceMatrix, Graph, MetricClosure, NodeId, INFINITY,
+    sat_add, sat_mul, Cost, DistanceOracle, Graph, MetricClosure, NodeId, INFINITY,
 };
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -74,9 +100,9 @@ fn too_few(switches: usize, vnfs: usize) -> PlacementError {
 ///
 /// Fails when the workload has no flows, the SFC is longer than the number
 /// of switches, or the graph is disconnected.
-pub fn dp_placement(
+pub fn dp_placement<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
 ) -> Result<(Placement, Cost), PlacementError> {
@@ -110,9 +136,9 @@ pub fn dp_placement(
 /// # Errors
 ///
 /// Same conditions as [`dp_placement`].
-pub fn dp_placement_with_agg(
+pub fn dp_placement_with_agg<D: DistanceOracle + ?Sized>(
     _g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     agg: &AttachAggregates,
@@ -142,9 +168,9 @@ pub fn dp_placement_with_agg(
 /// # Errors
 ///
 /// Same conditions as [`dp_placement`].
-pub fn dp_placement_with_closure(
+pub fn dp_placement_with_closure<D: DistanceOracle + ?Sized>(
     _g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     agg: &AttachAggregates,
@@ -153,8 +179,8 @@ pub fn dp_placement_with_closure(
     dp_placement_inner(dm, w, sfc, agg, Some(closure))
 }
 
-fn dp_placement_inner(
-    dm: &DistanceMatrix,
+fn dp_placement_inner<D: DistanceOracle + ?Sized>(
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     agg: &AttachAggregates,
@@ -232,10 +258,76 @@ fn dp_placement_inner(
     result
 }
 
+/// SplitMix64 finalizer: the commutative row-fingerprint mixer of
+/// [`interchange_classes`]. Any collision is caught by the exact row
+/// comparison that follows, so only determinism matters here.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Groups closure indices into interchangeability classes: `u ≡ v` iff
+/// `a_in[u] = a_in[v]`, `a_out[u] = a_out[v]`, and the closure rows agree
+/// off the pair (`c(u, x) = c(v, x)` for every `x ∉ {u, v}`). With a
+/// symmetric closure this is an equivalence relation (DESIGN.md §8), and
+/// the in-class distance `c(u, v)` is constant over distinct class pairs
+/// — which is exactly what makes every sweep bound constant over `S × T`.
+///
+/// Candidates are bucketed by `(a_in, a_out, commutative row hash)` and
+/// verified with an exact row comparison against each open class
+/// representative, so hash collisions cost time, never correctness.
+/// Classes come back ordered by first member, members ascending —
+/// deterministic regardless of hash values. Arbitrary (asymmetric
+/// workload, irregular fabric) inputs simply degrade to singletons.
+pub(crate) fn interchange_classes(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+) -> Vec<Vec<usize>> {
+    let m = closure.len();
+    // Full-row commutative fingerprint: interchangeable rows are equal as
+    // multisets (the off-pair entries match pointwise, the pair entries
+    // are `0` and the symmetric `c(u, v)` on both sides).
+    let mut keyed: Vec<(Cost, Cost, u64, usize)> = (0..m)
+        .map(|i| {
+            let h = (0..m).fold(0u64, |acc, x| acc.wrapping_add(mix(closure.cost_ix(i, x))));
+            (a_in[i], a_out[i], h, i)
+        })
+        .collect();
+    keyed.sort_unstable();
+    let rows_agree = |u: usize, v: usize| {
+        (0..m).all(|x| x == u || x == v || closure.cost_ix(u, x) == closure.cost_ix(v, x))
+    };
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut start = 0;
+    while start < m {
+        let bucket = (keyed[start].0, keyed[start].1, keyed[start].2);
+        let mut end = start;
+        while end < m && (keyed[end].0, keyed[end].1, keyed[end].2) == bucket {
+            end += 1;
+        }
+        // Classes opened for this bucket; the transitivity of ≡ makes a
+        // representative comparison sufficient.
+        let first_new = classes.len();
+        for &(.., i) in &keyed[start..end] {
+            match (first_new..classes.len()).find(|&ci| rows_agree(classes[ci][0], i)) {
+                Some(ci) => classes[ci].push(i),
+                None => classes.push(vec![i]),
+            }
+        }
+        start = end;
+    }
+    // Bucket order depends on aggregate values; re-anchor to index order.
+    classes.sort_unstable_by_key(|c| c[0]);
+    classes
+}
+
 /// Shared read-only state of one branch-and-bound sweep, plus the
 /// incumbent the workers race against.
-struct SweepCtx<'a> {
-    dm: &'a DistanceMatrix,
+struct SweepCtx<'a, D: DistanceOracle + ?Sized> {
+    dm: &'a D,
     agg: &'a AttachAggregates,
     closure: &'a MetricClosure,
     n: usize,
@@ -246,13 +338,19 @@ struct SweepCtx<'a> {
     /// `A_in` / `A_out` re-indexed by closure index.
     a_in: Vec<Cost>,
     a_out: Vec<Cost>,
+    /// Interchangeability classes of the closure indices
+    /// ([`interchange_classes`]): every bound is evaluated once per class.
+    classes: Vec<Vec<usize>>,
+    /// `class_size[i]`: how many members index `i`'s class has — the
+    /// "was this prune shared with siblings" test for the orbit counter.
+    class_size: Vec<u32>,
     /// Cheapest exact candidate cost seen so far (`u64::MAX` until the
     /// first candidate; every real bound saturates at [`INFINITY`], which
     /// is far below it, so nothing is pruned before a candidate exists).
     incumbent: AtomicU64,
 }
 
-impl SweepCtx<'_> {
+impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
     /// The admissible bound `lb(i, j)` of the module docs.
     fn pair_bound(&self, s_ix: usize, t_ix: usize) -> Cost {
         let chain_lb = self.closure.cost_ix(s_ix, t_ix).max(self.seg_lb);
@@ -267,50 +365,83 @@ impl SweepCtx<'_> {
     /// a non-minimal candidate for an egress that cannot win anyway (its
     /// pruned rows all cost strictly more than the optimum), never for one
     /// that can — see the module docs.
+    ///
+    /// Ingress rows are visited class by class: the bound is constant
+    /// across a class, so one representative comparison admits or prunes
+    /// the whole class. Surviving members still re-check against the
+    /// (monotonically falling) incumbent before their individual solve.
+    /// Which rows get solved can differ from a per-row-only test — an
+    /// incumbent improvement mid-class prunes later siblings — but every
+    /// pruned row satisfied `lb > incumbent ≥ optimum` at its test, so
+    /// optimum-cost candidates (which have `lb ≤ optimum`) are never
+    /// dropped and the per-sweep minimum is unchanged.
     fn best_for_egress(
         &self,
         t_ix: usize,
         scratch: &mut EgressScratch,
     ) -> Option<(Cost, Placement)> {
-        let m = self.closure.len();
         scratch.solver.reset(self.closure, t_ix);
         let egress = self.closure.node(t_ix);
         let mut best_cost: Option<Cost> = None;
-        for s_ix in 0..m {
-            if s_ix == t_ix {
-                continue;
-            }
-            if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Relaxed) {
-                continue;
-            }
-            let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
-                continue;
+        let mut orbit_skipped = 0u64;
+        for class in &self.classes {
+            // A valid bound for every member needs an ingress ≠ t_ix; for
+            // the class containing t_ix the next member stands in (the
+            // in-class distance is constant, so any sibling works).
+            let rep = match class.iter().find(|&&s| s != t_ix) {
+                Some(&rep) => rep,
+                None => continue, // singleton {t_ix}: no ingress rows here
             };
-            scratch.chain.clear();
-            scratch.chain.push(self.closure.node(s_ix));
-            scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
-            scratch.chain.push(egress);
-            let cost = self.agg.comm_cost_switches(self.dm, &scratch.chain);
-            self.incumbent.fetch_min(cost, Ordering::Relaxed);
-            let better = match best_cost {
-                None => true,
-                Some(c) => {
-                    cost < c
-                        || (cost == c && scratch.chain.as_slice() < scratch.best_chain.as_slice())
+            if self.pair_bound(rep, t_ix) > self.incumbent.load(Ordering::Relaxed) {
+                if class.len() > 1 {
+                    // One comparison pruned a multi-member class.
+                    orbit_skipped +=
+                        u64::try_from(class.len() - usize::from(class.contains(&t_ix)))
+                            .unwrap_or(u64::MAX);
                 }
-            };
-            if better {
-                best_cost = Some(cost);
-                std::mem::swap(&mut scratch.chain, &mut scratch.best_chain);
+                continue;
             }
+            for &s_ix in class {
+                if s_ix == t_ix {
+                    continue;
+                }
+                if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
+                    continue;
+                };
+                scratch.chain.clear();
+                scratch.chain.push(self.closure.node(s_ix));
+                scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
+                scratch.chain.push(egress);
+                let cost = self.agg.comm_cost_switches(self.dm, &scratch.chain);
+                self.incumbent.fetch_min(cost, Ordering::Relaxed);
+                let better = match best_cost {
+                    None => true,
+                    Some(c) => {
+                        cost < c
+                            || (cost == c
+                                && scratch.chain.as_slice() < scratch.best_chain.as_slice())
+                    }
+                };
+                if better {
+                    best_cost = Some(cost);
+                    std::mem::swap(&mut scratch.chain, &mut scratch.best_chain);
+                }
+            }
+        }
+        if orbit_skipped > 0 {
+            // One batched add per egress — no atomics inside the row loop.
+            ppdc_obs::global().add(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED, orbit_skipped);
         }
         best_cost.map(|c| (c, Placement::new_unchecked(scratch.best_chain.clone())))
     }
 }
 
 /// The `n ≥ 3` best-first sweep over all egresses.
-fn bb_sweep(
-    dm: &DistanceMatrix,
+fn bb_sweep<D: DistanceOracle + ?Sized>(
+    dm: &D,
     agg: &AttachAggregates,
     closure: &MetricClosure,
     n: usize,
@@ -323,6 +454,16 @@ fn bb_sweep(
         }
     }
     let interior = u64::try_from(n - 1).unwrap_or(u64::MAX);
+    let a_in: Vec<Cost> = (0..m).map(|i| agg.a_in(closure.node(i))).collect();
+    let a_out: Vec<Cost> = (0..m).map(|i| agg.a_out(closure.node(i))).collect();
+    let classes = interchange_classes(closure, &a_in, &a_out);
+    let mut class_size = vec![0u32; m];
+    for class in &classes {
+        let size = u32::try_from(class.len()).unwrap_or(u32::MAX);
+        for &i in class {
+            class_size[i] = size;
+        }
+    }
     let ctx = SweepCtx {
         dm,
         agg,
@@ -330,29 +471,51 @@ fn bb_sweep(
         n,
         rate: agg.total_rate(),
         seg_lb: sat_mul(interior, c_min),
-        a_in: (0..m).map(|i| agg.a_in(closure.node(i))).collect(),
-        a_out: (0..m).map(|i| agg.a_out(closure.node(i))).collect(),
+        a_in,
+        a_out,
+        classes,
+        class_size,
         incumbent: AtomicU64::new(u64::MAX),
     };
     // Best-bound-first egress order: the cheapest egress is solved first,
     // so the incumbent is near-optimal almost immediately and the tail of
-    // the (sorted) order prunes wholesale.
-    let mut order: Vec<(Cost, usize)> = (0..m)
-        .map(|t_ix| {
-            let bound = (0..m)
-                .filter(|&s_ix| s_ix != t_ix)
-                .map(|s_ix| ctx.pair_bound(s_ix, t_ix))
-                .min()
-                .unwrap_or(u64::MAX);
-            (bound, t_ix)
-        })
-        .collect();
+    // the (sorted) order prunes wholesale. The per-egress bound
+    // `min_{s≠t} lb(s, t)` is constant over an egress class and constant
+    // over each ingress class, so it is evaluated once per class *pair* —
+    // O(classes²) instead of O(m²) — and shared by every member; the
+    // resulting (bound, t_ix) vector is value-identical to the per-pair
+    // scan, so the sort order (and with it the whole sweep) is unchanged.
+    let mut order: Vec<(Cost, usize)> = Vec::with_capacity(m);
+    for (ti, t_class) in ctx.classes.iter().enumerate() {
+        let t_rep = t_class[0];
+        let mut bound = u64::MAX;
+        for (si, s_class) in ctx.classes.iter().enumerate() {
+            let s_rep = if si != ti {
+                s_class[0]
+            } else if s_class.len() > 1 {
+                // In-class pair: the constant class diameter as c(s, t).
+                s_class[1]
+            } else {
+                continue; // the lone member is the egress itself
+            };
+            bound = bound.min(ctx.pair_bound(s_rep, t_rep));
+        }
+        for &t_ix in t_class {
+            order.push((bound, t_ix));
+        }
+    }
     order.sort_unstable();
     let results: Vec<Option<(Cost, Placement)>> = order
         .into_par_iter()
         .map(|(bound, t_ix)| {
             if bound > ctx.incumbent.load(Ordering::Relaxed) {
-                ppdc_obs::global().add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
+                let obs = ppdc_obs::global();
+                obs.add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
+                if ctx.class_size[t_ix] > 1 {
+                    // The bound that killed this egress was computed once
+                    // for its whole class.
+                    obs.add(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED, 1);
+                }
                 return None;
             }
             EGRESS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
@@ -384,9 +547,9 @@ fn bb_sweep(
 /// # Errors
 ///
 /// Same conditions as [`dp_placement`].
-pub fn dp_placement_exhaustive_with_agg(
+pub fn dp_placement_exhaustive_with_agg<D: DistanceOracle + ?Sized>(
     _g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     sfc: &Sfc,
     agg: &AttachAggregates,
@@ -424,8 +587,8 @@ pub fn dp_placement_exhaustive_with_agg(
 /// Best placement whose egress is closure node `t_ix`, every ingress row
 /// solved unconditionally (the oracle counterpart of
 /// [`SweepCtx::best_for_egress`]).
-fn best_for_egress_exhaustive(
-    dm: &DistanceMatrix,
+fn best_for_egress_exhaustive<D: DistanceOracle + ?Sized>(
+    dm: &D,
     agg: &AttachAggregates,
     closure: &MetricClosure,
     t_ix: usize,
@@ -459,6 +622,7 @@ mod tests {
     use super::*;
     use ppdc_model::comm_cost;
     use ppdc_topology::builders::{fat_tree, linear};
+    use ppdc_topology::DistanceMatrix;
 
     #[test]
     fn example1_initial_placement() {
@@ -545,6 +709,64 @@ mod tests {
             let (p_ex, c_ex) = dp_placement_exhaustive_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
             assert_eq!(c_bb, c_ex, "n={n}");
             assert_eq!(p_bb.switches(), p_ex.switches(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn interchange_classes_recover_fat_tree_orbits() {
+        // With a uniform workload surface (all attach terms zero), the
+        // interchangeability classes over a k=4 fat-tree's switches are
+        // exactly the automorphism orbits that keep exact pruning sound:
+        // cores merge per core group, edges merge per pod, and aggregation
+        // switches stay singletons (agg `a` is 1 hop from core group `a`
+        // but 3 hops from every other group, so agg rows never agree).
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        let closure = MetricClosure::over(&dm, &switches);
+        let zero = vec![0u64; switches.len()];
+        let classes = interchange_classes(&closure, &zero, &zero);
+        // Closure index order: cores 0..4, then per pod ⟨agg, agg, edge,
+        // edge⟩ at 4 + 4p.
+        let mut expect: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3]];
+        for p in 0..4 {
+            let base = 4 + 4 * p;
+            expect.push(vec![base]);
+            expect.push(vec![base + 1]);
+            expect.push(vec![base + 2, base + 3]);
+        }
+        expect.sort_unstable_by_key(|c| c[0]);
+        assert_eq!(classes, expect);
+        // Distinct attach terms split classes back apart.
+        let mut a_in = zero.clone();
+        a_in[0] = 7;
+        let split = interchange_classes(&closure, &a_in, &zero);
+        assert_eq!(split.len(), classes.len() + 1);
+        assert!(split.contains(&vec![0]));
+    }
+
+    #[test]
+    fn oracle_driven_solve_matches_dense_exhaustive() {
+        // The whole point of the trait: an analytic fat-tree oracle fed to
+        // the orbit-compressed B&B must reproduce the dense-matrix
+        // exhaustive sweep bit for bit.
+        let ft = ppdc_topology::FatTree::build(4).unwrap();
+        let oracle = ppdc_topology::FatTreeOracle::new(&ft);
+        let g = ft.graph();
+        let dm = DistanceMatrix::build(g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for (i, &h) in hosts.iter().enumerate() {
+            w.add_pair(h, hosts[(i * 7 + 3) % hosts.len()], (3 * i as u64) % 11 + 1);
+        }
+        for n in 1..=5 {
+            let sfc = Sfc::of_len(n).unwrap();
+            let agg = AttachAggregates::build(g, &oracle, &w);
+            let (p_o, c_o) = dp_placement_with_agg(g, &oracle, &w, &sfc, &agg).unwrap();
+            let agg_d = AttachAggregates::build(g, &dm, &w);
+            let (p_d, c_d) = dp_placement_exhaustive_with_agg(g, &dm, &w, &sfc, &agg_d).unwrap();
+            assert_eq!(c_o, c_d, "n={n}");
+            assert_eq!(p_o.switches(), p_d.switches(), "n={n}");
         }
     }
 

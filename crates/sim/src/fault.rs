@@ -471,7 +471,10 @@ pub fn simulate_with_faults_observed(
     // registry wants aggregate spans; either way the readings only ever
     // flow *out* of the simulation.
     let measuring = observe || obs.is_enabled();
-    let dm_healthy = DistanceMatrix::build(g);
+    // The healthy-fabric matrix only backs the reroute-penalty baseline,
+    // which is consulted on unhealthy hours alone — built lazily so a
+    // fault-free schedule never pays this second V² build.
+    let mut dm_healthy: Option<DistanceMatrix> = None;
     let mut faults = FaultSet::new(g);
     // The healthy degraded view re-adds every edge in original order, so
     // `dm_cur` starts bit-identical to `dm_healthy` (and node ids match
@@ -748,9 +751,10 @@ pub fn simulate_with_faults_observed(
         let reroute_cost = if faults.is_healthy() {
             0
         } else {
+            let dmh = dm_healthy.get_or_insert_with(|| DistanceMatrix::build(g));
             rec.total_cost
                 .saturating_sub(rec.migration_cost)
-                .saturating_sub(comm_cost(&dm_healthy, &w_cur, &p))
+                .saturating_sub(comm_cost(dmh, &w_cur, &p))
         };
         total_cost = total_cost.saturating_add(rec.total_cost);
         total_migrations += rec.num_migrations;

@@ -14,7 +14,7 @@ use ppdc_migration::{
 };
 use ppdc_model::{MigrationCoefficient, Sfc, Workload};
 use ppdc_placement::{dp_placement_with_agg, dp_placement_with_closure, AttachAggregates};
-use ppdc_topology::{Cost, DistanceMatrix, Graph, MetricClosure};
+use ppdc_topology::{Cost, DistanceOracle, Graph, MetricClosure};
 use ppdc_traffic::DynamicTrace;
 
 /// Which adaptation mechanism runs each hour.
@@ -96,9 +96,9 @@ pub struct SimResult {
 /// # Errors
 ///
 /// Propagates solver failures (budget exhaustion, infeasible MCF, …).
-pub fn simulate(
+pub fn simulate<D: DistanceOracle + ?Sized>(
     g: &Graph,
-    dm: &DistanceMatrix,
+    dm: &D,
     w: &Workload,
     trace: &DynamicTrace,
     sfc: &Sfc,
@@ -224,7 +224,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppdc_topology::FatTree;
+    use ppdc_topology::{DistanceMatrix, FatTree};
     use ppdc_traffic::standard_workload;
 
     fn setup() -> (FatTree, DistanceMatrix, Workload, DynamicTrace, Sfc) {

@@ -10,6 +10,9 @@
 //!   leaf–spine fabrics, and stars.
 //! * [`shortest`] — single-source Dijkstra/BFS, all-pairs distance matrices
 //!   with path reconstruction, connectivity and diameter queries.
+//! * [`oracle`] — the [`DistanceOracle`] trait over distance queries, with
+//!   the dense matrix and a zero-build O(1) closed-form fat-tree oracle
+//!   ([`FatTreeOracle`]) as interchangeable, bit-identical implementations.
 //! * [`metric`] — metric closures over node subsets, the input of the
 //!   n-stroll dynamic program (Algorithm 2 of the paper).
 //!
@@ -32,12 +35,14 @@ pub mod builders;
 pub mod fault;
 pub mod graph;
 pub mod metric;
+pub mod oracle;
 pub mod shortest;
 
 pub use builders::{fat_tree, leaf_spine, linear, star, FatTree};
 pub use fault::{FaultSet, Partition};
 pub use graph::{sat_add, sat_mul, Cost, EdgeId, Graph, NodeId, NodeKind, INFINITY};
 pub use metric::{CachedClosure, MetricClosure};
+pub use oracle::{DistanceOracle, FatTreeCoord, FatTreeOracle};
 pub use shortest::{DistanceMatrix, ShortestPaths};
 
 /// Errors produced by topology construction and queries.
@@ -55,6 +60,16 @@ pub enum TopologyError {
     Disconnected,
     /// A builder parameter was out of range.
     InvalidParameter(&'static str),
+    /// A dense structure over `nodes` nodes would need `bytes` bytes,
+    /// exceeding the configured memory budget.
+    TooLarge {
+        /// Node count of the offending graph.
+        nodes: usize,
+        /// Bytes the dense structure would allocate.
+        bytes: u64,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -70,6 +85,15 @@ impl std::fmt::Display for TopologyError {
             }
             TopologyError::Disconnected => write!(f, "graph is disconnected"),
             TopologyError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            TopologyError::TooLarge {
+                nodes,
+                bytes,
+                budget,
+            } => write!(
+                f,
+                "dense distance matrix over {nodes} nodes needs {bytes} bytes, over the \
+                 {budget}-byte budget (raise PPDC_APSP_BUDGET_BYTES or use an analytic oracle)"
+            ),
         }
     }
 }

@@ -7,7 +7,7 @@
 //! is what makes the DP cache-friendly.
 
 use crate::graph::{Cost, NodeId};
-use crate::shortest::DistanceMatrix;
+use crate::oracle::DistanceOracle;
 
 /// A dense complete graph over a subset of the original nodes, with
 /// shortest-path costs as edge weights.
@@ -22,12 +22,14 @@ const NOT_MEMBER: u32 = u32::MAX;
 
 impl MetricClosure {
     /// Builds the closure over `nodes` (must be distinct) using the
-    /// all-pairs matrix `dm`.
+    /// distance oracle `dm` (a dense matrix or an analytic oracle — the
+    /// closure is the only V²-free step between a fat-tree oracle and the
+    /// stroll DP).
     ///
     /// # Panics
     ///
     /// Panics if `nodes` contains duplicates or ids outside `dm`.
-    pub fn over(dm: &DistanceMatrix, nodes: &[NodeId]) -> Self {
+    pub fn over<D: DistanceOracle + ?Sized>(dm: &D, nodes: &[NodeId]) -> Self {
         let mut mc = MetricClosure::default();
         mc.rebuild_over(dm, nodes);
         mc
@@ -42,7 +44,7 @@ impl MetricClosure {
     /// # Panics
     ///
     /// Panics if `nodes` contains duplicates or ids outside `dm`.
-    pub fn rebuild_over(&mut self, dm: &DistanceMatrix, nodes: &[NodeId]) {
+    pub fn rebuild_over<D: DistanceOracle + ?Sized>(&mut self, dm: &D, nodes: &[NodeId]) {
         for &n in &self.nodes {
             if let Some(e) = self.index_of.get_mut(n.index()) {
                 *e = NOT_MEMBER;
@@ -71,6 +73,11 @@ impl MetricClosure {
                 self.cost[i * m + j] = dm.cost(u, v);
             }
         }
+        // One batched count for the whole fill — no per-query atomics.
+        ppdc_obs::global().add(
+            ppdc_obs::names::ORACLE_QUERIES,
+            u64::try_from(m * m).unwrap_or(u64::MAX),
+        );
     }
 
     /// Number of closure nodes.
@@ -181,7 +188,11 @@ impl CachedClosure {
     /// it has been invalidated (or never built). While the cache is valid
     /// the caller must pass the same member set it was built with — checked
     /// in debug builds.
-    pub fn get_or_rebuild(&mut self, dm: &DistanceMatrix, nodes: &[NodeId]) -> &MetricClosure {
+    pub fn get_or_rebuild<D: DistanceOracle + ?Sized>(
+        &mut self,
+        dm: &D,
+        nodes: &[NodeId],
+    ) -> &MetricClosure {
         if !self.valid {
             self.closure.rebuild_over(dm, nodes);
             self.valid = true;
@@ -200,6 +211,7 @@ mod tests {
     use super::*;
     use crate::builders::{fat_tree, linear};
     use crate::graph::Graph;
+    use crate::shortest::DistanceMatrix;
 
     #[test]
     fn closure_over_linear_switches() {

@@ -14,11 +14,33 @@
 //! use BFS instead of Dijkstra for every source.
 
 use crate::graph::{sat_add, Cost, Graph, NodeId, INFINITY};
+use crate::TopologyError;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 const NO_PARENT: u32 = u32::MAX;
+
+/// Default memory budget for dense all-pairs matrices when
+/// `PPDC_APSP_BUDGET_BYTES` is unset: 8 GiB, enough for k = 32 fat-trees
+/// (~1.1 GB) but a typed refusal for k = 48 (~11.6 GB).
+pub const DEFAULT_APSP_BUDGET_BYTES: u64 = 8 << 30;
+
+/// The effective dense-matrix budget: `PPDC_APSP_BUDGET_BYTES` if set to a
+/// parseable byte count, [`DEFAULT_APSP_BUDGET_BYTES`] otherwise.
+fn apsp_budget_bytes() -> u64 {
+    std::env::var("PPDC_APSP_BUDGET_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_APSP_BUDGET_BYTES)
+}
+
+/// Bytes a dense matrix over `n` nodes allocates: n² distances (8 bytes)
+/// plus n² parents (4 bytes).
+fn dense_bytes(n: usize) -> u64 {
+    let n = n as u64; // analyzer:allow(lossy-cast) -- usize → u64 is lossless on every supported target
+    n.saturating_mul(n).saturating_mul(12)
+}
 
 /// Fills `dist`/`parent` (one full row of `g.num_nodes()` entries each)
 /// with the shortest-path tree from `source`. Rows are fully overwritten,
@@ -152,9 +174,41 @@ pub struct DistanceMatrix {
 impl DistanceMatrix {
     /// Computes all-pairs shortest paths for `g`, one source per rayon
     /// task. Bit-identical to [`DistanceMatrix::build_sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`TopologyError::TooLarge`] message when the dense
+    /// arrays would blow the `PPDC_APSP_BUDGET_BYTES` memory budget — a
+    /// typed refusal instead of an OOM abort. Callers that can degrade
+    /// gracefully (or pick an analytic oracle) use
+    /// [`DistanceMatrix::try_build`] and branch on the error.
     pub fn build(g: &Graph) -> Self {
-        let _span = ppdc_obs::global().span(ppdc_obs::names::APSP_BUILD);
+        match Self::try_build(g) {
+            Ok(dm) => dm,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`DistanceMatrix::build`] guarded by the configurable memory budget
+    /// (`PPDC_APSP_BUDGET_BYTES`, default [`DEFAULT_APSP_BUDGET_BYTES`]):
+    /// returns [`TopologyError::TooLarge`] *before* allocating the
+    /// V²-sized arrays when they would not fit.
+    pub fn try_build(g: &Graph) -> Result<Self, TopologyError> {
+        Self::try_build_with_budget(g, apsp_budget_bytes())
+    }
+
+    /// [`DistanceMatrix::try_build`] with an explicit byte budget.
+    pub fn try_build_with_budget(g: &Graph, budget: u64) -> Result<Self, TopologyError> {
         let n = g.num_nodes();
+        let bytes = dense_bytes(n);
+        if bytes > budget {
+            return Err(TopologyError::TooLarge {
+                nodes: n,
+                bytes,
+                budget,
+            });
+        }
+        let _span = ppdc_obs::global().span(ppdc_obs::names::APSP_BUILD);
         let mut dm = DistanceMatrix {
             n,
             dist: vec![INFINITY; n * n],
@@ -163,7 +217,7 @@ impl DistanceMatrix {
             connected: true,
         };
         dm.fill_parallel(g);
-        dm
+        Ok(dm)
     }
 
     /// The single-threaded build — the baseline [`DistanceMatrix::build`]
@@ -628,6 +682,26 @@ mod tests {
         let mut dm = DistanceMatrix::build(&g);
         assert_eq!(dm.rebuild_dirty(&g, &[]), 0);
         assert!(dm.same_as(&DistanceMatrix::build(&g)));
+    }
+
+    #[test]
+    fn budget_guard_refuses_oversized_builds() {
+        let g = fat_tree(4).unwrap(); // 16 hosts + 20 switches = 36 nodes
+        let err = DistanceMatrix::try_build_with_budget(&g, 1).unwrap_err();
+        assert_eq!(
+            err,
+            crate::TopologyError::TooLarge {
+                nodes: 36,
+                bytes: 36 * 36 * 12,
+                budget: 1,
+            }
+        );
+        // The message names the override knob.
+        assert!(err.to_string().contains("PPDC_APSP_BUDGET_BYTES"));
+        // A sufficient budget builds the same matrix as `build`.
+        let dm = DistanceMatrix::try_build_with_budget(&g, u64::MAX).unwrap();
+        assert!(dm.same_as(&DistanceMatrix::build(&g)));
+        assert!(DistanceMatrix::try_build(&g).is_ok());
     }
 
     #[test]

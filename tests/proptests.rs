@@ -531,4 +531,81 @@ proptest! {
         let b: Vec<_> = pareto_front(&shuffled).iter().map(key).collect();
         prop_assert_eq!(a, b);
     }
+
+    /// The closed-form fat-tree oracle is bit-identical to the dense BFS
+    /// matrix: every pairwise cost, plus (sampled) reconstructed paths and
+    /// hop counts under the shared min-id tie-break.
+    #[test]
+    fn analytic_oracle_matches_dense_matrix(
+        k in prop_oneof![Just(4usize), Just(6), Just(8)],
+        seed in any::<u64>(),
+    ) {
+        use ppdc::topology::{DistanceOracle, FatTree, FatTreeOracle};
+        let ft = FatTree::build(k).unwrap();
+        let oracle = FatTreeOracle::new(&ft);
+        let dm = DistanceMatrix::build(ft.graph());
+        let n = ft.graph().num_nodes();
+        prop_assert_eq!(oracle.num_nodes(), n);
+        prop_assert_eq!(DistanceOracle::diameter(&oracle), dm.diameter());
+        prop_assert_eq!(oracle.all_connected(), dm.all_connected());
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    DistanceOracle::cost(&oracle, NodeId(u as u32), NodeId(v as u32)),
+                    dm.cost(NodeId(u as u32), NodeId(v as u32)),
+                    "k={} u={} v={}", k, u, v
+                );
+            }
+        }
+        // 64 seeded pairs: identical tie-broken paths and hop counts.
+        let mut x = seed | 1;
+        for _ in 0..64 {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let u = NodeId((x as usize % n) as u32);
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let v = NodeId((x as usize % n) as u32);
+            prop_assert_eq!(
+                DistanceOracle::path(&oracle, u, v),
+                dm.path(u, v),
+                "k={} path {}→{}", k, u.index(), v.index()
+            );
+            prop_assert_eq!(DistanceOracle::hops(&oracle, u, v), dm.hops(u, v));
+        }
+    }
+
+    /// The orbit-compressed branch-and-bound sweep, driven by the analytic
+    /// oracle, reproduces the dense exhaustive sweep bit for bit — cost AND
+    /// the lexicographic switch choice — on fat-trees with random
+    /// workloads.
+    #[test]
+    fn orbit_compressed_bb_equals_exhaustive(
+        n in 3usize..6,
+        num_flows in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use ppdc::topology::{FatTree, FatTreeOracle};
+        let ft = FatTree::build(4).unwrap();
+        let oracle = FatTreeOracle::new(&ft);
+        let g = ft.graph();
+        let dm = DistanceMatrix::build(g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let mut x = seed | 1;
+        for _ in 0..num_flows {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let a = hosts[x as usize % hosts.len()];
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let b = hosts[x as usize % hosts.len()];
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            w.add_pair(a, b, x % 10_000);
+        }
+        prop_assume!(w.rates().iter().any(|&r| r > 0));
+        let sfc = Sfc::of_len(n).unwrap();
+        let agg_o = AttachAggregates::build(g, &oracle, &w);
+        let (p_o, c_o) = dp_placement_with_agg(g, &oracle, &w, &sfc, &agg_o).unwrap();
+        let agg_d = AttachAggregates::build(g, &dm, &w);
+        let (p_d, c_d) = dp_placement_exhaustive_with_agg(g, &dm, &w, &sfc, &agg_d).unwrap();
+        prop_assert_eq!(c_o, c_d, "cost mismatch at n={}", n);
+        prop_assert_eq!(p_o.switches(), p_d.switches(), "tie-break mismatch at n={}", n);
+    }
 }
