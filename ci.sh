@@ -45,7 +45,10 @@ cargo run --release -p ppdc-experiments -- --check-metrics target/ci-metrics.jso
 echo "==> k=32 oracle smoke (1,280 switches, no dense matrix, 15s budget)"
 cargo run --release -p ppdc-experiments -- smoke-k32 --budget-ms 15000
 
-echo "==> bench smoke (oracle + placement groups once, trajectory appended)"
+echo "==> chaos smoke (64 seeded trials: crashes, torn checkpoints, starvation)"
+cargo run --release -p ppdc-experiments -- chaos --trials 64 --seed 1
+
+echo "==> bench smoke (oracle + placement + checkpoint groups once, trajectory appended)"
 rm -f target/ci-bench-samples.jsonl
 PPDC_BENCH_ONLY=dp_placement,dp_placement_k32 \
     PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
@@ -53,10 +56,12 @@ PPDC_BENCH_ONLY=dp_placement,dp_placement_k32 \
 PPDC_BENCH_ONLY=distance_oracle \
     PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench topology
+PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+    cargo bench -p ppdc-bench --bench checkpoint
 cargo run --release -p ppdc-experiments -- \
     --append-bench BENCH_placement.json \
     --bench-samples target/ci-bench-samples.jsonl \
-    --label "analytic fat-tree oracle + orbit-compressed B&B" \
+    --label "crash-safe checkpointed epochs + degradation supervisor" \
     --date "$(date +%F)"
 
 echo "CI OK"

@@ -36,7 +36,8 @@ pub struct RuleInfo {
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "no-panic",
-        summary: "no unwrap()/expect()/panic! in non-test solver-crate code (typed errors only)",
+        summary: "no unwrap()/expect()/panic! in non-test solver-crate or crash-safety code \
+                  (typed errors only)",
     },
     RuleInfo {
         id: "lossy-cast",
@@ -63,6 +64,16 @@ pub fn is_known_rule(id: &str) -> bool {
 
 /// Crates whose non-test code must be panic-free (the paper's solvers).
 const SOLVER_CRATES: &[&str] = &["stroll", "placement", "migration", "mcflow"];
+
+/// Individual files outside [`SOLVER_CRATES`] held to the same no-panic
+/// contract: the crash-safety layer (checkpointing, the degradation
+/// supervisor, the chaos harness) must recover from failures, never add
+/// its own aborts.
+const NO_PANIC_EXTRA_FILES: &[&str] = &[
+    "crates/sim/src/checkpoint.rs",
+    "crates/sim/src/supervisor.rs",
+    "crates/sim/src/chaos.rs",
+];
 
 /// Crates whose arithmetic touches `Cost`/`NodeId` and therefore may not
 /// use bare `as` casts. `sim`/`traffic`/`experiments` convert freely to
@@ -159,7 +170,8 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
         });
     };
 
-    let solver = SOLVER_CRATES.contains(&ctx.crate_name.as_str());
+    let solver = SOLVER_CRATES.contains(&ctx.crate_name.as_str())
+        || NO_PANIC_EXTRA_FILES.contains(&ctx.path.as_str());
     let cost = COST_CRATES.contains(&ctx.crate_name.as_str());
     let sentinel = SENTINEL_CRATES.contains(&ctx.crate_name.as_str())
         && !SENTINEL_EXEMPT_FILES.contains(&ctx.path.as_str());
@@ -293,6 +305,24 @@ mod tests {
         let src = "fn f() { x.unwrap(); }";
         assert_eq!(rules_hit("crates/stroll/src/dp.rs", src), vec!["no-panic"]);
         assert!(rules_hit("crates/topology/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_covers_the_crash_safety_modules() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(
+            rules_hit("crates/sim/src/checkpoint.rs", src),
+            vec!["no-panic"]
+        );
+        assert_eq!(
+            rules_hit("crates/sim/src/supervisor.rs", src),
+            vec!["no-panic"]
+        );
+        assert_eq!(rules_hit("crates/sim/src/chaos.rs", src), vec!["no-panic"]);
+        // The rest of the sim crate keeps its previous scope.
+        assert!(rules_hit("crates/sim/src/stats.rs", src).is_empty());
+        let bang = "fn g() { unreachable!(\"no\"); }";
+        assert_eq!(rules_hit("crates/sim/src/chaos.rs", bang), vec!["no-panic"]);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Checkpoint write/restore latency at k = 8 and k = 16.
+//!
+//! Measures the crash-safety tax of the epoch engine: `write` is one
+//! atomic two-slot snapshot persist (serialize + tmp + fsync + rotate +
+//! rename), `restore` is one load back (read + parse + slot fallback).
+//! The checkpoints are real ones — a fault-injected day halted mid-run —
+//! so the serialized hours/degraded/rates payload has production shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppdc_model::Sfc;
+use ppdc_sim::{
+    run_day, Checkpoint, CheckpointStore, EngineConfig, FaultConfig, FaultSchedule,
+    MigrationPolicy, SimConfig,
+};
+use ppdc_topology::FatTree;
+use ppdc_traffic::standard_workload;
+use std::time::Duration;
+
+/// A realistic mid-day checkpoint: run a faulty day on a k-ary fat-tree
+/// and stop after `stop` completed hours.
+fn mid_day_checkpoint(k: usize, num_pairs: usize, stop: u32) -> Checkpoint {
+    let ft = FatTree::build(k).unwrap();
+    let (w, trace) = standard_workload(&ft, num_pairs, 0xC4A0, 0);
+    let sfc = Sfc::of_len(3).unwrap();
+    let fc = FaultConfig {
+        link_fail_per_hour: 0.05,
+        switch_fail_per_hour: 0.02,
+        repair_after: 2,
+    };
+    let schedule = FaultSchedule::generate(ft.graph(), trace.model().n_hours, &fc, 0xC4A0);
+    let cfg = SimConfig {
+        mu: 100,
+        vm_mu: 100,
+        policy: MigrationPolicy::MPareto,
+    };
+    let halted = run_day(
+        ft.graph(),
+        &w,
+        &trace,
+        &sfc,
+        &cfg,
+        &schedule,
+        &EngineConfig {
+            stop_after: Some(stop),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    halted.checkpoint.expect("stopped runs carry a checkpoint")
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for (k, num_pairs) in [(8usize, 50usize), (16, 100)] {
+        let ck = mid_day_checkpoint(k, num_pairs, 12);
+        let dir = std::env::temp_dir().join(format!("ppdc-bench-ckpt-{}-k{k}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("day.ckpt"));
+        group.bench_function(format!("write_k{k}"), |b| {
+            b.iter(|| store.write(&ck).unwrap())
+        });
+        store.write(&ck).unwrap();
+        group.bench_function(format!("restore_k{k}"), |b| {
+            b.iter(|| {
+                let (loaded, _slot) = store.load().unwrap();
+                assert_eq!(loaded.hour, ck.hour);
+                loaded
+            })
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Typed errors for the `ppdc-experiments` binary.
+//!
+//! Every failure path of the CLI — bad arguments, unreadable files, a
+//! breached smoke budget, a failed chaos trial — is a [`CliError`] that
+//! prints through `Display` and maps to a deterministic exit code, so the
+//! ci.sh gates and chaos scripts can branch on the outcome instead of
+//! scraping panic backtraces. Exit code 2 means "you called it wrong"
+//! (usage errors), exit code 1 means "the run itself failed" (budget
+//! breach, invalid metrics, chaos contract violation).
+
+use ppdc_sim::ChaosError;
+
+/// A CLI failure with a stable exit code and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag that takes a value was passed without one.
+    MissingValue {
+        /// The flag, e.g. `--metrics`.
+        flag: &'static str,
+    },
+    /// A flag's value did not parse.
+    BadValue {
+        /// The flag, e.g. `--trials`.
+        flag: &'static str,
+        /// What was passed.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// What the CLI was doing (`read`/`write`).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        msg: String,
+    },
+    /// The bench-trajectory fold rejected its inputs.
+    Bench(String),
+    /// `--check-metrics` found an invalid summary.
+    Metrics {
+        /// The file checked.
+        path: String,
+        /// What the validator reported.
+        msg: String,
+    },
+    /// The smoke run breached its wall-clock budget.
+    BudgetBreached {
+        /// Measured wall time.
+        total_ms: u64,
+        /// The configured budget.
+        budget_ms: u64,
+    },
+    /// A solve the smoke mode depends on failed.
+    Smoke(String),
+    /// A chaos trial violated its contract.
+    Chaos {
+        /// The failing trial's seed.
+        seed: u64,
+        /// The violated contract.
+        err: ChaosError,
+    },
+}
+
+impl CliError {
+    /// The process exit code this failure maps to: 2 for usage errors,
+    /// 1 for failed runs.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::MissingValue { .. } | CliError::BadValue { .. } | CliError::Io { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingValue { flag } => write!(f, "{flag} needs an argument"),
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} needs {expected}, got {value:?}"),
+            CliError::Io { op, path, msg } => write!(f, "cannot {op} {path}: {msg}"),
+            CliError::Bench(msg) => write!(f, "cannot append bench entry: {msg}"),
+            CliError::Metrics { path, msg } => write!(f, "metrics INVALID ({path}): {msg}"),
+            CliError::BudgetBreached {
+                total_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "wall-clock budget breached: {total_ms}ms against a {budget_ms}ms budget"
+            ),
+            CliError::Smoke(msg) => write!(f, "smoke run failed: {msg}"),
+            CliError::Chaos { seed, err } => write!(f, "chaos trial (seed {seed}) failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Reads a file into a string, mapping failure to a typed usage error.
+///
+/// # Errors
+///
+/// [`CliError::Io`] carrying the path and OS message.
+pub fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        op: "read",
+        path: path.to_string(),
+        msg: e.to_string(),
+    })
+}
+
+/// Writes a string to a file, mapping failure to a typed usage error.
+///
+/// # Errors
+///
+/// [`CliError::Io`] carrying the path and OS message.
+pub fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::Io {
+        op: "write",
+        path: path.to_string(),
+        msg: e.to_string(),
+    })
+}
+
+/// Parses a flag's integer value with a typed error.
+///
+/// # Errors
+///
+/// [`CliError::BadValue`] naming the flag and the offending input.
+pub fn parse_u64(flag: &'static str, value: &str) -> Result<u64, CliError> {
+    value.parse::<u64>().map_err(|_| CliError::BadValue {
+        flag,
+        value: value.to_string(),
+        expected: "an integer",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_exit_2_run_failures_exit_1() {
+        assert_eq!(CliError::MissingValue { flag: "--metrics" }.exit_code(), 2);
+        assert_eq!(
+            parse_u64("--trials", "many").unwrap_err().exit_code(),
+            2,
+            "bad values are usage errors"
+        );
+        assert_eq!(read_file("/nonexistent/ppdc").unwrap_err().exit_code(), 2);
+        assert_eq!(
+            CliError::BudgetBreached {
+                total_ms: 12,
+                budget_ms: 10
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Chaos {
+                seed: 7,
+                err: ChaosError::Panicked { stage: "resume" }
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn messages_name_the_flag_and_the_input() {
+        let e = parse_u64("--budget-ms", "fast").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("--budget-ms") && msg.contains("fast"), "{msg}");
+        assert_eq!(parse_u64("--trials", "64").unwrap(), 64);
+        let io = read_file("/nonexistent/ppdc").unwrap_err();
+        assert!(io.to_string().contains("/nonexistent/ppdc"));
+    }
+}

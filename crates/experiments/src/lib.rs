@@ -16,6 +16,8 @@
 //! the paper. Budget-capped exact searches that do not finish report "n/c".
 
 pub mod bench;
+pub mod chaos;
+pub mod cli;
 pub mod ext_replication;
 pub mod failsweep;
 pub mod fig11;
@@ -26,6 +28,8 @@ pub mod fig9;
 pub mod metrics;
 
 pub use bench::{append_bench_trajectory, parse_bench_samples, BenchEnvironment, BenchSample};
+pub use chaos::{chaos_suite, ChaosSummary};
+pub use cli::{parse_u64, read_file, write_file, CliError};
 pub use ext_replication::ext_replication;
 pub use failsweep::failure_sweep;
 pub use fig11::{fig11a_b, fig11c, fig11d};

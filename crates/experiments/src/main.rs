@@ -9,15 +9,29 @@
 //! cargo run --release -p ppdc-experiments -- --quick failsweep --metrics m.json
 //! cargo run --release -p ppdc-experiments -- --check-metrics m.json
 //!
+//! # seeded chaos trials (kill/resume, torn checkpoints, starvation, …):
+//! cargo run --release -p ppdc-experiments -- chaos --trials 64 --seed 1
+//!
 //! # fold one bench run's PPDC_BENCH_JSON lines into the trajectory file:
 //! cargo run --release -p ppdc-experiments -- \
 //!     --append-bench BENCH_placement.json --bench-samples samples.jsonl \
 //!     --label "prune-and-reuse solver core" --date 2026-08-06
 //! ```
+//!
+//! Every failure path exits through a typed [`CliError`]: usage errors
+//! exit 2, failed runs exit 1, and the message always names the flag,
+//! path, or seed involved.
 
 use ppdc_experiments::*;
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("# error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
@@ -28,16 +42,32 @@ fn main() {
     let mut date: Option<String> = None;
     let mut note: Option<String> = None;
     let mut budget_ms: Option<String> = None;
+    let mut trials: Option<String> = None;
+    let mut seed: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
             flag @ ("--metrics" | "--check-metrics" | "--append-bench" | "--bench-samples"
-            | "--label" | "--date" | "--note" | "--budget-ms") => {
+            | "--label" | "--date" | "--note" | "--budget-ms" | "--trials" | "--seed") => {
                 i += 1;
                 let Some(value) = args.get(i).cloned() else {
-                    eprintln!("{flag} needs an argument");
-                    std::process::exit(2);
+                    // The match arm binds `flag` to a 'static literal; keep
+                    // the error's flag name static too.
+                    return Err(CliError::MissingValue {
+                        flag: match flag {
+                            "--metrics" => "--metrics",
+                            "--check-metrics" => "--check-metrics",
+                            "--append-bench" => "--append-bench",
+                            "--bench-samples" => "--bench-samples",
+                            "--label" => "--label",
+                            "--date" => "--date",
+                            "--note" => "--note",
+                            "--budget-ms" => "--budget-ms",
+                            "--trials" => "--trials",
+                            _ => "--seed",
+                        },
+                    });
                 };
                 match flag {
                     "--metrics" => metrics_path = Some(value),
@@ -47,6 +77,8 @@ fn main() {
                     "--label" => label = Some(value),
                     "--date" => date = Some(value),
                     "--budget-ms" => budget_ms = Some(value),
+                    "--trials" => trials = Some(value),
+                    "--seed" => seed = Some(value),
                     _ => note = Some(value),
                 }
             }
@@ -58,18 +90,11 @@ fn main() {
     // Trajectory mode: fold one bench run into BENCH_placement.json and
     // exit. Runs no figures.
     if let Some(doc_path) = append_bench {
-        let Some(samples_path) = bench_samples else {
-            eprintln!("--append-bench needs --bench-samples <jsonl>");
-            std::process::exit(2);
-        };
-        let read = |p: &str| {
-            std::fs::read_to_string(p).unwrap_or_else(|e| {
-                eprintln!("# cannot read {p}: {e}");
-                std::process::exit(2);
-            })
-        };
-        let doc = read(&doc_path);
-        let samples = read(&samples_path);
+        let samples_path = bench_samples.ok_or(CliError::MissingValue {
+            flag: "--bench-samples",
+        })?;
+        let doc = read_file(&doc_path)?;
+        let samples = read_file(&samples_path)?;
         let env = BenchEnvironment {
             cpu_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
             rayon_threads: rayon::current_num_threads() as u64,
@@ -86,16 +111,10 @@ fn main() {
             date.as_deref().unwrap_or("unknown"),
             &env,
         )
-        .unwrap_or_else(|e| {
-            eprintln!("# cannot append bench entry: {e}");
-            std::process::exit(1);
-        });
-        if let Err(e) = std::fs::write(&doc_path, updated) {
-            eprintln!("# cannot write {doc_path}: {e}");
-            std::process::exit(2);
-        }
+        .map_err(|e| CliError::Bench(e.to_string()))?;
+        write_file(&doc_path, &updated)?;
         eprintln!("# bench trajectory appended to {doc_path}");
-        return;
+        return Ok(());
     }
 
     // k=32 smoke: prove the analytic oracle path solves a 1,280-switch /
@@ -103,36 +122,54 @@ fn main() {
     // matrix build (this mode never constructs a DistanceMatrix). The
     // ci.sh gate runs it with a tight `--budget-ms`; breach exits nonzero.
     if which.iter().any(|w| w == "smoke-k32") {
-        let budget = budget_ms
-            .as_deref()
-            .map(|v| {
-                v.parse::<u64>().unwrap_or_else(|_| {
-                    eprintln!("--budget-ms needs an integer, got {v:?}");
-                    std::process::exit(2);
-                })
-            })
-            .unwrap_or(10_000);
-        smoke_k32(budget);
-        return;
+        let budget = match budget_ms.as_deref() {
+            Some(v) => parse_u64("--budget-ms", v)?,
+            None => 10_000,
+        };
+        return smoke_k32(budget);
+    }
+
+    // Chaos mode: N seeded trials of the crash-safe engine under
+    // correlated fabric failures and operator-side injections. The first
+    // violated contract aborts the sweep with its seed; exit 1.
+    if which.iter().any(|w| w == "chaos") {
+        let n = match trials.as_deref() {
+            Some(v) => parse_u64("--trials", v)?,
+            None => 64,
+        };
+        let base = match seed.as_deref() {
+            Some(v) => parse_u64("--seed", v)?,
+            None => 1,
+        };
+        eprintln!("# chaos: {n} seeded trials from seed {base} …");
+        let t0 = std::time::Instant::now();
+        let s = chaos_suite(n, base).map_err(|(seed, err)| CliError::Chaos { seed, err })?;
+        eprintln!(
+            "# chaos: {} trials passed in {:.1}s — {} resumes ({} after torn checkpoints), \
+             {} fault events, {} blackout hours, {} degraded hours, {} retry hours",
+            s.trials,
+            t0.elapsed().as_secs_f64(),
+            s.resumed,
+            s.torn_recoveries,
+            s.fail_events,
+            s.blackout_hours,
+            s.degraded_hours,
+            s.retry_hours,
+        );
+        return Ok(());
     }
 
     // Validation mode: parse an emitted summary and verify the epoch-phase
     // schema (the ci.sh gate). Runs no figures.
     if let Some(path) = check_path {
-        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("# cannot read metrics file {path}: {e}");
-            std::process::exit(2);
-        });
-        match validate_metrics_json(&src) {
+        let src = read_file(&path)?;
+        return match validate_metrics_json(&src) {
             Ok(()) => {
                 eprintln!("# metrics ok: {path}");
-                return;
+                Ok(())
             }
-            Err(e) => {
-                eprintln!("# metrics INVALID ({path}): {e}");
-                std::process::exit(1);
-            }
-        }
+            Err(msg) => Err(CliError::Metrics { path, msg }),
+        };
     }
 
     if metrics_path.is_some() {
@@ -195,19 +232,17 @@ fn main() {
 
     if let Some(path) = metrics_path {
         let json = ppdc_obs::global().snapshot().to_json();
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("# failed to write metrics to {path}: {e}");
-            std::process::exit(2);
-        }
+        write_file(&path, &json)?;
         eprintln!("# metrics written to {path}");
     }
+    Ok(())
 }
 
 /// Builds the k=32 fat-tree, attaches the closed-form oracle, and runs one
 /// full Algorithm 3 solve (aggregates + closure + orbit-compressed B&B)
-/// against a deterministic cross-pod workload. Exits 1 when the end-to-end
-/// wall time breaches `budget_ms`.
-fn smoke_k32(budget_ms: u64) {
+/// against a deterministic cross-pod workload. Returns a typed error when
+/// the end-to-end wall time breaches `budget_ms` or a solve fails.
+fn smoke_k32(budget_ms: u64) -> Result<(), CliError> {
     use ppdc_model::{Sfc, Workload};
     use ppdc_placement::{dp_placement_with_agg, AttachAggregates};
     use ppdc_topology::{FatTree, FatTreeOracle};
@@ -220,7 +255,7 @@ fn smoke_k32(budget_ms: u64) {
         ppdc_obs::names::HISTS,
     );
     let t0 = std::time::Instant::now();
-    let ft = FatTree::build(32).expect("k=32 is a valid arity");
+    let ft = FatTree::build(32).map_err(|e| CliError::Smoke(format!("k=32 fat-tree: {e}")))?;
     let oracle = FatTreeOracle::new(&ft);
     let g = ft.graph();
     eprintln!(
@@ -237,11 +272,11 @@ fn smoke_k32(budget_ms: u64) {
         let b = hosts[(i * 2_477 + 4_096) % hosts.len()];
         w.add_pair(a, b, (i as u64 % 97) * 13 + 1);
     }
-    let sfc = Sfc::of_len(4).expect("length 4 is valid");
+    let sfc = Sfc::of_len(4).map_err(|e| CliError::Smoke(format!("sfc: {e}")))?;
     let t1 = std::time::Instant::now();
     let agg = AttachAggregates::build(g, &oracle, &w);
-    let (p, cost) =
-        dp_placement_with_agg(g, &oracle, &w, &sfc, &agg).expect("k=32 placement must be feasible");
+    let (p, cost) = dp_placement_with_agg(g, &oracle, &w, &sfc, &agg)
+        .map_err(|e| CliError::Smoke(format!("k=32 placement: {e}")))?;
     let solve_ms = t1.elapsed().as_secs_f64() * 1e3;
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!(
@@ -260,9 +295,12 @@ fn smoke_k32(budget_ms: u64) {
         counter(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED),
     );
     if total_ms > budget_ms as f64 {
-        eprintln!("# smoke-k32: FAILED wall-clock budget");
-        std::process::exit(1);
+        return Err(CliError::BudgetBreached {
+            total_ms: total_ms as u64,
+            budget_ms,
+        });
     }
+    Ok(())
 }
 
 fn run(name: &str, f: impl FnOnce() -> String) {

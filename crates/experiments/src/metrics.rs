@@ -34,6 +34,13 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     names::SOLVER_DP_ORBIT_PRUNED,
     names::APSP_ROWS_DIRTY,
     names::ORACLE_QUERIES,
+    names::SUPERVISOR_RETRIES,
+    names::SUPERVISOR_DEGRADED_HOURS,
+    names::CKPT_WRITES,
+    names::CKPT_WRITE_NANOS,
+    names::CKPT_RESTORES,
+    names::CKPT_TORN_RECOVERIES,
+    names::SIM_REROUTE_SKIPPED,
 ];
 
 /// Validates a `--metrics` JSON document: it must parse, carry the

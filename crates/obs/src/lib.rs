@@ -106,6 +106,23 @@ pub mod names {
     /// Candidate rows/egresses skipped because an interchangeability class
     /// they share a bound with was pruned as a whole.
     pub const SOLVER_DP_ORBIT_PRUNED: &str = "solver.dp.orbit_pruned";
+    /// Transient solver failures absorbed by the supervisor's retry gate.
+    pub const SUPERVISOR_RETRIES: &str = "supervisor.retries";
+    /// Hours served by a degraded rung of the ladder (deadline-degraded
+    /// incumbent or last-known-good repricing) instead of an exact solve.
+    pub const SUPERVISOR_DEGRADED_HOURS: &str = "supervisor.degraded_hours";
+    /// Checkpoint snapshots written (atomic tmp + fsync + rename).
+    pub const CKPT_WRITES: &str = "ckpt.writes";
+    /// Nanoseconds spent serializing + durably writing checkpoints.
+    pub const CKPT_WRITE_NANOS: &str = "ckpt.write_nanos";
+    /// Days resumed from a persisted checkpoint instead of hour zero.
+    pub const CKPT_RESTORES: &str = "ckpt.restores";
+    /// Loads that fell back to the previous good snapshot because the
+    /// primary slot was torn or unparseable.
+    pub const CKPT_TORN_RECOVERIES: &str = "ckpt.torn_recoveries";
+    /// Hours whose healthy-baseline reroute telemetry was skipped because
+    /// the APSP byte budget refused the full healthy matrix.
+    pub const SIM_REROUTE_SKIPPED: &str = "sim.reroute_skipped_hours";
 
     /// Every span name the epoch loop pre-declares.
     pub const SPANS: &[&str] = &[
@@ -135,6 +152,13 @@ pub mod names {
         APSP_ROWS_DIRTY,
         ORACLE_QUERIES,
         SOLVER_DP_ORBIT_PRUNED,
+        SUPERVISOR_RETRIES,
+        SUPERVISOR_DEGRADED_HOURS,
+        CKPT_WRITES,
+        CKPT_WRITE_NANOS,
+        CKPT_RESTORES,
+        CKPT_TORN_RECOVERIES,
+        SIM_REROUTE_SKIPPED,
     ];
     /// Every histogram name the epoch loop pre-declares.
     pub const HISTS: &[&str] = &[SIM_HOUR_SOLVER_NS];

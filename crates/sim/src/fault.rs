@@ -38,11 +38,13 @@
 //! VNF whose old switch is gone — re-instantiating from the image store is
 //! priced like the longest possible copy. Recovery hours skip the policy.
 
+use std::collections::BTreeSet;
+
 use ppdc_migration::{
     mcf_vm_migration, mpareto_with_agg, mpareto_with_closure, no_migration_with_agg,
     optimal_migration_with_deadline, plan_vm_migration, MigrationError,
 };
-use ppdc_model::{comm_cost, FlowId, ModelError, Sfc, Workload};
+use ppdc_model::{comm_cost, FlowId, ModelError, Placement, Sfc, VmId, Workload};
 use ppdc_obs::{names as obs_names, Stopwatch};
 use ppdc_placement::{
     dp_placement_with_agg, dp_placement_with_closure, AttachAggregates, PlacementError,
@@ -54,7 +56,9 @@ use ppdc_topology::{
 use ppdc_traffic::{rng_for_run, DynamicTrace};
 use rand::Rng;
 
+use crate::checkpoint::{fingerprint, Checkpoint, CheckpointStore, CkptError};
 use crate::simulator::{HourRecord, MigrationPolicy, SimConfig};
+use crate::supervisor::{transient_gate, GateOutcome, SupervisorConfig};
 
 /// Failure-process parameters for [`FaultSchedule::generate`].
 #[derive(Debug, Clone, Copy)]
@@ -116,12 +120,96 @@ pub struct FaultSchedule {
     n_hours: u32,
 }
 
+/// A hand-crafted event list that no real fault process could emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An event's hour is 0 or beyond the day.
+    HourOutOfRange {
+        /// The offending event.
+        event: FaultEvent,
+        /// The day length the schedule was built for.
+        n_hours: u32,
+    },
+    /// The element is already down when this failure lands.
+    FailWhileFailed {
+        /// The offending event.
+        event: FaultEvent,
+    },
+    /// The element is already up when this repair lands.
+    RepairWhileHealthy {
+        /// The offending event.
+        event: FaultEvent,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::HourOutOfRange { event, n_hours } => write!(
+                f,
+                "event {event:?} is outside the day (hours 1..={n_hours})"
+            ),
+            ScheduleError::FailWhileFailed { event } => {
+                write!(f, "event {event:?} fails an element that is already down")
+            }
+            ScheduleError::RepairWhileHealthy { event } => {
+                write!(f, "event {event:?} repairs an element that is already up")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 impl FaultSchedule {
     /// Wraps hand-crafted events (tests, replayed traces). Sorts them into
-    /// canonical order.
-    pub fn new(mut events: Vec<FaultEvent>, n_hours: u32) -> Self {
+    /// canonical order and rejects sequences no fault process could emit.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError`] when an event falls outside hours `1..=n_hours`,
+    /// fails an element that is already down, or repairs one that is
+    /// already up (checked in canonical order, so a repair and a re-fail
+    /// of the same element within one hour is legal).
+    pub fn new(mut events: Vec<FaultEvent>, n_hours: u32) -> Result<Self, ScheduleError> {
         events.sort_by_key(|e| (e.hour, e.kind.is_failure()));
+        Self::validate(&events, n_hours)?;
+        Ok(FaultSchedule { events, n_hours })
+    }
+
+    /// Wraps events that are valid by construction ([`Self::generate`],
+    /// the chaos scheduler). Sorts into canonical order; validity is only
+    /// debug-asserted.
+    pub(crate) fn from_sorted(mut events: Vec<FaultEvent>, n_hours: u32) -> Self {
+        events.sort_by_key(|e| (e.hour, e.kind.is_failure()));
+        debug_assert!(Self::validate(&events, n_hours).is_ok());
         FaultSchedule { events, n_hours }
+    }
+
+    /// Sweeps canonically-ordered events with fail/repair consistency
+    /// tracking.
+    fn validate(events: &[FaultEvent], n_hours: u32) -> Result<(), ScheduleError> {
+        let mut down_nodes: BTreeSet<u32> = BTreeSet::new();
+        let mut down_edges: BTreeSet<u32> = BTreeSet::new();
+        for &event in events {
+            if event.hour == 0 || event.hour > n_hours {
+                return Err(ScheduleError::HourOutOfRange { event, n_hours });
+            }
+            let fresh = match event.kind {
+                FaultKind::FailSwitch(n) => down_nodes.insert(n.0),
+                FaultKind::RepairSwitch(n) => down_nodes.remove(&n.0),
+                FaultKind::FailLink(l) => down_edges.insert(l.0),
+                FaultKind::RepairLink(l) => down_edges.remove(&l.0),
+            };
+            if !fresh {
+                return Err(if event.kind.is_failure() {
+                    ScheduleError::FailWhileFailed { event }
+                } else {
+                    ScheduleError::RepairWhileHealthy { event }
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Samples a schedule: each hour, every healthy switch fails with
@@ -181,7 +269,7 @@ impl FaultSchedule {
                 }
             }
         }
-        Self::new(events, n_hours)
+        Self::from_sorted(events, n_hours)
     }
 
     /// The day length the schedule was generated for.
@@ -221,6 +309,11 @@ pub enum SimError {
     Model(ModelError),
     /// A fault event referenced an element outside the graph.
     Topology(TopologyError),
+    /// Checkpoint persistence or restore failed (I/O, torn file, or a
+    /// snapshot that does not belong to these inputs).
+    Checkpoint(CkptError),
+    /// A hand-crafted fault schedule was internally inconsistent.
+    Schedule(ScheduleError),
 }
 
 impl From<MigrationError> for SimError {
@@ -247,6 +340,18 @@ impl From<TopologyError> for SimError {
     }
 }
 
+impl From<CkptError> for SimError {
+    fn from(e: CkptError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> Self {
+        SimError::Schedule(e)
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -254,6 +359,8 @@ impl std::fmt::Display for SimError {
             SimError::Placement(e) => write!(f, "placement error: {e}"),
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::Topology(e) => write!(f, "topology error: {e}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SimError::Schedule(e) => write!(f, "schedule error: {e}"),
         }
     }
 }
@@ -279,6 +386,22 @@ pub struct PhaseNanos {
     pub repair_ns: u64,
 }
 
+/// Which rung of the supervisor's degradation ladder produced an hour's
+/// serving placement (see [`crate::supervisor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HourProvenance {
+    /// The policy's solve ran to completion.
+    Exact,
+    /// A budgeted solver exhausted its deadline and returned its
+    /// best-so-far incumbent (`Exactness::Degraded`).
+    DegradedDeadline,
+    /// The solve could not run (transient starvation outlasted the retry
+    /// budget); the previous placement was kept and repriced.
+    LastKnownGood,
+    /// Nothing was solved: the hour was a blackout.
+    Blackout,
+}
+
 /// Per-hour degradation telemetry (one record per simulated hour; all
 /// fields are zero/false on a fully healthy hour).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,9 +424,14 @@ pub struct DegradedHourRecord {
     /// The serving component could not even hold the SFC (or no flow was
     /// left to serve) — the hour was skipped.
     pub blackout: bool,
-    /// The hour's exact solver returned a best-so-far incumbent after
-    /// exhausting its budget instead of a proven optimum.
+    /// The hour's solve fell below rung 1 of the degradation ladder
+    /// (budget-exhausted incumbent or last-known-good fallback).
     pub degraded_solver: bool,
+    /// Which ladder rung served the hour.
+    pub provenance: HourProvenance,
+    /// Transient solve failures the supervisor retried through this hour
+    /// (nonzero only under injected starvation).
+    pub solver_retries: u32,
     /// Per-phase wall time, present only on observed runs
     /// ([`simulate_with_faults_observed`] with `observe = true`).
     pub phase: Option<PhaseNanos>,
@@ -393,6 +521,22 @@ impl ServingView {
             stranded,
         }
     }
+
+    /// Rebuilds a view from checkpointed parts. The candidate list and
+    /// stranded mask are stored rather than re-elected: stranding was
+    /// computed against VM endpoints of the election hour, which VM
+    /// migration may since have moved.
+    fn from_parts(num_nodes: usize, candidates: Vec<NodeId>, stranded: Vec<bool>) -> Self {
+        let mut cand_mask = vec![false; num_nodes];
+        for c in &candidates {
+            cand_mask[c.index()] = true;
+        }
+        ServingView {
+            candidates,
+            cand_mask,
+            stranded,
+        }
+    }
 }
 
 /// Sets hour-`h` rates on `w` with stranded flows masked to zero; returns
@@ -413,6 +557,144 @@ fn set_masked_rates(
     }
     w.set_rates(&rates)?;
     Ok(masked)
+}
+
+/// The healthy-fabric distance matrix backing the reroute-penalty
+/// baseline, tri-state so APSP byte-budget pressure degrades the
+/// telemetry instead of aborting the day.
+enum HealthyBaseline {
+    /// Not needed yet (fault-free hours so far).
+    Unbuilt,
+    /// Built and cached for the rest of the day.
+    Ready(Box<DistanceMatrix>),
+    /// The budget refused the dense build; reroute penalties are reported
+    /// as zero and `sim.reroute_skipped_hours` counts the gaps.
+    Refused,
+}
+
+impl HealthyBaseline {
+    fn get(
+        &mut self,
+        g: &Graph,
+        budget: Option<u64>,
+    ) -> Result<Option<&DistanceMatrix>, TopologyError> {
+        if matches!(self, HealthyBaseline::Unbuilt) {
+            *self = match budget {
+                None => HealthyBaseline::Ready(Box::new(DistanceMatrix::build(g))),
+                Some(b) => match DistanceMatrix::try_build_with_budget(g, b) {
+                    Ok(dm) => HealthyBaseline::Ready(Box::new(dm)),
+                    Err(TopologyError::TooLarge { .. }) => HealthyBaseline::Refused,
+                    Err(e) => return Err(e),
+                },
+            };
+        }
+        Ok(match self {
+            HealthyBaseline::Ready(dm) => Some(dm),
+            _ => None,
+        })
+    }
+}
+
+/// Knobs of the crash-safe epoch engine ([`run_day`] / [`resume_day`]).
+/// `EngineConfig::default()` reproduces plain [`simulate_with_faults`]
+/// bit-identically: no persistence, no early stop, default supervisor,
+/// unlimited APSP budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Fill [`DegradedHourRecord::phase`] and pre-declare the obs schema
+    /// (the `observed` path of PR 4).
+    pub observe: bool,
+    /// Retry/backoff policy and injected starvation for the hourly solve.
+    pub supervisor: SupervisorConfig,
+    /// Where to persist snapshots; `None` disables checkpointing.
+    pub store: Option<CheckpointStore>,
+    /// Persist every `n` completed hours (floored at 1; the stop hour and
+    /// the final hour are always persisted when a store is set).
+    pub checkpoint_every: u32,
+    /// Halt after completing this hour (crash simulation). The returned
+    /// [`DayRun`] then carries `completed = false` (unless the day ended
+    /// anyway) and a resume checkpoint.
+    pub stop_after: Option<u32>,
+    /// Byte budget for the lazily-built healthy-fabric APSP baseline.
+    /// Exceeding it degrades reroute telemetry to zero instead of
+    /// aborting (chaos pressure injection). `None` = unlimited.
+    pub apsp_budget_bytes: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            observe: false,
+            supervisor: SupervisorConfig::default(),
+            store: None,
+            checkpoint_every: 1,
+            stop_after: None,
+            apsp_budget_bytes: None,
+        }
+    }
+}
+
+/// Outcome of one (possibly interrupted) engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayRun {
+    /// The day so far — the full [`FaultSimResult`] when `completed`,
+    /// otherwise the prefix up to the stop hour.
+    pub result: FaultSimResult,
+    /// True when every hour of the trace was simulated.
+    pub completed: bool,
+    /// The resume snapshot at the last completed hour; present exactly
+    /// when [`EngineConfig::stop_after`] halted the run at or before the
+    /// final hour. Feed it to [`resume_day`] (optionally after a disk
+    /// round-trip through [`CheckpointStore`]).
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Runs one fault-aware day under full engine control: checkpoint
+/// persistence, supervised solves, early stop, APSP budget pressure. See
+/// [`simulate_with_faults`] for the simulation semantics; with
+/// `EngineConfig::default()` the `result` is bit-identical to it.
+///
+/// # Errors
+///
+/// [`SimError`] on genuinely broken inputs or failed checkpoint I/O —
+/// never because of an injected fault, starvation, or budget pressure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_day(
+    g: &Graph,
+    w: &Workload,
+    trace: &DynamicTrace,
+    sfc: &Sfc,
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    ecfg: &EngineConfig,
+) -> Result<DayRun, SimError> {
+    run_day_impl(g, w, trace, sfc, cfg, schedule, ecfg, None)
+}
+
+/// Resumes a day from a [`Checkpoint`] taken by [`run_day`] (directly or
+/// loaded back through a [`CheckpointStore`]) and finishes it. The
+/// completed run is **bit-identical** to the uninterrupted one: derived
+/// state (APSP, metric closure, attach aggregates) is rebuilt from the
+/// snapshot, and the PR 1/PR 5 equivalence guarantees make the rebuilds
+/// exact.
+///
+/// # Errors
+///
+/// [`SimError::Checkpoint`] when the snapshot is corrupt or was taken
+/// from different inputs (fingerprint mismatch); otherwise as
+/// [`run_day`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_day(
+    g: &Graph,
+    w: &Workload,
+    trace: &DynamicTrace,
+    sfc: &Sfc,
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    ecfg: &EngineConfig,
+    ckpt: &Checkpoint,
+) -> Result<DayRun, SimError> {
+    run_day_impl(g, w, trace, sfc, cfg, schedule, ecfg, Some(ckpt))
 }
 
 /// Runs one day under fault injection: TOP at hour 0 on the healthy
@@ -463,40 +745,126 @@ pub fn simulate_with_faults_observed(
     schedule: &FaultSchedule,
     observe: bool,
 ) -> Result<FaultSimResult, SimError> {
+    let ecfg = EngineConfig {
+        observe,
+        ..EngineConfig::default()
+    };
+    Ok(run_day_impl(g, w, trace, sfc, cfg, schedule, &ecfg, None)?.result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_day_impl(
+    g: &Graph,
+    w: &Workload,
+    trace: &DynamicTrace,
+    sfc: &Sfc,
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    ecfg: &EngineConfig,
+    resume: Option<&Checkpoint>,
+) -> Result<DayRun, SimError> {
     let obs = ppdc_obs::global();
-    if observe {
+    if ecfg.observe {
         obs.declare(obs_names::SPANS, obs_names::COUNTERS, obs_names::HISTS);
     }
     // Stopwatches run when the caller wants per-hour phases OR the global
     // registry wants aggregate spans; either way the readings only ever
     // flow *out* of the simulation.
-    let measuring = observe || obs.is_enabled();
+    let measuring = ecfg.observe || obs.is_enabled();
+    let n_hours = trace.model().n_hours;
+    // The input fingerprint only matters when snapshots are taken or
+    // consumed; the plain simulate_with_faults path never pays for it.
+    let wants_snapshots = ecfg.store.is_some() || ecfg.stop_after.is_some();
+    let fp = if wants_snapshots || resume.is_some() {
+        fingerprint(g, w, trace, sfc, cfg, schedule)
+    } else {
+        0
+    };
     // The healthy-fabric matrix only backs the reroute-penalty baseline,
     // which is consulted on unhealthy hours alone — built lazily so a
     // fault-free schedule never pays this second V² build.
-    let mut dm_healthy: Option<DistanceMatrix> = None;
+    let mut dm_healthy = HealthyBaseline::Unbuilt;
     let mut faults = FaultSet::new(g);
-    // The healthy degraded view re-adds every edge in original order, so
-    // `dm_cur` starts bit-identical to `dm_healthy` (and node ids match
-    // `g` forever — views never renumber).
-    let mut g_view = g.degraded_view(&faults);
-    let mut dm_cur = DistanceMatrix::build(&g_view);
     let mut w_cur = w.clone();
-    w_cur.set_rates(&trace.rates_at(0))?;
-    let mut agg = AttachAggregates::build(&g_view, &dm_cur, &w_cur);
-    let mut aggregate_rebuilds = 1usize;
     // One metric closure serves every Algorithm 3 / mPareto call between
     // fault events: only event hours change `dm_cur` or the candidate set,
     // so only they invalidate it (the small-n paths never touch it).
     let mut closure_cache = CachedClosure::new();
     let use_closure = sfc.len() >= 3;
-    let (mut p, initial_cost) = if use_closure {
-        let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
-        dp_placement_with_closure(&g_view, &dm_cur, &w_cur, sfc, &agg, c)?
+
+    let mut g_view;
+    let mut dm_cur;
+    let mut agg;
+    let mut sv;
+    let mut p;
+    let initial_cost;
+    let mut hours;
+    let mut degraded;
+    let mut total_cost: Cost;
+    let mut total_migrations;
+    let mut aggregate_rebuilds;
+    let mut blackout_hours;
+    let mut recovery_total;
+    let start_hour;
+
+    if let Some(ck) = resume {
+        ck.validate_against(g, w, sfc, n_hours, fp)?;
+        obs.add(obs_names::CKPT_RESTORES, 1);
+        // Reconstruct the mutable loop state from the snapshot; derived
+        // structures (APSP, aggregates, closure) are rebuilt, which is
+        // exact: `rebuild_dirty` chains are proptested bit-identical to
+        // full builds, and `build` ≡ `build_restricted`(all) + delta
+        // feeds (PR 1/PR 5).
+        for &n in &ck.failed_nodes {
+            faults.fail_node(n)?;
+        }
+        for &e in &ck.failed_edges {
+            faults.fail_edge(e)?;
+        }
+        g_view = g.degraded_view(&faults);
+        dm_cur = DistanceMatrix::build(&g_view);
+        for (i, &host) in ck.hosts.iter().enumerate() {
+            w_cur.set_host(VmId::from_index(i), host);
+        }
+        w_cur.set_rates(&ck.rates)?;
+        sv = ServingView::from_parts(g.num_nodes(), ck.candidates.clone(), ck.stranded.clone());
+        agg = AttachAggregates::build_restricted(&g_view, &dm_cur, &w_cur, &sv.candidates);
+        p = Placement::new_unchecked(ck.placement.clone());
+        initial_cost = ck.initial_cost;
+        hours = ck.hours.clone();
+        degraded = ck.degraded.clone();
+        total_cost = ck.total_cost;
+        total_migrations = ck.total_migrations;
+        aggregate_rebuilds = ck.aggregate_rebuilds;
+        blackout_hours = ck.blackout_hours;
+        recovery_total = ck.recovery_migrations;
+        start_hour = ck.hour + 1;
     } else {
-        dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?
-    };
-    let mut sv = ServingView::elect(&g_view, &faults, &w_cur);
+        // The healthy degraded view re-adds every edge in original order,
+        // so `dm_cur` starts bit-identical to the healthy matrix (and node
+        // ids match `g` forever — views never renumber).
+        g_view = g.degraded_view(&faults);
+        dm_cur = DistanceMatrix::build(&g_view);
+        w_cur.set_rates(&trace.rates_at(0))?;
+        agg = AttachAggregates::build(&g_view, &dm_cur, &w_cur);
+        aggregate_rebuilds = 1usize;
+        let (p0, c0) = if use_closure {
+            let c = closure_cache.get_or_rebuild(&dm_cur, agg.switches());
+            dp_placement_with_closure(&g_view, &dm_cur, &w_cur, sfc, &agg, c)?
+        } else {
+            dp_placement_with_agg(&g_view, &dm_cur, &w_cur, sfc, &agg)?
+        };
+        p = p0;
+        initial_cost = c0;
+        sv = ServingView::elect(&g_view, &faults, &w_cur);
+        hours = Vec::with_capacity(n_hours as usize);
+        degraded = Vec::with_capacity(n_hours as usize);
+        total_cost = 0;
+        total_migrations = 0usize;
+        blackout_hours = 0usize;
+        recovery_total = 0usize;
+        start_hour = 1;
+    }
 
     let maintains_agg = matches!(
         cfg.policy,
@@ -504,15 +872,11 @@ pub fn simulate_with_faults_observed(
             | MigrationPolicy::OptimalVnf { .. }
             | MigrationPolicy::NoMigration
     );
-    let n_hours = trace.model().n_hours;
-    let mut hours = Vec::with_capacity(n_hours as usize);
-    let mut degraded = Vec::with_capacity(n_hours as usize);
-    let mut total_cost: Cost = 0;
-    let mut total_migrations = 0usize;
-    let mut blackout_hours = 0usize;
-    let mut recovery_total = 0usize;
+    let every = ecfg.checkpoint_every.max(1);
+    let mut final_ckpt: Option<Checkpoint> = None;
+    let mut halted_at: Option<u32> = None;
 
-    for h in 1..=n_hours {
+    for h in start_hour..=n_hours {
         let events: Vec<FaultEvent> = schedule.events_at(h).copied().collect();
         let event_hour = !events.is_empty();
         let mut apsp_ns = 0u64;
@@ -603,19 +967,55 @@ pub fn simulate_with_faults_observed(
                 recovery_migrations: 0,
                 blackout: true,
                 degraded_solver: false,
-                phase: observe.then_some(PhaseNanos {
+                provenance: HourProvenance::Blackout,
+                solver_retries: 0,
+                phase: ecfg.observe.then_some(PhaseNanos {
                     apsp_ns,
                     aggregates_ns,
                     solver_ns: 0,
                     repair_ns: 0,
                 }),
             });
+            let state = SnapState {
+                p: &p,
+                w_cur: &w_cur,
+                faults: &faults,
+                sv: &sv,
+                hours: &hours,
+                degraded: &degraded,
+                initial_cost,
+                total_cost,
+                total_migrations,
+                aggregate_rebuilds,
+                blackout_hours,
+                recovery_migrations: recovery_total,
+            };
+            if let Some(ck) = hour_tail(ecfg, every, n_hours, fp, h, &state)? {
+                final_ckpt = Some(ck);
+                halted_at = Some(h);
+                break;
+            }
             continue;
         }
 
         let needs_repair = p.switches().iter().any(|s| !sv.cand_mask[s.index()]);
+        // The transient-failure gate (supervisor rung 2→3 walk). Recovery
+        // hours bypass it: a displaced chain must be re-placed before
+        // anything else can be served, starvation or not.
+        let gate = if needs_repair {
+            GateOutcome {
+                retries: 0,
+                exhausted: false,
+            }
+        } else {
+            transient_gate(&ecfg.supervisor, h)
+        };
+        if gate.retries > 0 {
+            obs.add(obs_names::SUPERVISOR_RETRIES, u64::from(gate.retries));
+        }
         let recovery_migrations;
         let mut degraded_solver = false;
+        let mut provenance = HourProvenance::Exact;
         let solve_sw = Stopwatch::start_if(measuring);
         let rec = if needs_repair {
             // Recovery: re-place inside the serving component before any
@@ -648,6 +1048,22 @@ pub fn simulate_with_faults_observed(
                 comm_cost: comm,
                 total_cost: migration_cost.saturating_add(comm),
                 num_migrations: moved,
+            }
+        } else if gate.exhausted {
+            // Rung 3: the solve could not run at all. Keep the incumbent
+            // placement and reprice it at this hour's (masked) rates —
+            // valid for every policy, including the VM movers, whose
+            // workload simply stays put for the hour.
+            recovery_migrations = 0;
+            degraded_solver = true;
+            provenance = HourProvenance::LastKnownGood;
+            let comm = comm_cost(&dm_cur, &w_cur, &p);
+            HourRecord {
+                hour: h,
+                migration_cost: 0,
+                comm_cost: comm,
+                total_cost: comm,
+                num_migrations: 0,
             }
         } else {
             recovery_migrations = 0;
@@ -686,6 +1102,9 @@ pub fn simulate_with_faults_observed(
                         &agg,
                     )?;
                     degraded_solver = !exactness.is_exact();
+                    if degraded_solver {
+                        provenance = HourProvenance::DegradedDeadline;
+                    }
                     p = out.migration.clone();
                     HourRecord {
                         hour: h,
@@ -746,15 +1165,27 @@ pub fn simulate_with_faults_observed(
             (solve_ns, 0)
         };
 
+        if degraded_solver {
+            obs.add(obs_names::SUPERVISOR_DEGRADED_HOURS, 1);
+        }
+
         // Detour penalty: what the served flows pay on the degraded fabric
-        // over the same placement on the healthy one.
+        // over the same placement on the healthy one. Under APSP budget
+        // pressure the baseline may be refused — the penalty is then
+        // reported as zero and the gap counted, never aborted on.
         let reroute_cost = if faults.is_healthy() {
             0
         } else {
-            let dmh = dm_healthy.get_or_insert_with(|| DistanceMatrix::build(g));
-            rec.total_cost
-                .saturating_sub(rec.migration_cost)
-                .saturating_sub(comm_cost(dmh, &w_cur, &p))
+            match dm_healthy.get(g, ecfg.apsp_budget_bytes)? {
+                Some(dmh) => rec
+                    .total_cost
+                    .saturating_sub(rec.migration_cost)
+                    .saturating_sub(comm_cost(dmh, &w_cur, &p)),
+                None => {
+                    obs.add(obs_names::SIM_REROUTE_SKIPPED, 1);
+                    0
+                }
+            }
         };
         total_cost = total_cost.saturating_add(rec.total_cost);
         total_migrations += rec.num_migrations;
@@ -769,24 +1200,125 @@ pub fn simulate_with_faults_observed(
             recovery_migrations,
             blackout: false,
             degraded_solver,
-            phase: observe.then_some(PhaseNanos {
+            provenance,
+            solver_retries: gate.retries,
+            phase: ecfg.observe.then_some(PhaseNanos {
                 apsp_ns,
                 aggregates_ns,
                 solver_ns,
                 repair_ns,
             }),
         });
+
+        let state = SnapState {
+            p: &p,
+            w_cur: &w_cur,
+            faults: &faults,
+            sv: &sv,
+            hours: &hours,
+            degraded: &degraded,
+            initial_cost,
+            total_cost,
+            total_migrations,
+            aggregate_rebuilds,
+            blackout_hours,
+            recovery_migrations: recovery_total,
+        };
+        if let Some(ck) = hour_tail(ecfg, every, n_hours, fp, h, &state)? {
+            final_ckpt = Some(ck);
+            halted_at = Some(h);
+            break;
+        }
     }
-    Ok(FaultSimResult {
-        initial_cost,
-        hours,
-        degraded,
-        total_cost,
-        total_migrations,
-        aggregate_rebuilds,
-        blackout_hours,
-        recovery_migrations: recovery_total,
+    let completed = match halted_at {
+        Some(h) => h >= n_hours,
+        None => true,
+    };
+    Ok(DayRun {
+        result: FaultSimResult {
+            initial_cost,
+            hours,
+            degraded,
+            total_cost,
+            total_migrations,
+            aggregate_rebuilds,
+            blackout_hours,
+            recovery_migrations: recovery_total,
+        },
+        completed,
+        checkpoint: final_ckpt,
     })
+}
+
+/// Everything a mid-day snapshot freezes, borrowed from the loop state.
+struct SnapState<'a> {
+    p: &'a Placement,
+    w_cur: &'a Workload,
+    faults: &'a FaultSet,
+    sv: &'a ServingView,
+    hours: &'a [HourRecord],
+    degraded: &'a [DegradedHourRecord],
+    initial_cost: Cost,
+    total_cost: Cost,
+    total_migrations: usize,
+    aggregate_rebuilds: usize,
+    blackout_hours: usize,
+    recovery_migrations: usize,
+}
+
+/// Freezes the loop state after hour `hour`. Phase timings are stripped:
+/// they are wall-clock noise, and restored records must stay
+/// bit-comparable to unobserved runs.
+fn snapshot(fp: u64, hour: u32, s: &SnapState<'_>) -> Checkpoint {
+    Checkpoint {
+        fingerprint: fp,
+        hour,
+        initial_cost: s.initial_cost,
+        placement: s.p.switches().to_vec(),
+        hosts: s.w_cur.vm_ids().map(|v| s.w_cur.host_of(v)).collect(),
+        rates: s.w_cur.rates().to_vec(),
+        failed_nodes: s.faults.failed_nodes().collect(),
+        failed_edges: s.faults.failed_edges().collect(),
+        candidates: s.sv.candidates.clone(),
+        stranded: s.sv.stranded.clone(),
+        hours: s.hours.to_vec(),
+        degraded: s
+            .degraded
+            .iter()
+            .map(|d| DegradedHourRecord { phase: None, ..*d })
+            .collect(),
+        total_cost: s.total_cost,
+        total_migrations: s.total_migrations,
+        aggregate_rebuilds: s.aggregate_rebuilds,
+        blackout_hours: s.blackout_hours,
+        recovery_migrations: s.recovery_migrations,
+    }
+}
+
+/// End-of-hour persistence and crash-stop logic: writes a snapshot when
+/// one is due (every `every` hours, at the final hour, and at the stop
+/// hour) and returns `Some(checkpoint)` exactly when
+/// [`EngineConfig::stop_after`] says to halt here.
+fn hour_tail(
+    ecfg: &EngineConfig,
+    every: u32,
+    n_hours: u32,
+    fp: u64,
+    h: u32,
+    state: &SnapState<'_>,
+) -> Result<Option<Checkpoint>, SimError> {
+    let stop = ecfg.stop_after.is_some_and(|cut| h >= cut);
+    let due = ecfg.store.is_some() && (h.is_multiple_of(every) || h == n_hours || stop);
+    if !due && !stop {
+        return Ok(None);
+    }
+    let ck = snapshot(fp, h, state);
+    if due {
+        if let Some(store) = &ecfg.store {
+            store.write(&ck)?;
+        }
+    }
+    Ok(if stop { Some(ck) } else { None })
 }
 
 #[cfg(test)]
@@ -968,7 +1500,7 @@ mod tests {
         let ft = FatTree::build(4).unwrap();
         let (w, trace) = ppdc_traffic::standard_workload(&ft, 50, 3, 0);
         let sfc = Sfc::of_len(3).unwrap();
-        let schedule = FaultSchedule::new(Vec::new(), trace.model().n_hours);
+        let schedule = FaultSchedule::new(Vec::new(), trace.model().n_hours).unwrap();
         let c = cfg(MigrationPolicy::MPareto);
         let r = simulate_with_faults(ft.graph(), &w, &trace, &sfc, &c, &schedule).unwrap();
         let dm = DistanceMatrix::build(ft.graph());
@@ -1006,7 +1538,8 @@ mod tests {
                 },
             ],
             trace.model().n_hours,
-        );
+        )
+        .unwrap();
         let r = simulate_with_faults(
             g,
             &w,
@@ -1075,7 +1608,8 @@ mod tests {
                 kind: FaultKind::FailSwitch(victim),
             }],
             trace.model().n_hours,
-        );
+        )
+        .unwrap();
         for policy in [
             MigrationPolicy::MPareto,
             MigrationPolicy::NoMigration,
@@ -1102,7 +1636,7 @@ mod tests {
     fn budget_exhaustion_degrades_instead_of_failing() {
         let (ft, w, trace) = day24(40, 17);
         let sfc = Sfc::of_len(3).unwrap();
-        let schedule = FaultSchedule::new(Vec::new(), 24);
+        let schedule = FaultSchedule::new(Vec::new(), 24).unwrap();
         // Budget 1 exhausts instantly every hour; the day must still
         // complete, flagged degraded, with costs no better than mPareto's
         // incumbent would allow and no worse than staying put.
@@ -1143,7 +1677,7 @@ mod tests {
                 kind: FaultKind::FailSwitch(s),
             })
             .collect();
-        let schedule = FaultSchedule::new(events, trace.model().n_hours);
+        let schedule = FaultSchedule::new(events, trace.model().n_hours).unwrap();
         let r = simulate_with_faults(
             g,
             &w,
@@ -1167,5 +1701,413 @@ mod tests {
             .count();
         assert!(d4.stranded_flows >= w.num_flows() - colocated);
         assert_eq!(r.hours[3].total_cost, 0);
+    }
+
+    #[test]
+    fn schedule_validation_rejects_inconsistent_sequences() {
+        let ft = FatTree::build(4).unwrap();
+        let s = ft.graph().switches().next().unwrap();
+        let fail = |hour| FaultEvent {
+            hour,
+            kind: FaultKind::FailSwitch(s),
+        };
+        let repair = |hour| FaultEvent {
+            hour,
+            kind: FaultKind::RepairSwitch(s),
+        };
+        // Double failure without an intervening repair.
+        let err = FaultSchedule::new(vec![fail(2), fail(5)], 24).unwrap_err();
+        assert!(matches!(err, ScheduleError::FailWhileFailed { .. }));
+        // Repairing an element that never failed.
+        let err = FaultSchedule::new(vec![repair(3)], 24).unwrap_err();
+        assert!(matches!(err, ScheduleError::RepairWhileHealthy { .. }));
+        // Hour 0 belongs to TOP; hours past the day are unreachable.
+        let err = FaultSchedule::new(vec![fail(0)], 24).unwrap_err();
+        assert!(matches!(err, ScheduleError::HourOutOfRange { .. }));
+        let err = FaultSchedule::new(vec![fail(25)], 24).unwrap_err();
+        assert!(matches!(err, ScheduleError::HourOutOfRange { .. }));
+        // Legal: fail → repair → re-fail, even within one hour (repairs
+        // sort ahead of failures).
+        assert!(FaultSchedule::new(vec![fail(2), repair(4), fail(4)], 24).is_ok());
+        // Errors render through Display for the CLI.
+        let msg = FaultSchedule::new(vec![repair(3)], 24)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("already up"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_day() {
+        let (ft, w, trace) = day24(30, 5);
+        let fc = FaultConfig {
+            link_fail_per_hour: 0.06,
+            switch_fail_per_hour: 0.02,
+            repair_after: 2,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), 24, &fc, 5);
+        assert!(schedule.num_fail_events() >= 3);
+        let sfc = Sfc::of_len(3).unwrap();
+        for policy in [
+            MigrationPolicy::MPareto,
+            MigrationPolicy::OptimalVnf { budget: 200_000 },
+            MigrationPolicy::Plan {
+                slots: 4,
+                passes: 3,
+            },
+            MigrationPolicy::NoMigration,
+        ] {
+            let c = cfg(policy);
+            let full = run_day(
+                ft.graph(),
+                &w,
+                &trace,
+                &sfc,
+                &c,
+                &schedule,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            assert!(full.completed);
+            assert!(full.checkpoint.is_none(), "nothing asked the run to stop");
+            for kill in [1u32, 7, 12, 24] {
+                let halted = run_day(
+                    ft.graph(),
+                    &w,
+                    &trace,
+                    &sfc,
+                    &c,
+                    &schedule,
+                    &EngineConfig {
+                        stop_after: Some(kill),
+                        ..EngineConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(halted.completed, kill >= 24, "{policy:?} kill {kill}");
+                let ck = halted.checkpoint.expect("stopped runs carry a checkpoint");
+                assert_eq!(ck.hour, kill);
+                // Survive a serialization round-trip, like a real crash.
+                let ck = Checkpoint::from_json(&ck.to_json()).unwrap();
+                let resumed = resume_day(
+                    ft.graph(),
+                    &w,
+                    &trace,
+                    &sfc,
+                    &c,
+                    &schedule,
+                    &EngineConfig::default(),
+                    &ck,
+                )
+                .unwrap();
+                assert!(resumed.completed);
+                assert_eq!(
+                    resumed.result, full.result,
+                    "{policy:?} killed at hour {kill} must resume bit-identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        let (ft, w, trace) = day24(20, 3);
+        let schedule = FaultSchedule::new(Vec::new(), 24).unwrap();
+        let sfc = Sfc::of_len(3).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        let halted = run_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig {
+                stop_after: Some(6),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let ck = halted.checkpoint.unwrap();
+        // A different μ fingerprints differently: the snapshot is refused
+        // instead of silently resuming the wrong run.
+        let other = SimConfig { mu: 999, ..c };
+        let err = resume_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &other,
+            &schedule,
+            &EngineConfig::default(),
+            &ck,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Checkpoint(CkptError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_blackout_day_is_well_formed_with_and_without_resume() {
+        // Every switch dead from hour 4 through 7, all back at hour 8: the
+        // day must stay well-formed (no underflow, blackout accounting
+        // exact) and resuming from a mid-blackout kill must not diverge.
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let (w, trace) = ppdc_traffic::standard_workload(&ft, 20, 2, 0);
+        let sfc = Sfc::of_len(3).unwrap();
+        let n_hours = trace.model().n_hours;
+        let mut events: Vec<FaultEvent> = g
+            .switches()
+            .map(|s| FaultEvent {
+                hour: 4,
+                kind: FaultKind::FailSwitch(s),
+            })
+            .collect();
+        events.extend(g.switches().map(|s| FaultEvent {
+            hour: 8,
+            kind: FaultKind::RepairSwitch(s),
+        }));
+        let schedule = FaultSchedule::new(events, n_hours).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        let full = run_day(g, &w, &trace, &sfc, &c, &schedule, &EngineConfig::default()).unwrap();
+        assert!(full.completed);
+        let r = &full.result;
+        assert_eq!(r.hours.len(), n_hours as usize);
+        assert_eq!(r.degraded.len(), n_hours as usize);
+        assert!(r.blackout_hours >= 4);
+        for h in 4..8 {
+            let d = &r.degraded[h - 1];
+            assert!(d.blackout, "hour {h} has no serving component");
+            assert_eq!(d.provenance, HourProvenance::Blackout);
+            assert_eq!(r.hours[h - 1].total_cost, 0);
+        }
+        for (rec, d) in r.hours.iter().zip(&r.degraded) {
+            assert_eq!(rec.hour, d.hour);
+            assert!(rec.total_cost < INFINITY);
+            assert_eq!(
+                rec.total_cost,
+                rec.migration_cost.saturating_add(rec.comm_cost)
+            );
+        }
+        // Hour 8 repairs the displaced chain before serving resumes.
+        assert!(r.degraded[7].recovery_migrations > 0 || !r.degraded[7].blackout);
+        // Kill mid-blackout (hour 5) and resume: bit-identical.
+        let halted = run_day(
+            g,
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig {
+                stop_after: Some(5),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let ck = halted.checkpoint.unwrap();
+        let resumed = resume_day(
+            g,
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig::default(),
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(resumed.result, full.result);
+    }
+
+    #[test]
+    fn starvation_walks_the_ladder_deterministically() {
+        use crate::supervisor::SolverStarvation;
+        let (ft, w, trace) = day24(30, 7);
+        let schedule = FaultSchedule::new(Vec::new(), 24).unwrap();
+        let sfc = Sfc::of_len(3).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        // Hour 3 burns one attempt (inside the retry budget), hour 5 burns
+        // ten (hopeless): rung 1 with retries vs rung 3 fallback.
+        let starved = EngineConfig {
+            supervisor: SupervisorConfig {
+                max_retries: 2,
+                backoff_ns: 0,
+                starvation: Some(SolverStarvation::new(vec![(3, 1), (5, 10)])),
+            },
+            ..EngineConfig::default()
+        };
+        let r = run_day(ft.graph(), &w, &trace, &sfc, &c, &schedule, &starved)
+            .unwrap()
+            .result;
+        let d3 = &r.degraded[2];
+        assert_eq!(d3.solver_retries, 1);
+        assert_eq!(
+            d3.provenance,
+            HourProvenance::Exact,
+            "short burns retry through"
+        );
+        assert!(!d3.degraded_solver);
+        let d5 = &r.degraded[4];
+        assert_eq!(d5.solver_retries, 3, "max_retries + 1 failed attempts");
+        assert_eq!(d5.provenance, HourProvenance::LastKnownGood);
+        assert!(d5.degraded_solver);
+        assert_eq!(
+            r.hours[4].migration_cost, 0,
+            "last-known-good never migrates"
+        );
+        assert_eq!(r.hours[4].num_migrations, 0);
+        // The baseline run solves every hour exactly; the prefix before
+        // the first starved hour is identical.
+        let base = run_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig::default(),
+        )
+        .unwrap()
+        .result;
+        assert!(base.degraded.iter().all(|d| d.solver_retries == 0));
+        assert_eq!(base.hours[..2], r.hours[..2]);
+        // Starved runs are still bit-identically reproducible.
+        let again = run_day(ft.graph(), &w, &trace, &sfc, &c, &schedule, &starved)
+            .unwrap()
+            .result;
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn apsp_budget_pressure_degrades_telemetry_never_costs() {
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        // The tri-state baseline refuses (and caches the refusal) under an
+        // impossible byte budget, and builds normally without one.
+        let mut hb = HealthyBaseline::Unbuilt;
+        assert!(hb.get(g, Some(1)).unwrap().is_none());
+        assert!(hb.get(g, Some(1)).unwrap().is_none(), "refusal is cached");
+        let mut hb_ok = HealthyBaseline::Unbuilt;
+        assert!(hb_ok.get(g, None).unwrap().is_some());
+        // End to end: a squeezed run serves the exact same costs; only the
+        // reroute telemetry is zeroed.
+        let (ft, w, trace) = day24(30, 9);
+        let g = ft.graph();
+        let tor = g.top_of_rack(g.hosts().next().unwrap()).unwrap();
+        let schedule = FaultSchedule::new(
+            vec![
+                FaultEvent {
+                    hour: 2,
+                    kind: FaultKind::FailSwitch(tor),
+                },
+                FaultEvent {
+                    hour: 6,
+                    kind: FaultKind::RepairSwitch(tor),
+                },
+            ],
+            24,
+        )
+        .unwrap();
+        let sfc = Sfc::of_len(3).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        let unlimited = run_day(g, &w, &trace, &sfc, &c, &schedule, &EngineConfig::default())
+            .unwrap()
+            .result;
+        let squeezed = run_day(
+            g,
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig {
+                apsp_budget_bytes: Some(1),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+        .result;
+        assert_eq!(
+            squeezed.hours, unlimited.hours,
+            "pressure never changes costs"
+        );
+        assert_eq!(squeezed.total_cost, unlimited.total_cost);
+        assert!(squeezed.degraded.iter().all(|d| d.reroute_cost == 0));
+        let zeroed: Vec<DegradedHourRecord> = unlimited
+            .degraded
+            .iter()
+            .map(|d| DegradedHourRecord {
+                reroute_cost: 0,
+                ..*d
+            })
+            .collect();
+        assert_eq!(squeezed.degraded, zeroed, "only reroute telemetry differs");
+    }
+
+    #[test]
+    fn run_day_persists_resumable_snapshots() {
+        let (ft, w, trace) = day24(20, 13);
+        let fc = FaultConfig {
+            link_fail_per_hour: 0.05,
+            switch_fail_per_hour: 0.01,
+            repair_after: 2,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), 24, &fc, 13);
+        let sfc = Sfc::of_len(3).unwrap();
+        let c = cfg(MigrationPolicy::MPareto);
+        let dir = std::env::temp_dir().join(format!("ppdc-fault-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("day.ckpt"));
+        let halted = run_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig {
+                store: Some(store.clone()),
+                stop_after: Some(6),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!halted.completed);
+        let in_memory = halted.checkpoint.unwrap();
+        let (on_disk, slot) = store.load().unwrap();
+        assert_eq!(slot, crate::checkpoint::CkptSlot::Primary);
+        assert_eq!(on_disk, in_memory, "disk and in-memory snapshots agree");
+        assert!(
+            store.prev_path().exists(),
+            "hourly writes rotate the previous snapshot"
+        );
+        // Resume from the disk copy and finish the day.
+        let resumed = resume_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig::default(),
+            &on_disk,
+        )
+        .unwrap();
+        let full = run_day(
+            ft.graph(),
+            &w,
+            &trace,
+            &sfc,
+            &c,
+            &schedule,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(resumed.result, full.result);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,19 +16,35 @@
 //! ([`FaultSchedule`]) by re-electing a serving component, masking
 //! stranded flows, and repairing displaced placements — recording per-hour
 //! degradation telemetry instead of aborting the day.
+//!
+//! [`checkpoint`], [`supervisor`], and [`chaos`] harden it against
+//! *operator-side* failures: [`run_day`] persists crash-safe
+//! `ppdc-ckpt/v1` snapshots every hour and [`resume_day`] finishes an
+//! interrupted day bit-identically; a supervised degradation ladder
+//! (exact → deadline-degraded → last-known-good) keeps every hour served
+//! through solver starvation; and the seeded chaos harness
+//! ([`run_chaos_trial`]) turns correlated pod outages, link flaps, torn
+//! checkpoints, and resource pressure into asserted invariants.
 
-#![warn(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod fault;
 pub mod report;
 pub mod simulator;
 pub mod stats;
+pub mod supervisor;
 
+pub use chaos::{run_chaos_trial, ChaosConfig, ChaosError, ChaosTrialConfig, ChaosTrialReport};
+pub use checkpoint::{Checkpoint, CheckpointStore, CkptError, CkptSlot, CKPT_SCHEMA};
 pub use fault::{
-    simulate_with_faults, simulate_with_faults_observed, DegradedHourRecord, FaultConfig,
-    FaultEvent, FaultKind, FaultSchedule, FaultSimResult, PhaseNanos, SimError,
+    resume_day, run_day, simulate_with_faults, simulate_with_faults_observed, DayRun,
+    DegradedHourRecord, EngineConfig, FaultConfig, FaultEvent, FaultKind, FaultSchedule,
+    FaultSimResult, HourProvenance, PhaseNanos, ScheduleError, SimError,
 };
 pub use report::Table;
 pub use simulator::{simulate, HourRecord, MigrationPolicy, SimConfig, SimResult};
 pub use stats::{summarize, Summary};
+pub use supervisor::{SolverStarvation, SupervisorConfig};

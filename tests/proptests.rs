@@ -608,4 +608,63 @@ proptest! {
         prop_assert_eq!(c_o, c_d, "cost mismatch at n={}", n);
         prop_assert_eq!(p_o.switches(), p_d.switches(), "tie-break mismatch at n={}", n);
     }
+
+    /// Crash safety: killing a fault-injected day at a random hour and
+    /// resuming from the JSON-round-tripped checkpoint finishes the day
+    /// **bit-identically** to the uninterrupted run — every per-hour cost
+    /// row, every degraded-hour provenance record, every aggregate counter
+    /// — for any policy, workload seed, and fault mix.
+    #[test]
+    fn kill_and_resume_is_bit_identical(
+        seed in any::<u64>(),
+        num_pairs in 4usize..24,
+        policy_pick in 0usize..5,
+        kill_pick in any::<u32>(),
+        link_f in 0u32..8,
+        switch_f in 0u32..5,
+        repair_after in 1u32..4,
+    ) {
+        use ppdc::sim::{
+            resume_day, run_day, Checkpoint, EngineConfig, FaultConfig, FaultSchedule,
+            MigrationPolicy, SimConfig,
+        };
+        use ppdc::topology::FatTree;
+        use ppdc::traffic::standard_workload;
+        let ft = FatTree::build(4).unwrap();
+        let (w, trace) = standard_workload(&ft, num_pairs, seed % 1024, 0);
+        let n_hours = trace.model().n_hours;
+        let fc = FaultConfig {
+            link_fail_per_hour: f64::from(link_f) / 100.0,
+            switch_fail_per_hour: f64::from(switch_f) / 100.0,
+            repair_after,
+        };
+        let schedule = FaultSchedule::generate(ft.graph(), n_hours, &fc, seed ^ 0xFA17);
+        let sfc = Sfc::of_len(3).unwrap();
+        let policy = match policy_pick {
+            0 => MigrationPolicy::MPareto,
+            1 => MigrationPolicy::OptimalVnf { budget: 100_000 },
+            2 => MigrationPolicy::Plan { slots: 4, passes: 3 },
+            3 => MigrationPolicy::Mcf { slots: 4, candidates: 8 },
+            _ => MigrationPolicy::NoMigration,
+        };
+        let cfg = SimConfig { mu: 100, vm_mu: 100, policy };
+        let full = run_day(
+            ft.graph(), &w, &trace, &sfc, &cfg, &schedule, &EngineConfig::default(),
+        ).unwrap();
+        prop_assert!(full.completed);
+        let kill = 1 + kill_pick % n_hours;
+        let halted = run_day(
+            ft.graph(), &w, &trace, &sfc, &cfg, &schedule,
+            &EngineConfig { stop_after: Some(kill), ..EngineConfig::default() },
+        ).unwrap();
+        let ck = halted.checkpoint.expect("stopped runs carry a checkpoint");
+        prop_assert_eq!(ck.hour, kill);
+        // Survive a serialization round-trip, like a real crash would force.
+        let ck = Checkpoint::from_json(&ck.to_json()).unwrap();
+        let resumed = resume_day(
+            ft.graph(), &w, &trace, &sfc, &cfg, &schedule, &EngineConfig::default(), &ck,
+        ).unwrap();
+        prop_assert!(resumed.completed);
+        prop_assert_eq!(resumed.result, full.result, "policy {:?} kill {}", policy, kill);
+    }
 }
