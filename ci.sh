@@ -20,8 +20,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> ppdc-analyzer --workspace (project-specific lints)"
-cargo run --release -p ppdc-analyzer -- --workspace
+echo "==> ppdc-analyzer --workspace (project-specific lints, baseline-capped, 10s budget)"
+mkdir -p target
+cargo build --release -q -p ppdc-analyzer
+analyzer_start=$(date +%s%N)
+./target/release/ppdc-analyzer --workspace \
+    --json-out target/analyzer.json \
+    --baseline analyzer-baseline.json
+analyzer_elapsed_ms=$(( ($(date +%s%N) - analyzer_start) / 1000000 ))
+echo "    analyzer wall clock: ${analyzer_elapsed_ms} ms (budget 10000 ms)"
+if [ "$analyzer_elapsed_ms" -ge 10000 ]; then
+    echo "ppdc-analyzer exceeded its 10s wall-clock budget" >&2
+    exit 1
+fi
 
 echo "==> cargo build --release (tier-1, default members)"
 cargo build --release
@@ -58,10 +69,12 @@ PPDC_BENCH_ONLY=distance_oracle \
     cargo bench -p ppdc-bench --bench topology
 PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench checkpoint
+PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+    cargo bench -p ppdc-bench --bench analyzer
 cargo run --release -p ppdc-experiments -- \
     --append-bench BENCH_placement.json \
     --bench-samples target/ci-bench-samples.jsonl \
-    --label "crash-safe checkpointed epochs + degradation supervisor" \
+    --label "syntax-aware analyzer v2: panic reachability + rule pack" \
     --date "$(date +%F)"
 
 echo "CI OK"

@@ -22,6 +22,8 @@ use crate::rules::{is_known_rule, FileCtx};
 pub struct Allow {
     /// The rule id being waived.
     pub rule: String,
+    /// The line the directive comment itself sits on.
+    pub line: u32,
     /// The code line the waiver covers.
     pub target_line: u32,
 }
@@ -58,13 +60,13 @@ pub fn collect_allows(ctx: &FileCtx, toks: &[Tok], src: &str) -> (Vec<Allow>, Ve
             .trim()
             .to_string();
         let mut reject = |message: String| {
-            bad.push(Violation {
-                rule: "bad-allow".to_string(),
-                file: ctx.path.clone(),
-                line: t.line,
+            bad.push(Violation::new(
+                "bad-allow",
+                &ctx.path,
+                t.line,
                 message,
-                snippet: snippet.clone(),
-            });
+                snippet.clone(),
+            ));
         };
         // Parse "(rule)".
         let Some((rule, after)) = rest
@@ -107,6 +109,7 @@ pub fn collect_allows(ctx: &FileCtx, toks: &[Tok], src: &str) -> (Vec<Allow>, Ve
         };
         allows.push(Allow {
             rule: rule.to_string(),
+            line: t.line,
             target_line,
         });
     }
@@ -114,21 +117,68 @@ pub fn collect_allows(ctx: &FileCtx, toks: &[Tok], src: &str) -> (Vec<Allow>, Ve
 }
 
 /// Applies suppressions: drops violations covered by a matching allow,
-/// returning the survivors and the number suppressed. `bad-allow`
-/// violations are never suppressible.
-pub fn apply_allows(violations: Vec<Violation>, allows: &[Allow]) -> (Vec<Violation>, usize) {
+/// returning the survivors, the number suppressed, and a per-allow "did
+/// it suppress anything" mask (the stale-allow input). The meta-rules
+/// `bad-allow`/`stale-allow` are never suppressible.
+pub fn apply_allows(
+    violations: Vec<Violation>,
+    allows: &[Allow],
+) -> (Vec<Violation>, usize, Vec<bool>) {
     let before = violations.len();
+    let mut used = vec![false; allows.len()];
     let kept: Vec<Violation> = violations
         .into_iter()
         .filter(|v| {
-            v.rule == "bad-allow"
-                || !allows
-                    .iter()
-                    .any(|a| a.rule == v.rule && a.target_line == v.line)
+            if v.rule == "bad-allow" || v.rule == "stale-allow" {
+                return true;
+            }
+            let mut hit = false;
+            for (i, a) in allows.iter().enumerate() {
+                if a.rule == v.rule && a.target_line == v.line {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            !hit
         })
         .collect();
     let suppressed = before - kept.len();
-    (kept, suppressed)
+    (kept, suppressed, used)
+}
+
+/// Turns allows that suppressed nothing into `stale-allow` violations —
+/// a waiver that waives nothing is noise at best and a decoy at worst,
+/// so it must be deleted (or re-aimed) to keep the baseline honest.
+pub fn stale_allow_violations(
+    ctx: &FileCtx,
+    src: &str,
+    allows: &[Allow],
+    used: &[bool],
+) -> Vec<Violation> {
+    allows
+        .iter()
+        .zip(used)
+        .filter(|&(_, &u)| !u)
+        .map(|(a, _)| {
+            let snippet = src
+                .lines()
+                .nth(a.line.saturating_sub(1) as usize)
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            Violation::new(
+                "stale-allow",
+                &ctx.path,
+                a.line,
+                format!(
+                    "`analyzer:allow({})` suppresses nothing — the finding it covered is \
+                     gone; delete the directive",
+                    a.rule
+                ),
+                snippet,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -193,23 +243,21 @@ mod tests {
 
     #[test]
     fn apply_drops_only_matching_rule_and_line() {
-        let mk = |rule: &str, line: u32| Violation {
-            rule: rule.into(),
-            file: "f.rs".into(),
-            line,
-            message: String::new(),
-            snippet: String::new(),
+        let mk = |rule: &str, line: u32| {
+            Violation::new(rule, "f.rs", line, String::new(), String::new())
         };
         let allows = vec![Allow {
             rule: "no-panic".into(),
+            line: 2,
             target_line: 3,
         }];
-        let (kept, n) = apply_allows(
+        let (kept, n, used) = apply_allows(
             vec![mk("no-panic", 3), mk("no-panic", 4), mk("lossy-cast", 3)],
             &allows,
         );
         assert_eq!(n, 1);
         assert_eq!(kept.len(), 2);
+        assert_eq!(used, vec![true]);
     }
 
     #[test]
@@ -220,9 +268,35 @@ mod tests {
         assert_eq!(bad.len(), 1);
         let allows = vec![Allow {
             rule: "bad-allow".into(),
+            line: 1,
             target_line: 2,
         }];
-        let (kept, _) = apply_allows(bad, &allows);
+        let (kept, _, _) = apply_allows(bad, &allows);
         assert_eq!(kept.len(), 1, "bad-allow survives suppression attempts");
+    }
+
+    #[test]
+    fn unused_allows_become_stale_allow_violations() {
+        let src = "// analyzer:allow(no-panic) -- was load-bearing once\nlet x = y.checked_mul(2);";
+        let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
+        let toks = lex(src);
+        let (allows, bad) = collect_allows(&ctx, &toks, src);
+        assert!(bad.is_empty());
+        let (kept, n, used) = apply_allows(Vec::new(), &allows);
+        assert!(kept.is_empty());
+        assert_eq!(n, 0);
+        let stale = stale_allow_violations(&ctx, src, &allows, &used);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "stale-allow");
+        assert_eq!(stale[0].line, 1);
+        assert!(stale[0].message.contains("no-panic"));
+        // A stale-allow cannot itself be allowed away.
+        let waive = vec![Allow {
+            rule: "stale-allow".into(),
+            line: 1,
+            target_line: 1,
+        }];
+        let (kept, _, _) = apply_allows(stale, &waive);
+        assert_eq!(kept.len(), 1);
     }
 }

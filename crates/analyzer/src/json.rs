@@ -17,18 +17,25 @@ pub fn to_json(r: &Report) -> String {
         if i > 0 {
             s.push(',');
         }
+        let chain = v
+            .chain
+            .iter()
+            .map(|f| quote(f))
+            .collect::<Vec<_>>()
+            .join(",");
         s.push_str(&format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{},\"chain\":[{}]}}",
             quote(&v.rule),
             quote(&v.file),
             v.line,
             quote(&v.message),
-            quote(&v.snippet)
+            quote(&v.snippet),
+            chain
         ));
     }
     s.push_str(&format!(
-        "],\"files_scanned\":{},\"suppressed\":{}}}",
-        r.files_scanned, r.suppressed
+        "],\"files_scanned\":{},\"suppressed\":{},\"allows\":{}}}",
+        r.files_scanned, r.suppressed, r.allows
     ));
     s
 }
@@ -178,13 +185,7 @@ impl<'a> Parser<'a> {
 
     fn violation(&mut self) -> Result<Violation, JsonError> {
         self.eat(b'{', "violation object")?;
-        let mut v = Violation {
-            rule: String::new(),
-            file: String::new(),
-            line: 0,
-            message: String::new(),
-            snippet: String::new(),
-        };
+        let mut v = Violation::new("", "", 0, String::new(), String::new());
         loop {
             let key = self.string()?;
             self.eat(b':', "colon")?;
@@ -196,6 +197,24 @@ impl<'a> Parser<'a> {
                 }
                 "message" => v.message = self.string()?,
                 "snippet" => v.snippet = self.string()?,
+                "chain" => {
+                    self.eat(b'[', "chain array")?;
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                    } else {
+                        loop {
+                            v.chain.push(self.string()?);
+                            match self.peek() {
+                                Some(b',') => self.i += 1,
+                                Some(b']') => {
+                                    self.i += 1;
+                                    break;
+                                }
+                                _ => return Err(self.err("comma or array close")),
+                            }
+                        }
+                    }
+                }
                 _ => return Err(self.err("known violation key")),
             }
             match self.peek() {
@@ -241,6 +260,9 @@ impl<'a> Parser<'a> {
                 "suppressed" => {
                     r.suppressed = usize::try_from(self.number()?).map_err(|_| self.err("usize"))?
                 }
+                "allows" => {
+                    r.allows = usize::try_from(self.number()?).map_err(|_| self.err("usize"))?
+                }
                 _ => return Err(self.err("known report key")),
             }
             match self.peek() {
@@ -271,14 +293,21 @@ mod tests {
     fn sample() -> Report {
         Report {
             violations: vec![Violation {
-                rule: "no-print".into(),
-                file: "crates/sim/src/lib.rs".into(),
-                line: 42,
-                message: "`println!` in library code — \"telemetry structs only\"".into(),
-                snippet: "println!(\"x = {}\\n\", x);".into(),
+                chain: vec![
+                    "run_day (crates/sim/src/fault.rs:662)".into(),
+                    "emit (crates/sim/src/lib.rs:40)".into(),
+                ],
+                ..Violation::new(
+                    "no-print",
+                    "crates/sim/src/lib.rs",
+                    42,
+                    "`println!` in library code — \"telemetry structs only\"".into(),
+                    "println!(\"x = {}\\n\", x);".into(),
+                )
             }],
             files_scanned: 17,
             suppressed: 3,
+            allows: 5,
         }
     }
 
@@ -305,6 +334,13 @@ mod tests {
     fn unknown_keys_are_rejected() {
         let doc = "{\"violations\":[],\"files_scanned\":1,\"suppressed\":0,\"extra\":1}";
         assert!(from_json(doc).is_err());
+    }
+
+    #[test]
+    fn empty_chain_round_trips() {
+        let mut r = sample();
+        r.violations[0].chain.clear();
+        assert_eq!(from_json(&to_json(&r)).unwrap(), r);
     }
 
     #[test]

@@ -113,21 +113,20 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 push!(TokKind::Ident, src[start..j].to_string(), line);
                 i = j;
             }
+            b'b' if i + 1 < n && bytes[i + 1] == b'\'' => {
+                // Byte-char literal `b'x'` / `b'\''`: one literal token,
+                // never an ident `b` followed by a stray quote (which
+                // would desynchronize on `b'\''` — the escaped quote
+                // re-opens as a char literal and swallows real code).
+                push!(TokKind::Literal, String::new(), line);
+                i = skip_char_literal(bytes, i + 1);
+            }
             b'\'' => {
                 // Char literal or lifetime. `'a'` / `'\n'` are literals;
                 // `'a` followed by non-quote is a lifetime.
                 if i + 1 < n && bytes[i + 1] == b'\\' {
-                    // Escaped char literal: consume to closing quote.
-                    let mut j = i + 2;
-                    if j < n {
-                        j += 1; // escaped char
-                    }
-                    // \u{...} escapes
-                    while j < n && bytes[j] != b'\'' && bytes[j] != b'\n' {
-                        j += 1;
-                    }
                     push!(TokKind::Literal, String::new(), line);
-                    i = (j + 1).min(n);
+                    i = skip_char_literal(bytes, i);
                 } else if i + 2 < n && bytes[i + 2] == b'\'' {
                     push!(TokKind::Literal, String::new(), line);
                     i += 3;
@@ -240,6 +239,30 @@ fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
     }
 }
 
+/// Skips a char literal starting at its opening quote; returns the index
+/// past the closing quote. Malformed literals stop at the newline without
+/// consuming it, so line counting never desynchronizes on truncated input.
+fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1; // past the opening quote
+    if j < n && bytes[j] == b'\\' {
+        j += 1; // the backslash
+        if j < n && bytes[j] != b'\n' {
+            j += 1; // the escaped char (`'`, `\`, `n`, `u`, …)
+        }
+    } else if j < n && bytes[j] != b'\n' {
+        j += 1; // the plain char
+    }
+    // `\u{...}` payloads and over-long garbage: scan to the close quote.
+    while j < n && bytes[j] != b'\'' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    if j < n && bytes[j] == b'\'' {
+        return j + 1;
+    }
+    j
+}
+
 /// Skips a plain (possibly `b`-prefixed) escaped string starting at the
 /// quote or prefix; returns (index past the close, newline count).
 fn skip_string(bytes: &[u8], i: usize) -> (usize, u32) {
@@ -248,7 +271,15 @@ fn skip_string(bytes: &[u8], i: usize) -> (usize, u32) {
     let mut lines = 0u32;
     while j < n {
         match bytes[j] {
-            b'\\' => j += 2,
+            b'\\' => {
+                // An escaped newline (line-continuation `\` at end of
+                // line) still ends a source line: count it, or every
+                // diagnostic after this string points one line short.
+                if j + 1 < n && bytes[j + 1] == b'\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
             b'"' => return (j + 1, lines),
             b'\n' => {
                 lines += 1;
@@ -514,6 +545,68 @@ fn after() { z.unwrap(); }
             .map(|(_, &r)| r)
             .collect();
         assert_eq!(hits, vec![true, false]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_contents_and_keep_lines() {
+        // `r#"…"#` bodies may contain quotes, `unwrap()`, and newlines;
+        // none of it may leak into the token stream, and the line counter
+        // must stay in sync for everything after.
+        let src = "let a = r##\"inner \"# quote\" and unwrap()\nline2\"##;\nlet after = 1;";
+        let toks = lex(src);
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3, "raw-string newlines must be counted");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_do_not_desync() {
+        // `b"…"` escapes like a plain string; `b'\''` is one literal, not
+        // an ident `b` plus a quote that re-opens as a bogus char literal.
+        let src = "let a = b\"bytes \\\" with panic!\";\nlet b = b'\\'';\nlet c = b'x';\ncall(v.unwrap());";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 4);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_one_token() {
+        let src = "let q = '\\'';\nlet u = x.unwrap();";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 2);
+        // Exactly one literal for the char; no stray quote puncts that
+        // would open a phantom string over the rest of the file.
+        assert!(toks.iter().all(|t| t.text != "'"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A `\` line continuation ends a physical source line; the lexer
+        // must count it or every later diagnostic is off by one.
+        let src = "let s = \"one \\\ntwo\";\nlet after = y.unwrap();";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_numbers() {
+        let src = "/* outer\n /* inner\n more */\n still outer */\nlet after = z.unwrap();";
+        let toks = lex(src);
+        assert!(!idents(src).contains(&"outer".to_string()));
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 5);
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof_without_panicking() {
+        for src in ["let s = \"open", "let c = '\\", "/* open", "r#\"open"] {
+            let _ = lex(src);
+        }
     }
 
     #[test]

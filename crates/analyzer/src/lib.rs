@@ -1,37 +1,132 @@
 //! `ppdc-analyzer` — the workspace's project-specific lint engine.
 //!
-//! Fully offline and dependency-free: a lightweight lexer
-//! ([`lexer`]) feeds five lexical rules ([`rules`]) that enforce
-//! invariants clippy cannot express — panic-free solver crates, no lossy
-//! casts in `Cost`/`NodeId` arithmetic, saturating-only sentinel math,
-//! seeded-RNG determinism, and telemetry-not-stdout libraries. Inline
-//! [`allow`] directives waive individual findings *with a mandatory
-//! reason*; [`report`] renders rustc-style human output and [`json`]
-//! round-trips the machine-readable schema.
+//! Fully offline and dependency-free. Two analysis layers share one
+//! [`lexer`]:
+//!
+//! * **per-file token rules** ([`rules`]) — lossy casts in
+//!   `Cost`/`NodeId` arithmetic, raw sentinel math, seeded-RNG
+//!   determinism, telemetry-not-stdout libraries, plus the v2
+//!   determinism/concurrency pack (hash iteration, rayon reduce order,
+//!   relaxed atomics, float sort keys, discarded `Result`s);
+//! * **whole-corpus analyses** — [`syntax`] recovers an item outline and
+//!   per-fn facts from each file, [`callgraph`] stitches them into a
+//!   workspace call graph and runs panic reachability from the solver/sim
+//!   entrypoints, attaching the full call chain to every diagnostic.
+//!
+//! Inline [`allow`] directives waive individual findings *with a
+//! mandatory reason*; allows that stop suppressing anything become
+//! `stale-allow` violations. [`report`] renders rustc-style human output
+//! and [`json`] round-trips the machine-readable schema (including call
+//! chains and the allow count that `analyzer-baseline.json` caps).
 //!
 //! Run it as a binary (`cargo run --release -p ppdc-analyzer -- --workspace`,
-//! a `ci.sh` gate) or use [`analyze_source`] / [`analyze_workspace`] as a
-//! library (the fixture suite does).
+//! a `ci.sh` gate) or use [`analyze_source`] / [`analyze_corpus`] /
+//! [`analyze_workspace`] as a library (the fixture suite does).
 
 pub mod allow;
+pub mod baseline;
+pub mod callgraph;
 pub mod json;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 use report::Report;
 use rules::FileCtx;
 use std::path::{Path, PathBuf};
 
-/// Analyzes one file's source under the given context: rules, then
-/// suppression directives. Returns the surviving violations and the count
-/// suppressed.
+/// Tuning knobs for the corpus pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions {
+    /// Also report reachable **raw index expressions** (`v[i]`, `v[a..b]`),
+    /// not just the abort family (`panic!`-like macros, `.unwrap()`,
+    /// `.expect(..)`). Off by default — dense id-indexed flat arenas are
+    /// this workspace's deliberate core idiom (node-id tables, stroll
+    /// arenas, checkpoint cursors), all in-bounds by construction, and
+    /// flagging every `dist[v]` would bury the abort-class signal the
+    /// crash-safety guarantees actually rest on. `--index-panics` turns
+    /// this on for audits; the detector and chains are fixture-tested
+    /// either way.
+    pub index_panics: bool,
+}
+
+/// Runs the full pipeline — per-file rules, the workspace call graph
+/// with panic reachability, suppression, stale-allow detection — over an
+/// in-memory corpus of `(context, source)` files.
+pub fn analyze_corpus(files: &[(FileCtx, String)]) -> Report {
+    analyze_corpus_with(files, AnalyzeOptions::default())
+}
+
+/// [`analyze_corpus`] with explicit [`AnalyzeOptions`].
+pub fn analyze_corpus_with(files: &[(FileCtx, String)], opts: AnalyzeOptions) -> Report {
+    let mut report = Report::default();
+    let mut per_file: Vec<Vec<report::Violation>> = Vec::with_capacity(files.len());
+    let mut lexed = Vec::with_capacity(files.len());
+    let mut outlines = Vec::with_capacity(files.len());
+    for (ctx, src) in files {
+        let toks = lexer::lex(src);
+        per_file.push(rules::check_tokens(ctx, &toks, src));
+        outlines.push((ctx.path.clone(), syntax::outline_of(&toks)));
+        lexed.push(toks);
+    }
+
+    let graph = callgraph::CallGraph::build(&outlines);
+    for finding in callgraph::panic_reachability(&graph) {
+        if finding.kind == syntax::PanicKind::Index && !opts.index_panics {
+            continue;
+        }
+        let Some(fi) = files.iter().position(|(c, _)| c.path == finding.file) else {
+            continue;
+        };
+        let snippet = files[fi]
+            .1
+            .lines()
+            .nth(finding.line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        per_file[fi].push(report::Violation {
+            chain: finding.chain.clone(),
+            ..report::Violation::new(
+                "no-panic",
+                &finding.file,
+                finding.line,
+                format!(
+                    "{} reachable from entrypoint `{}` ({} call frame(s)) — return a typed \
+                     error or justify the invariant with an allow",
+                    finding.kind_label,
+                    finding.entry,
+                    finding.chain.len()
+                ),
+                snippet,
+            )
+        });
+    }
+
+    for (fi, (ctx, src)) in files.iter().enumerate() {
+        let (allows, mut bad) = allow::collect_allows(ctx, &lexed[fi], src);
+        let mut violations = std::mem::take(&mut per_file[fi]);
+        violations.append(&mut bad);
+        let (mut kept, suppressed, used) = allow::apply_allows(violations, &allows);
+        kept.extend(allow::stale_allow_violations(ctx, src, &allows, &used));
+        report.violations.append(&mut kept);
+        report.suppressed += suppressed;
+        report.allows += allows.len();
+        report.files_scanned += 1;
+    }
+    report.sort();
+    report
+}
+
+/// Analyzes one file's source under the given context: the corpus
+/// pipeline over a corpus of one. Returns the surviving violations and
+/// the count suppressed. Note that panic reachability only fires when the
+/// file itself contains an entrypoint — cross-file chains need
+/// [`analyze_corpus`].
 pub fn analyze_source(ctx: &FileCtx, src: &str) -> (Vec<report::Violation>, usize) {
-    let toks = lexer::lex(src);
-    let mut violations = rules::check_tokens(ctx, &toks, src);
-    let (allows, mut bad) = allow::collect_allows(ctx, &toks, src);
-    violations.append(&mut bad);
-    allow::apply_allows(violations, &allows)
+    let report = analyze_corpus(&[(ctx.clone(), src.to_string())]);
+    (report.violations, report.suppressed)
 }
 
 /// Errors from the filesystem-walking entry points.
@@ -125,9 +220,19 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzerError> {
 }
 
 /// Scans an explicit file list (workspace-relative contexts derived from
-/// the paths) and returns the sorted report.
+/// the paths) as one corpus — the call graph spans all of them — and
+/// returns the sorted report.
 pub fn analyze_files(root: &Path, files: &[PathBuf]) -> Result<Report, AnalyzerError> {
-    let mut report = Report::default();
+    analyze_files_with(root, files, AnalyzeOptions::default())
+}
+
+/// [`analyze_files`] with explicit [`AnalyzeOptions`].
+pub fn analyze_files_with(
+    root: &Path,
+    files: &[PathBuf],
+    opts: AnalyzeOptions,
+) -> Result<Report, AnalyzerError> {
+    let mut corpus = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -135,14 +240,9 @@ pub fn analyze_files(root: &Path, files: &[PathBuf]) -> Result<Report, AnalyzerE
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(path).map_err(|e| AnalyzerError::Io(path.clone(), e))?;
-        let ctx = FileCtx::from_path(&rel);
-        let (mut violations, suppressed) = analyze_source(&ctx, &src);
-        report.violations.append(&mut violations);
-        report.suppressed += suppressed;
-        report.files_scanned += 1;
+        corpus.push((FileCtx::from_path(&rel), src));
     }
-    report.sort();
-    Ok(report)
+    Ok(analyze_corpus_with(&corpus, opts))
 }
 
 /// The `--workspace` entry point: discover the root, scan the product
@@ -162,19 +262,24 @@ mod tests {
         let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
         let src = "\
 // analyzer:allow(no-panic) -- seeded at construction, cannot be empty
-fn f(v: &[u32]) -> u32 { *v.last().expect(\"seeded\") }
-fn g(v: &[u32]) -> u32 { *v.last().unwrap() }
+pub fn optimal_pick(v: &[u32]) -> u32 { *v.last().expect(\"seeded\") }
+pub fn optimal_next(v: &[u32]) -> u32 { *v.last().unwrap() }
 ";
         let (violations, suppressed) = analyze_source(&ctx, src);
         assert_eq!(suppressed, 1);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].line, 3);
+        assert!(
+            !violations[0].chain.is_empty(),
+            "reachability carries chains"
+        );
     }
 
     #[test]
     fn reasonless_allow_surfaces_as_bad_allow() {
         let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
-        let src = "// analyzer:allow(no-panic)\nfn f(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
+        let src =
+            "// analyzer:allow(no-panic)\npub fn optimal_f(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
         let (violations, suppressed) = analyze_source(&ctx, src);
         assert_eq!(suppressed, 0);
         let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
@@ -183,5 +288,52 @@ fn g(v: &[u32]) -> u32 { *v.last().unwrap() }
             rules.contains(&"no-panic"),
             "reasonless allow must not suppress"
         );
+    }
+
+    #[test]
+    fn corpus_reports_cross_file_chains_and_counts_allows() {
+        let corpus = vec![
+            (
+                FileCtx::from_path("crates/sim/src/fault.rs"),
+                "pub fn run_day() { step_hour(); }".to_string(),
+            ),
+            (
+                FileCtx::from_path("crates/sim/src/engine.rs"),
+                "pub fn step_hour() { persist(); }\n\
+                 // analyzer:allow(lossy-cast) -- stats only, bounded by n_hours\n\
+                 pub fn width(n: i64) -> u32 { n as u32 }\n"
+                    .to_string(),
+            ),
+            (
+                FileCtx::from_path("crates/sim/src/checkpoint.rs"),
+                "pub fn persist() { SLOT.lock().unwrap(); }".to_string(),
+            ),
+        ];
+        let report = analyze_corpus(&corpus);
+        // lossy-cast doesn't apply to sim, so that allow is stale.
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"stale-allow"));
+        let np = report
+            .violations
+            .iter()
+            .find(|v| v.rule == "no-panic")
+            .unwrap();
+        assert_eq!(np.file, "crates/sim/src/checkpoint.rs");
+        assert_eq!(np.chain.len(), 3, "run_day -> step_hour -> persist");
+        assert!(np.chain[0].contains("run_day"));
+        assert_eq!(report.allows, 1);
+        assert_eq!(report.files_scanned, 3);
+    }
+
+    #[test]
+    fn stale_allow_fires_when_the_finding_disappears() {
+        let ctx = FileCtx::from_path("crates/stroll/src/dp.rs");
+        let src = "// analyzer:allow(no-panic) -- table seeded at build\n\
+                   pub fn optimal_f(v: &[u32]) -> u32 { v.len() as u32 }\n";
+        let (violations, _) = analyze_source(&ctx, src);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"stale-allow"), "{rules:?}");
+        assert!(rules.contains(&"lossy-cast"), "stroll is a cost crate");
     }
 }

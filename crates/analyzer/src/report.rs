@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {
     /// Rule id (`no-panic`, `lossy-cast`, `raw-cost-arith`,
-    /// `nondeterminism`, `no-print`, or the meta-rule `bad-allow`).
+    /// `nondeterminism`, `no-print`, the determinism/concurrency pack
+    /// (`hash-iter`, `reduce-order`, `relaxed-atomic`, `float-sort`,
+    /// `discarded-result`), or the meta-rules `bad-allow`/`stale-allow`).
     pub rule: String,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -22,6 +24,23 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For reachability rules: the entrypoint→site call chain, one
+    /// `name (file:line)` frame per hop. Empty for per-site rules.
+    pub chain: Vec<String>,
+}
+
+impl Violation {
+    /// A chain-less violation (the common case for per-site rules).
+    pub fn new(rule: &str, file: &str, line: u32, message: String, snippet: String) -> Violation {
+        Violation {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+            snippet,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// A full analysis run: every violation plus scan statistics.
@@ -33,6 +52,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of `analyzer:allow` suppressions that matched a violation.
     pub suppressed: usize,
+    /// Number of valid (reasoned, known-rule) `analyzer:allow` directives
+    /// in the scanned files — the quantity the committed baseline caps.
+    pub allows: usize,
 }
 
 impl Report {
@@ -56,11 +78,19 @@ impl Report {
             out.push_str("   |\n");
             out.push_str(&format!("{:>3}| {}\n", v.line, v.snippet));
             out.push_str("   |\n");
+            if !v.chain.is_empty() {
+                out.push_str("   = call chain:\n");
+                for (depth, frame) in v.chain.iter().enumerate() {
+                    out.push_str(&format!("   {}  {}\n", "  ".repeat(depth), frame));
+                }
+            }
         }
         out.push_str(&format!(
-            "ppdc-analyzer: {} violation(s), {} suppression(s) honored, {} file(s) scanned\n",
+            "ppdc-analyzer: {} violation(s), {} suppression(s) honored, {} allow(s), \
+             {} file(s) scanned\n",
             self.violations.len(),
             self.suppressed,
+            self.allows,
             self.files_scanned
         ));
         out
@@ -75,22 +105,29 @@ mod tests {
         Report {
             violations: vec![
                 Violation {
-                    rule: "no-panic".into(),
-                    file: "crates/x/src/lib.rs".into(),
-                    line: 7,
-                    message: "`.unwrap()` in solver-crate library code".into(),
-                    snippet: "let v = x.unwrap();".into(),
+                    chain: vec![
+                        "run_day (crates/sim/src/fault.rs:662)".into(),
+                        "f (crates/x/src/lib.rs:6)".into(),
+                    ],
+                    ..Violation::new(
+                        "no-panic",
+                        "crates/x/src/lib.rs",
+                        7,
+                        "`.unwrap()` reachable from entrypoint `run_day`".into(),
+                        "let v = x.unwrap();".into(),
+                    )
                 },
-                Violation {
-                    rule: "lossy-cast".into(),
-                    file: "crates/a/src/lib.rs".into(),
-                    line: 3,
-                    message: "bare `as` cast".into(),
-                    snippet: "let y = z as u32;".into(),
-                },
+                Violation::new(
+                    "lossy-cast",
+                    "crates/a/src/lib.rs",
+                    3,
+                    "bare `as` cast".into(),
+                    "let y = z as u32;".into(),
+                ),
             ],
             files_scanned: 2,
             suppressed: 1,
+            allows: 4,
         }
     }
 
@@ -110,6 +147,9 @@ mod tests {
         assert!(s.contains("crates/x/src/lib.rs:7"));
         assert!(s.contains("2 violation(s)"));
         assert!(s.contains("1 suppression(s)"));
+        assert!(s.contains("4 allow(s)"));
+        assert!(s.contains("call chain:"));
+        assert!(s.contains("run_day (crates/sim/src/fault.rs:662)"));
     }
 
     #[test]

@@ -1,11 +1,8 @@
-//! The five project-specific rules, plus their crate scoping.
+//! The per-file rules, plus their crate scoping.
 //!
 //! Each rule captures an invariant the paper's guarantees lean on and the
-//! compiler cannot see (see DESIGN.md §6):
+//! compiler cannot see (see DESIGN.md §6b):
 //!
-//! * `no-panic` — solver crates surface failures as typed errors, never
-//!   `unwrap`/`expect`/`panic!` (Theorem-bearing code must not abort
-//!   mid-epoch; PR 2's degraded-solver contract depends on it).
 //! * `lossy-cast` — crates doing `Cost`/`NodeId` arithmetic may not use
 //!   bare `as` numeric casts; `try_from`/checked/saturating helpers only
 //!   (the PR 1 review's `i128→Cost` truncation class).
@@ -18,11 +15,36 @@
 //! * `no-print` — library crates return telemetry structs; stdout/stderr
 //!   belong to binaries.
 //!
+//! The determinism/concurrency pack (v2, syntax-aware via
+//! [`crate::syntax::match_open`] token trees):
+//!
+//! * `hash-iter` — iterating a `HashMap`/`HashSet` in solver or
+//!   deterministic crates: iteration order varies run to run, so any
+//!   decision or serialized output downstream is nondeterministic.
+//! * `reduce-order` — `-`/`/` inside the closures of a rayon-chain
+//!   `reduce`/`fold`: parallel reduction order is scheduler-dependent, so
+//!   non-commutative/non-associative ops give run-dependent results.
+//! * `relaxed-atomic` — `Ordering::Relaxed` in solver/sim crates, where
+//!   atomics gate cross-thread decisions (the PR 5 incumbent-bound
+//!   pattern); `ppdc-obs`'s monotonic enabled-flag is out of scope by
+//!   design.
+//! * `float-sort` — `partial_cmp` (or raw `<`/`>` with floats in play)
+//!   inside sort/min/max comparators: NaN makes the order partial, so
+//!   sorts are input-order-dependent; `total_cmp` is the fix.
+//! * `discarded-result` — `let _ =` and statement-final `.ok()` silence
+//!   `Result`s in library code; handle, propagate, or name the binding.
+//!
+//! `no-panic` lives in [`crate::callgraph`] as a whole-workspace
+//! reachability analysis (it needs cross-file call chains); the meta-rules
+//! `bad-allow` / `stale-allow` live in the suppression layer.
+//!
 //! `assert!`/`debug_assert!` are deliberately *not* flagged: they are the
 //! sanctioned contract mechanism (the `strict-invariants` feature).
 
 use crate::lexer::{lex, test_regions, Tok, TokKind};
 use crate::report::Violation;
+use crate::syntax::{is_keyword, match_open};
+use std::collections::BTreeSet;
 
 /// Metadata for one rule, for `--rules` listings and docs.
 #[derive(Debug, Clone, Copy)]
@@ -31,13 +53,13 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// Every real rule (the `bad-allow` meta-rule is emitted by the
-/// suppression layer, not listed here).
+/// Every real rule (the `bad-allow`/`stale-allow` meta-rules are emitted
+/// by the suppression layer, not listed here).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "no-panic",
-        summary: "no unwrap()/expect()/panic! in non-test solver-crate or crash-safety code \
-                  (typed errors only)",
+        summary: "no panic!/unwrap()/expect()/raw-index site reachable from a solver or sim \
+                  entrypoint (call-graph analysis; diagnostics carry the call chain)",
     },
     RuleInfo {
         id: "lossy-cast",
@@ -55,25 +77,40 @@ pub const RULES: &[RuleInfo] = &[
         id: "no-print",
         summary: "no println!/eprintln!/dbg! in library crates (binaries exempt)",
     },
+    RuleInfo {
+        id: "hash-iter",
+        summary: "no HashMap/HashSet iteration in solver/deterministic crates (order is \
+                  nondeterministic; use BTreeMap/BTreeSet)",
+    },
+    RuleInfo {
+        id: "reduce-order",
+        summary: "no -/÷ inside rayon reduce/fold closures (parallel reduction order is \
+                  scheduler-dependent; non-commutative ops diverge)",
+    },
+    RuleInfo {
+        id: "relaxed-atomic",
+        summary: "no Ordering::Relaxed in solver/sim crates (decision-gating atomics need \
+                  Acquire/Release or stronger)",
+    },
+    RuleInfo {
+        id: "float-sort",
+        summary: "no partial_cmp or raw </> on floats in sort/min/max comparators (use \
+                  total_cmp for a total, deterministic order)",
+    },
+    RuleInfo {
+        id: "discarded-result",
+        summary: "no `let _ =` / statement-final `.ok()` discarding Results in library code",
+    },
 ];
 
-/// True if `id` names a known rule (including the meta-rule).
+/// True if `id` names a known rule (including the meta-rules).
 pub fn is_known_rule(id: &str) -> bool {
-    id == "bad-allow" || RULES.iter().any(|r| r.id == id)
+    id == "bad-allow" || id == "stale-allow" || RULES.iter().any(|r| r.id == id)
 }
 
-/// Crates whose non-test code must be panic-free (the paper's solvers).
+/// Crates whose non-test code gates solver decisions: the strictest
+/// scope for the concurrency/determinism rules.
 const SOLVER_CRATES: &[&str] = &["stroll", "placement", "migration", "mcflow"];
-
-/// Individual files outside [`SOLVER_CRATES`] held to the same no-panic
-/// contract: the crash-safety layer (checkpointing, the degradation
-/// supervisor, the chaos harness) must recover from failures, never add
-/// its own aborts.
-const NO_PANIC_EXTRA_FILES: &[&str] = &[
-    "crates/sim/src/checkpoint.rs",
-    "crates/sim/src/supervisor.rs",
-    "crates/sim/src/chaos.rs",
-];
 
 /// Crates whose arithmetic touches `Cost`/`NodeId` and therefore may not
 /// use bare `as` casts. `sim`/`traffic`/`experiments` convert freely to
@@ -112,8 +149,40 @@ const NUMERIC_TYPES: &[&str] = &[
     "f64", "Cost",
 ];
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Crates where `Ordering::Relaxed` is suspect: atomics in solver/sim
+/// code gate pruning and engine decisions across threads. `ppdc-obs`'s
+/// monotonic enabled-flag load is deliberately out of scope.
+const ATOMIC_CRATES: &[&str] = &["stroll", "placement", "migration", "mcflow", "sim"];
+
+/// Methods whose receiver iteration order leaks into results.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Slice/iterator adapters that take an ordering comparator closure.
+const COMPARATOR_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "binary_search_by",
+];
 
 /// Where a file sits in the workspace, for rule scoping.
 #[derive(Debug, Clone)]
@@ -151,6 +220,15 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
     let code: Vec<usize> = (0..toks.len())
         .filter(|&i| toks[i].kind != TokKind::LineComment)
         .collect();
+    let matches = match_open(toks, &code);
+    // Reverse map: close position → its open, for backward chain walks.
+    let mut open_of = vec![usize::MAX; code.len()];
+    for (k, &m) in matches.iter().enumerate() {
+        if m != k {
+            open_of[m] = k;
+        }
+    }
+    let hash_idents = hash_bound_idents(toks, &code);
     let mut out = Vec::new();
 
     let snippet = |line: u32| -> String {
@@ -161,22 +239,25 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
             .to_string()
     };
     let mut push = |rule: &str, line: u32, message: String| {
-        out.push(Violation {
-            rule: rule.to_string(),
-            file: ctx.path.clone(),
+        out.push(Violation::new(
+            rule,
+            &ctx.path,
             line,
             message,
-            snippet: snippet(line),
-        });
+            snippet(line),
+        ));
     };
 
-    let solver = SOLVER_CRATES.contains(&ctx.crate_name.as_str())
-        || NO_PANIC_EXTRA_FILES.contains(&ctx.path.as_str());
     let cost = COST_CRATES.contains(&ctx.crate_name.as_str());
     let sentinel = SENTINEL_CRATES.contains(&ctx.crate_name.as_str())
         && !SENTINEL_EXEMPT_FILES.contains(&ctx.path.as_str());
     let deterministic = DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_binary;
     let printable = !ctx.is_binary;
+    let hashy = (SOLVER_CRATES.contains(&ctx.crate_name.as_str())
+        || DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()))
+        && !ctx.is_binary;
+    let atomic = ATOMIC_CRATES.contains(&ctx.crate_name.as_str());
+    let discard = !ctx.is_binary;
 
     for (k, &i) in code.iter().enumerate() {
         if in_test[i] {
@@ -184,8 +265,10 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
         }
         let t = &toks[i];
         let prev = k.checked_sub(1).map(|p| &toks[code[p]]);
+        let prev2 = k.checked_sub(2).map(|p| &toks[code[p]]);
         let next = code.get(k + 1).map(|&n| &toks[n]);
         let next2 = code.get(k + 2).map(|&n| &toks[n]);
+        let next3 = code.get(k + 3).map(|&n| &toks[n]);
 
         if t.kind == TokKind::Ident {
             let id = t.text.as_str();
@@ -193,22 +276,6 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
                 |s: &str| matches!(next, Some(n) if n.kind == TokKind::Punct && n.text == s);
             let prev_is =
                 |s: &str| matches!(prev, Some(p) if p.kind == TokKind::Punct && p.text == s);
-
-            if solver {
-                if (id == "unwrap" || id == "expect") && prev_is(".") && next_is("(") {
-                    push(
-                        "no-panic",
-                        t.line,
-                        format!("`.{id}()` in non-test solver-crate code — return a typed error"),
-                    );
-                } else if PANIC_MACROS.contains(&id) && next_is("!") {
-                    push(
-                        "no-panic",
-                        t.line,
-                        format!("`{id}!` in non-test solver-crate code — return a typed error"),
-                    );
-                }
-            }
 
             if cost && id == "as" {
                 if let Some(n) = next {
@@ -247,6 +314,152 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
                     format!("`{id}!` in library code — emit telemetry structs, print in binaries"),
                 );
             }
+
+            if hashy && hash_idents.contains(id) {
+                // `map.keys()` / `set.iter()` / `map.drain()` …
+                if next_is(".")
+                    && matches!(next2, Some(n) if n.kind == TokKind::Ident
+                        && HASH_ITER_METHODS.contains(&n.text.as_str()))
+                    && matches!(next3, Some(n) if n.kind == TokKind::Punct && n.text == "(")
+                {
+                    push(
+                        "hash-iter",
+                        t.line,
+                        format!(
+                            "iterating `{id}` (a HashMap/HashSet) — order is nondeterministic; \
+                             use BTreeMap/BTreeSet or sort before consuming"
+                        ),
+                    );
+                }
+                // `for x in &map {` / `for x in map {`
+                let after_in = matches!(prev, Some(p) if p.kind == TokKind::Ident && p.text == "in")
+                    || (prev_is("&")
+                        && matches!(prev2, Some(p) if p.kind == TokKind::Ident && p.text == "in"));
+                if next_is("{") && after_in {
+                    push(
+                        "hash-iter",
+                        t.line,
+                        format!(
+                            "`for … in {id}` iterates a HashMap/HashSet — order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sort first"
+                        ),
+                    );
+                }
+            }
+
+            if atomic
+                && id == "Relaxed"
+                && prev_is("::")
+                && matches!(prev2, Some(p) if p.kind == TokKind::Ident && p.text == "Ordering")
+            {
+                push(
+                    "relaxed-atomic",
+                    t.line,
+                    "`Ordering::Relaxed` in solver/sim code — atomics here gate cross-thread \
+                     decisions (incumbent bounds, engine state); use Acquire/Release or stronger"
+                        .to_string(),
+                );
+            }
+
+            if discard {
+                if id == "let"
+                    && matches!(next, Some(n) if n.kind == TokKind::Ident && n.text == "_")
+                    && matches!(next2, Some(n) if n.kind == TokKind::Punct && n.text == "=")
+                {
+                    push(
+                        "discarded-result",
+                        t.line,
+                        "`let _ =` discards a value (often a Result) in library code — handle \
+                         it, propagate with `?`, or name the binding to explain the drop"
+                            .to_string(),
+                    );
+                }
+                if id == "ok"
+                    && prev_is(".")
+                    && next_is("(")
+                    && matches!(next2, Some(n) if n.kind == TokKind::Punct && n.text == ")")
+                    && matches!(next3, Some(n) if n.kind == TokKind::Punct && n.text == ";")
+                {
+                    push(
+                        "discarded-result",
+                        t.line,
+                        "statement-final `.ok()` silences a Result in library code — handle \
+                         it, propagate with `?`, or log the failure"
+                            .to_string(),
+                    );
+                }
+            }
+
+            if (id == "reduce" || id == "fold") && prev_is(".") && next_is("(") {
+                let open = k + 1;
+                let close = matches[open];
+                if close > open && par_chain_before(toks, &code, &open_of, k) {
+                    for p in open + 1..close {
+                        let op = &toks[code[p]];
+                        if op.kind == TokKind::Punct
+                            && matches!(op.text.as_str(), "-" | "/" | "-=" | "/=")
+                            && is_binary_operand_before(toks, &code, p)
+                        {
+                            push(
+                                "reduce-order",
+                                op.line,
+                                format!(
+                                    "`{}` inside a rayon `{id}` closure — parallel reduction \
+                                     order is scheduler-dependent, so non-commutative ops give \
+                                     run-dependent results; reduce with +/max/min or collect \
+                                     then fold sequentially",
+                                    op.text
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if COMPARATOR_FNS.contains(&id) && prev_is(".") && next_is("(") {
+                let open = k + 1;
+                let close = matches[open];
+                let float_evidence = (open + 1..close).any(|p| {
+                    let e = &toks[code[p]];
+                    (e.kind == TokKind::Ident && (e.text == "f32" || e.text == "f64"))
+                        || (e.kind == TokKind::Literal && e.text.contains('.'))
+                });
+                let mut hit_lines: Vec<u32> = Vec::new();
+                for p in open + 1..close {
+                    let e = &toks[code[p]];
+                    if e.kind == TokKind::Ident && e.text == "partial_cmp" {
+                        if !hit_lines.contains(&e.line) {
+                            hit_lines.push(e.line);
+                            push(
+                                "float-sort",
+                                e.line,
+                                format!(
+                                    "`partial_cmp` in a `{id}` comparator — NaN makes the order \
+                                     partial and the sort input-order-dependent; use `total_cmp`"
+                                ),
+                            );
+                        }
+                    } else if e.kind == TokKind::Punct
+                        && (e.text == "<" || e.text == ">")
+                        && float_evidence
+                        && is_binary_operand_before(toks, &code, p)
+                        && matches!(toks[code[p + 1]].kind, TokKind::Ident | TokKind::Literal)
+                        && !hit_lines.contains(&e.line)
+                    {
+                        hit_lines.push(e.line);
+                        push(
+                            "float-sort",
+                            e.line,
+                            format!(
+                                "raw `{}` on floats in a `{id}` comparator — partial order; \
+                                 compare with `total_cmp` for a deterministic sort",
+                                e.text
+                            ),
+                        );
+                    }
+                }
+            }
         }
 
         if sentinel && t.kind == TokKind::Punct {
@@ -269,6 +482,76 @@ pub fn check_tokens(ctx: &FileCtx, toks: &[Tok], src: &str) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file:
+/// `let m = HashMap::new()`, `let m: HashMap<…>`, struct fields and fn
+/// params (`m: HashMap<…>`). `use` imports don't bind (their prev is
+/// `::`).
+fn hash_bound_idents(toks: &[Tok], code: &[usize]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| &toks[code[p]]);
+        let prev2 = k.checked_sub(2).map(|p| &toks[code[p]]);
+        let binds = matches!(prev, Some(p) if p.kind == TokKind::Punct
+            && (p.text == ":" || p.text == "="));
+        if binds {
+            if let Some(p2) = prev2 {
+                if p2.kind == TokKind::Ident && !is_keyword(&p2.text) {
+                    out.insert(p2.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walks the method chain backward from the `.reduce`/`.fold` receiver,
+/// looking for a rayon marker (`par_iter`, `into_par_iter`, `par_*`).
+/// Matched groups are jumped over; any statement boundary stops the walk.
+fn par_chain_before(toks: &[Tok], code: &[usize], open_of: &[usize], k: usize) -> bool {
+    let mut cur = k;
+    while cur >= 2 {
+        cur -= 1;
+        let t = &toks[code[cur]];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                ")" | "]" | "}" => {
+                    let open = open_of[cur];
+                    if open == usize::MAX || open == 0 {
+                        return false;
+                    }
+                    cur = open;
+                }
+                ";" | "{" | "=" | "," | "(" => return false,
+                _ => {}
+            },
+            TokKind::Ident if t.text.starts_with("par_") || t.text == "into_par_iter" => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True when the token before position `p` can end a binary operand —
+/// distinguishes binary `-`/`<` from unary minus / generics.
+fn is_binary_operand_before(toks: &[Tok], code: &[usize], p: usize) -> bool {
+    let Some(q) = p.checked_sub(1) else {
+        return false;
+    };
+    let t = &toks[code[q]];
+    match t.kind {
+        TokKind::Ident => !is_keyword(&t.text),
+        TokKind::Literal => true,
+        TokKind::Punct => t.text == ")" || t.text == "]",
+        _ => false,
+    }
 }
 
 /// Convenience for tests and the engine: lex + check in one call.
@@ -301,34 +584,11 @@ mod tests {
     }
 
     #[test]
-    fn no_panic_only_fires_in_solver_crates() {
+    fn lexical_pass_no_longer_owns_no_panic() {
+        // Panic sites are the call-graph analysis's job now ­— the
+        // per-file pass stays silent even in solver crates.
         let src = "fn f() { x.unwrap(); }";
-        assert_eq!(rules_hit("crates/stroll/src/dp.rs", src), vec!["no-panic"]);
-        assert!(rules_hit("crates/topology/src/graph.rs", src).is_empty());
-    }
-
-    #[test]
-    fn no_panic_covers_the_crash_safety_modules() {
-        let src = "fn f() { x.unwrap(); }";
-        assert_eq!(
-            rules_hit("crates/sim/src/checkpoint.rs", src),
-            vec!["no-panic"]
-        );
-        assert_eq!(
-            rules_hit("crates/sim/src/supervisor.rs", src),
-            vec!["no-panic"]
-        );
-        assert_eq!(rules_hit("crates/sim/src/chaos.rs", src), vec!["no-panic"]);
-        // The rest of the sim crate keeps its previous scope.
-        assert!(rules_hit("crates/sim/src/stats.rs", src).is_empty());
-        let bang = "fn g() { unreachable!(\"no\"); }";
-        assert_eq!(rules_hit("crates/sim/src/chaos.rs", bang), vec!["no-panic"]);
-    }
-
-    #[test]
-    fn unwrap_or_is_not_unwrap() {
-        let src = "fn f() { x.unwrap_or(0); y.expect_err(\"e\"); }";
-        assert!(rules_hit("crates/mcflow/src/lib.rs", src).is_empty());
+        assert!(rules_hit("crates/stroll/src/dp.rs", src).is_empty());
     }
 
     #[test]
@@ -376,7 +636,125 @@ mod tests {
 
     #[test]
     fn test_modules_are_exempt_everywhere() {
-        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); panic!(\"t\"); }\n}";
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { println!(\"t\"); let _ = g(); }\n}";
         assert!(rules_hit("crates/stroll/src/dp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_fires_on_iteration_not_lookup() {
+        let iter = "fn f() { let m = HashMap::new(); for (k, v) in &m { use_it(k, v); } }";
+        assert_eq!(
+            rules_hit("crates/sim/src/stats.rs", iter),
+            vec!["hash-iter"]
+        );
+        let keys = "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) -> Vec<u32> { s.m.keys().copied().collect() }";
+        assert_eq!(
+            rules_hit("crates/placement/src/dp.rs", keys),
+            vec!["hash-iter"]
+        );
+        // Point lookups are order-free; BTreeMap iteration is ordered.
+        let get = "fn f() { let m = HashMap::new(); m.get(&3); m.insert(1, 2); }";
+        assert!(rules_hit("crates/sim/src/stats.rs", get).is_empty());
+        let btree = "fn f() { let m = BTreeMap::new(); for (k, v) in &m { use_it(k, v); } }";
+        assert!(rules_hit("crates/sim/src/stats.rs", btree).is_empty());
+        // Out-of-scope crates (obs, topology) are not checked.
+        assert!(rules_hit("crates/obs/src/registry.rs", iter).is_empty());
+    }
+
+    #[test]
+    fn reduce_order_fires_on_subtraction_in_par_reduce() {
+        let bad = "fn f(v: &[f64]) -> f64 { v.par_iter().copied().reduce(|| 0.0, |a, b| a - b) }";
+        assert_eq!(
+            rules_hit("crates/sim/src/stats.rs", bad),
+            vec!["reduce-order"]
+        );
+        let fold = "fn f(v: &[f64]) -> f64 { v.par_chunks(64).fold(|| 0.0, |a, c| a / c.len() as f64).sum() }";
+        assert_eq!(
+            rules_hit("crates/sim/src/stats.rs", fold),
+            vec!["reduce-order"]
+        );
+        // Commutative parallel reduce and serial fold are fine.
+        let sum = "fn f(v: &[f64]) -> f64 { v.par_iter().copied().reduce(|| 0.0, f64::max) }";
+        assert!(rules_hit("crates/sim/src/stats.rs", sum).is_empty());
+        let serial = "fn f(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a - b) }";
+        assert!(rules_hit("crates/sim/src/stats.rs", serial).is_empty());
+        // Unary minus in the identity closure is not a binary op.
+        let unary = "fn f(v: &[f64]) -> f64 { v.par_iter().copied().reduce(|| -1.0, f64::max) }";
+        assert!(rules_hit("crates/sim/src/stats.rs", unary).is_empty());
+    }
+
+    #[test]
+    fn relaxed_atomic_scopes_to_solver_and_sim() {
+        let src = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }";
+        assert_eq!(
+            rules_hit("crates/placement/src/dp.rs", src),
+            vec!["relaxed-atomic"]
+        );
+        assert_eq!(
+            rules_hit("crates/sim/src/fault.rs", src),
+            vec!["relaxed-atomic"]
+        );
+        // The obs enabled-flag pattern stays legal; SeqCst is always fine.
+        assert!(rules_hit("crates/obs/src/registry.rs", src).is_empty());
+        let seqcst = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::SeqCst) }";
+        assert!(rules_hit("crates/placement/src/dp.rs", seqcst).is_empty());
+    }
+
+    #[test]
+    fn float_sort_fires_on_partial_cmp_comparators() {
+        let bad = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(
+            rules_hit("crates/sim/src/stats.rs", bad),
+            vec!["float-sort"]
+        );
+        let raw = "fn f(v: &mut Vec<f64>) { v.sort_by(|a: &f64, b: &f64| if a < b { Less } else { Greater }); }";
+        assert_eq!(
+            rules_hit("crates/sim/src/stats.rs", raw),
+            vec!["float-sort"]
+        );
+        let good = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(rules_hit("crates/sim/src/stats.rs", good).is_empty());
+        // Integer comparators with `<` never fire (no float evidence).
+        let ints =
+            "fn f(v: &mut Vec<u64>) { v.sort_by(|a, b| if a < b { Less } else { Greater }); }";
+        assert!(rules_hit("crates/sim/src/stats.rs", ints).is_empty());
+    }
+
+    #[test]
+    fn discarded_result_fires_on_let_underscore_and_statement_ok() {
+        let let_ = "fn f() { let _ = fallible(); }";
+        assert_eq!(
+            rules_hit("crates/obs/src/sink.rs", let_),
+            vec!["discarded-result"]
+        );
+        let ok = "fn f() { fallible().ok(); }";
+        assert_eq!(
+            rules_hit("crates/obs/src/sink.rs", ok),
+            vec!["discarded-result"]
+        );
+        // Named bindings, `?`, and value-position `.ok()` are fine.
+        let named = "fn f() { let _ignored = fallible(); }";
+        assert!(rules_hit("crates/obs/src/sink.rs", named).is_empty());
+        let chained = "fn f() -> Option<u32> { fallible().ok().map(|x| x + 1) }";
+        assert!(rules_hit("crates/obs/src/sink.rs", chained).is_empty());
+        // Binaries may drop results (CLI best-effort output).
+        assert!(rules_hit("crates/experiments/src/main.rs", let_).is_empty());
+    }
+
+    #[test]
+    fn new_rules_are_known_for_allows() {
+        for id in [
+            "hash-iter",
+            "reduce-order",
+            "relaxed-atomic",
+            "float-sort",
+            "discarded-result",
+            "stale-allow",
+            "bad-allow",
+            "no-panic",
+        ] {
+            assert!(is_known_rule(id), "{id}");
+        }
+        assert!(!is_known_rule("no-such-rule"));
     }
 }

@@ -1,0 +1,841 @@
+//! The syntax layer: a lightweight offline parser on top of [`crate::lexer`].
+//!
+//! This is deliberately not a full Rust parser. It recovers exactly the
+//! structure the v2 analyses need, and nothing more:
+//!
+//! * an **item outline** — every `fn` in the file with its name, source
+//!   line, surrounding `impl`/`trait` type (for qualified-call
+//!   resolution), and brace-matched body token range; `use` declarations
+//!   are captured as alias → path pairs;
+//! * **per-function facts** — the call sites (bare, method, `Type::`-
+//!   qualified, and function-name-as-value references) and panic sites
+//!   (`unwrap`/`expect`, `panic!`-family macros, raw slice/array index
+//!   expressions) inside each body, with `#[cfg(test)]`/`#[test]` regions
+//!   stripped.
+//!
+//! [`crate::callgraph`] stitches the per-file outlines into a
+//! workspace-wide call graph for panic reachability; the determinism rule
+//! pack in [`crate::rules`] reuses the token-tree helpers here
+//! ([`match_open`], balanced scans) so every rule reasons over the same
+//! brace-matched structure instead of raw lexical adjacency.
+
+use crate::lexer::{test_regions, Tok, TokKind};
+
+/// Rust keywords that can precede `(` or `[` without being calls/indexing.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+/// True if `id` is a Rust keyword (expression-position guards).
+pub fn is_keyword(id: &str) -> bool {
+    KEYWORDS.contains(&id)
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallStyle {
+    /// `foo(...)` — a plain path call.
+    Bare,
+    /// `x.foo(...)` — method syntax; `receiver_is_self` notes `self.foo()`.
+    Method { receiver_is_self: bool },
+    /// `Type::foo(...)` with the qualifier identifier captured.
+    Qualified { qual: String },
+    /// `map(foo)` / `fold(0, Type::foo)` — a function named as a value.
+    Value { qual: Option<String> },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee identifier (the last path segment).
+    pub name: String,
+    pub style: CallStyle,
+    pub line: u32,
+}
+
+/// What kind of panic a panic site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect(...)`
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+    Macro,
+    /// `v[i]` — raw index expression (can panic out of bounds).
+    Index,
+}
+
+impl PanicKind {
+    /// Human label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`",
+            PanicKind::Expect => "`.expect(..)`",
+            PanicKind::Macro => "panicking macro",
+            PanicKind::Index => "raw index expression",
+        }
+    }
+}
+
+/// One potential-panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub kind: PanicKind,
+    pub line: u32,
+    /// The macro name for [`PanicKind::Macro`] (`panic`, `todo`, …).
+    pub detail: String,
+}
+
+/// One function definition recovered from the outline pass.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's identifier.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-index range of the body `{ … }`, inclusive of both braces;
+    /// `None` for body-less trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]` / `#[test]` region — excluded from the
+    /// call graph and from rule scanning.
+    pub is_test: bool,
+    /// Call sites in the body (test fns keep empty facts).
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+}
+
+/// A `use` declaration leaf: `use a::b::C;` → alias `C`, path `a::b::C`;
+/// `use a::B as C;` → alias `C`, path `a::B`.
+#[derive(Debug, Clone)]
+pub struct UseAlias {
+    pub alias: String,
+    pub path: Vec<String>,
+}
+
+/// Everything the workspace analyses need from one file.
+#[derive(Debug, Clone, Default)]
+pub struct Outline {
+    pub fns: Vec<FnDef>,
+    pub uses: Vec<UseAlias>,
+}
+
+/// Builds the outline for one lexed file.
+///
+/// `code` must be the comment-stripped index list over `toks` (every
+/// caller already has it); `in_test` the matching [`test_regions`] flags.
+pub fn outline(toks: &[Tok], code: &[usize], in_test: &[bool]) -> Outline {
+    let mut out = Outline::default();
+    let matches = match_open(toks, code);
+    walk_items(toks, code, in_test, &matches, 0, code.len(), None, &mut out);
+    // Facts per fn, with nested fn bodies excluded from their parents.
+    let nested: Vec<Option<(usize, usize)>> = out.fns.iter().map(|f| f.body).collect();
+    for fi in 0..out.fns.len() {
+        let Some((lo, hi)) = out.fns[fi].body else {
+            continue;
+        };
+        if out.fns[fi].is_test {
+            continue;
+        }
+        // Spans of other fns nested strictly inside this body.
+        let holes: Vec<(usize, usize)> = nested
+            .iter()
+            .enumerate()
+            .filter(|&(oi, _)| oi != fi)
+            .filter_map(|(_, span)| *span)
+            .filter(|&(olo, ohi)| olo > lo && ohi < hi)
+            .collect();
+        let (calls, panics) = body_facts(toks, code, lo, hi, &holes);
+        out.fns[fi].calls = calls;
+        out.fns[fi].panics = panics;
+    }
+    out
+}
+
+/// Convenience: lex-side entry building `code`/`in_test` itself.
+pub fn outline_of(toks: &[Tok]) -> Outline {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::LineComment)
+        .collect();
+    let in_test = test_regions(toks);
+    outline(toks, &code, &in_test)
+}
+
+/// For every code index holding an opening `(`/`[`/`{`, the code index of
+/// its matching close (self-index when unmatched — scans never loop).
+pub fn match_open(toks: &[Tok], code: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..code.len()).collect();
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((k, t.text.as_str())),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                // Pop through mismatched opens (broken code): a linter
+                // must stay total.
+                while let Some((ok, okind)) = stack.pop() {
+                    if okind == want {
+                        out[ok] = k;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn txt<'a>(toks: &'a [Tok], code: &[usize], k: usize) -> &'a str {
+    &toks[code[k]].text
+}
+
+fn kind(toks: &[Tok], code: &[usize], k: usize) -> TokKind {
+    toks[code[k]].kind
+}
+
+fn is_punct(toks: &[Tok], code: &[usize], k: usize, s: &str) -> bool {
+    k < code.len() && kind(toks, code, k) == TokKind::Punct && txt(toks, code, k) == s
+}
+
+fn is_ident(toks: &[Tok], code: &[usize], k: usize) -> bool {
+    k < code.len() && kind(toks, code, k) == TokKind::Ident
+}
+
+/// Walks one item region `[k, end)`, recording fns under `qual`.
+#[allow(clippy::too_many_arguments)]
+fn walk_items(
+    toks: &[Tok],
+    code: &[usize],
+    in_test: &[bool],
+    matches: &[usize],
+    mut k: usize,
+    end: usize,
+    qual: Option<&str>,
+    out: &mut Outline,
+) {
+    while k < end {
+        if !is_ident(toks, code, k) {
+            k += 1;
+            continue;
+        }
+        match txt(toks, code, k) {
+            "fn" => {
+                let fn_k = k;
+                if !is_ident(toks, code, k + 1) {
+                    k += 1;
+                    continue;
+                }
+                let name = txt(toks, code, k + 1).to_string();
+                // Find the body `{` (angle/paren aware) or a `;`.
+                let mut p = k + 2;
+                let mut angle = 0i32;
+                let mut body = None;
+                while p < end {
+                    if kind(toks, code, p) == TokKind::Punct {
+                        match txt(toks, code, p) {
+                            "<" => angle += 1,
+                            ">" => angle = (angle - 1).max(0),
+                            ">>" => angle = (angle - 2).max(0),
+                            "(" | "[" => p = matches[p],
+                            "{" if angle == 0 => {
+                                body = Some((p, matches[p]));
+                                break;
+                            }
+                            ";" if angle == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    p += 1;
+                }
+                out.fns.push(FnDef {
+                    name,
+                    qual: qual.map(str::to_string),
+                    line: toks[code[fn_k]].line,
+                    body,
+                    is_test: in_test[code[fn_k]],
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+                if let Some((blo, bhi)) = body {
+                    // Nested fns (and impls in bodies) still get outlined.
+                    walk_items(toks, code, in_test, matches, blo + 1, bhi, None, out);
+                    k = bhi + 1;
+                } else {
+                    k = p + 1;
+                }
+            }
+            "impl" | "trait" => {
+                let (body, q) = impl_header(toks, code, matches, k, end);
+                if let Some((blo, bhi)) = body {
+                    walk_items(
+                        toks,
+                        code,
+                        in_test,
+                        matches,
+                        blo + 1,
+                        bhi,
+                        q.as_deref(),
+                        out,
+                    );
+                    k = bhi + 1;
+                } else {
+                    k += 1;
+                }
+            }
+            "use" => {
+                let k2 = parse_use(toks, code, k, end, out);
+                k = k2;
+            }
+            _ => k += 1,
+        }
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at `k`; returns the body span
+/// and the type name fns inside should be qualified with.
+fn impl_header(
+    toks: &[Tok],
+    code: &[usize],
+    matches: &[usize],
+    k: usize,
+    end: usize,
+) -> (Option<(usize, usize)>, Option<String>) {
+    let mut p = k + 1;
+    // Skip the generic parameter list right after `impl`/`trait`.
+    let mut angle = 0i32;
+    let mut qual: Option<String> = None;
+    let mut last_ident_at_depth0: Option<String> = None;
+    while p < end {
+        if kind(toks, code, p) == TokKind::Punct {
+            match txt(toks, code, p) {
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "(" | "[" => p = matches[p],
+                "{" if angle == 0 => {
+                    if qual.is_none() {
+                        qual = last_ident_at_depth0;
+                    }
+                    return (Some((p, matches[p])), qual);
+                }
+                ";" if angle == 0 => return (None, None),
+                _ => {}
+            }
+        } else if kind(toks, code, p) == TokKind::Ident && angle == 0 {
+            match txt(toks, code, p) {
+                // `impl Trait for Type {` — the type after `for` wins.
+                "for" => {
+                    last_ident_at_depth0 = None;
+                }
+                "where" if qual.is_none() => {
+                    qual = last_ident_at_depth0.take();
+                }
+                id if !is_keyword(id) && qual.is_none() => {
+                    last_ident_at_depth0 = Some(id.to_string());
+                }
+                _ => {}
+            }
+        }
+        p += 1;
+    }
+    (None, None)
+}
+
+/// Parses one `use …;` declaration into alias leaves; returns the index
+/// past the terminating `;`.
+fn parse_use(toks: &[Tok], code: &[usize], k: usize, end: usize, out: &mut Outline) -> usize {
+    // Collect tokens to the `;` (brace-aware for use-trees).
+    let mut p = k + 1;
+    let mut depth = 0usize;
+    let start = p;
+    while p < end {
+        if kind(toks, code, p) == TokKind::Punct {
+            match txt(toks, code, p) {
+                "{" => depth += 1,
+                "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        p += 1;
+    }
+    let span: Vec<(TokKind, String)> = (start..p)
+        .map(|q| (kind(toks, code, q), txt(toks, code, q).to_string()))
+        .collect();
+    use_leaves(&span, &mut Vec::new(), &mut 0, out);
+    p + 1
+}
+
+/// Recursively expands a use-tree token span into its alias leaves.
+fn use_leaves(
+    span: &[(TokKind, String)],
+    prefix: &mut Vec<String>,
+    pos: &mut usize,
+    out: &mut Outline,
+) {
+    let depth_at_entry = prefix.len();
+    let mut segment: Option<String> = None;
+    while *pos < span.len() {
+        let (k, ref s) = span[*pos];
+        match (k, s.as_str()) {
+            (TokKind::Ident, "as") => {
+                // `path as Alias`
+                *pos += 1;
+                if let Some((TokKind::Ident, alias)) = span.get(*pos).map(|(k, s)| (*k, s.clone()))
+                {
+                    let mut path = prefix.clone();
+                    if let Some(seg) = segment.take() {
+                        path.push(seg);
+                    }
+                    out.uses.push(UseAlias { alias, path });
+                    *pos += 1;
+                }
+            }
+            (TokKind::Ident, id) => {
+                if let Some(seg) = segment.replace(id.to_string()) {
+                    // Two idents without `::` — malformed; flush the old.
+                    prefix.push(seg);
+                }
+                *pos += 1;
+            }
+            (TokKind::Punct, "::") => {
+                if let Some(seg) = segment.take() {
+                    prefix.push(seg);
+                }
+                *pos += 1;
+            }
+            (TokKind::Punct, "{") => {
+                *pos += 1;
+                use_leaves(span, prefix, pos, out);
+            }
+            (TokKind::Punct, "}") => {
+                *pos += 1;
+                break;
+            }
+            (TokKind::Punct, ",") => {
+                if let Some(alias) = segment.take() {
+                    let mut path = prefix.clone();
+                    path.push(alias.clone());
+                    out.uses.push(UseAlias { alias, path });
+                }
+                prefix.truncate(depth_at_entry);
+                *pos += 1;
+            }
+            (TokKind::Punct, "*") => {
+                // Glob: no alias leaf to record.
+                segment = None;
+                *pos += 1;
+            }
+            _ => {
+                *pos += 1;
+            }
+        }
+    }
+    if let Some(alias) = segment.take() {
+        let mut path = prefix.clone();
+        path.push(alias.clone());
+        out.uses.push(UseAlias { alias, path });
+    }
+    prefix.truncate(depth_at_entry);
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Extracts call and panic sites from one body span, skipping `holes`
+/// (nested fn bodies, which own their facts) and attribute groups.
+fn body_facts(
+    toks: &[Tok],
+    code: &[usize],
+    lo: usize,
+    hi: usize,
+    holes: &[(usize, usize)],
+) -> (Vec<CallSite>, Vec<PanicSite>) {
+    let mut calls = Vec::new();
+    let mut panics = Vec::new();
+    let mut k = lo + 1;
+    while k < hi {
+        if let Some(&(_, ohi)) = holes.iter().find(|&&(olo, _)| olo == k) {
+            k = ohi + 1;
+            continue;
+        }
+        // Skip attribute groups: `# [ … ]`.
+        if is_punct(toks, code, k, "#") && is_punct(toks, code, k + 1, "[") {
+            let mut depth = 0usize;
+            let mut p = k + 1;
+            while p < hi {
+                if is_punct(toks, code, p, "[") {
+                    depth += 1;
+                } else if is_punct(toks, code, p, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                p += 1;
+            }
+            k = p + 1;
+            continue;
+        }
+        let t = &toks[code[k]];
+        let line = t.line;
+        if t.kind == TokKind::Ident {
+            let id = t.text.as_str();
+            let prev = k.checked_sub(1).filter(|&p| p > lo).map(|p| &toks[code[p]]);
+            let prev2 = k.checked_sub(2).filter(|&p| p > lo).map(|p| &toks[code[p]]);
+            let next_open_paren = is_punct(toks, code, k + 1, "(");
+            let prev_is =
+                |s: &str| matches!(prev, Some(p) if p.kind == TokKind::Punct && p.text == s);
+            let prev2_ident = || match prev2 {
+                Some(p) if p.kind == TokKind::Ident => Some(p.text.clone()),
+                _ => None,
+            };
+
+            // Panic sites first: unwrap/expect and the macro family.
+            if (id == "unwrap" || id == "expect") && prev_is(".") && next_open_paren {
+                panics.push(PanicSite {
+                    kind: if id == "unwrap" {
+                        PanicKind::Unwrap
+                    } else {
+                        PanicKind::Expect
+                    },
+                    line,
+                    detail: id.to_string(),
+                });
+                k += 1;
+                continue;
+            }
+            if PANIC_MACROS.contains(&id) && is_punct(toks, code, k + 1, "!") {
+                panics.push(PanicSite {
+                    kind: PanicKind::Macro,
+                    line,
+                    detail: id.to_string(),
+                });
+                k += 1;
+                continue;
+            }
+
+            // Call sites.
+            if !is_keyword(id) {
+                // Direct call `name(` or turbofish `name::<T>(`.
+                let mut callee_paren = None;
+                if next_open_paren {
+                    callee_paren = Some(k + 1);
+                } else if is_punct(toks, code, k + 1, "::") && is_punct(toks, code, k + 2, "<") {
+                    // Scan the turbofish generics for the opening paren.
+                    let mut angle = 0i32;
+                    let mut p = k + 2;
+                    while p < hi {
+                        if kind(toks, code, p) == TokKind::Punct {
+                            match txt(toks, code, p) {
+                                "<" => angle += 1,
+                                ">" => angle -= 1,
+                                ">>" => angle -= 2,
+                                _ => {}
+                            }
+                            if angle <= 0 {
+                                break;
+                            }
+                        }
+                        p += 1;
+                    }
+                    if is_punct(toks, code, p + 1, "(") {
+                        callee_paren = Some(p + 1);
+                    }
+                }
+                if let Some(_paren) = callee_paren {
+                    let style = if prev_is(".") {
+                        let recv_self = matches!(prev2, Some(p) if p.kind == TokKind::Ident && p.text == "self");
+                        CallStyle::Method {
+                            receiver_is_self: recv_self,
+                        }
+                    } else if prev_is("::") {
+                        match prev2_ident() {
+                            Some(q) => CallStyle::Qualified { qual: q },
+                            None => CallStyle::Bare,
+                        }
+                    } else {
+                        CallStyle::Bare
+                    };
+                    calls.push(CallSite {
+                        name: id.to_string(),
+                        style,
+                        line,
+                    });
+                    k += 1;
+                    continue;
+                }
+                // Function-as-value: `map(foo)`, `fold(0, Type::foo)`.
+                let next_closes =
+                    is_punct(toks, code, k + 1, ",") || is_punct(toks, code, k + 1, ")");
+                if next_closes {
+                    if prev_is("(") || prev_is(",") {
+                        calls.push(CallSite {
+                            name: id.to_string(),
+                            style: CallStyle::Value { qual: None },
+                            line,
+                        });
+                    } else if prev_is("::") {
+                        if let Some(q) = prev2_ident() {
+                            let prev3_opens = k
+                                .checked_sub(3)
+                                .filter(|&p| p > lo)
+                                .map(|p| &toks[code[p]])
+                                .is_some_and(|p| {
+                                    p.kind == TokKind::Punct && (p.text == "(" || p.text == ",")
+                                });
+                            if prev3_opens {
+                                calls.push(CallSite {
+                                    name: id.to_string(),
+                                    style: CallStyle::Value { qual: Some(q) },
+                                    line,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            k += 1;
+            continue;
+        }
+        // Raw index expressions: `expr[` where expr ends in an ident,
+        // `)`, or `]` — array types (`[u64; 4]`), slice patterns, and
+        // attributes never match (their `[` follows `:`/`<`/`,`/`#`/…).
+        if t.kind == TokKind::Punct && t.text == "[" && k > lo + 1 {
+            let p = &toks[code[k - 1]];
+            let indexes = match p.kind {
+                TokKind::Ident => !is_keyword(&p.text),
+                TokKind::Punct => p.text == ")" || p.text == "]",
+                _ => false,
+            };
+            if indexes
+                && !panics
+                    .iter()
+                    .any(|s| s.kind == PanicKind::Index && s.line == line)
+            {
+                panics.push(PanicSite {
+                    kind: PanicKind::Index,
+                    line,
+                    detail: "[]".to_string(),
+                });
+            }
+        }
+        k += 1;
+    }
+    (calls, panics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn outline_src(src: &str) -> Outline {
+        outline_of(&lex(src))
+    }
+
+    #[test]
+    fn outline_finds_fns_with_impl_quals() {
+        let src = r#"
+fn top() {}
+impl Widget {
+    fn method(&self) {}
+}
+impl Oracle for Widget {
+    fn cost(&self) -> u64 { 0 }
+}
+trait Oracle {
+    fn cost(&self) -> u64;
+    fn hops(&self) -> u64 { 1 }
+}
+mod inner {
+    fn nested_mod_fn() {}
+}
+"#;
+        let o = outline_src(src);
+        let names: Vec<(&str, Option<&str>)> = o
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.qual.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top", None),
+                ("method", Some("Widget")),
+                ("cost", Some("Widget")),
+                ("cost", Some("Oracle")),
+                ("hops", Some("Oracle")),
+                ("nested_mod_fn", None),
+            ]
+        );
+        // The trait signature has no body; the default method does.
+        assert!(o.fns[3].body.is_none());
+        assert!(o.fns[4].body.is_some());
+    }
+
+    #[test]
+    fn impl_with_generics_takes_the_type_not_the_bound() {
+        let src = "impl<'a, D: Oracle + ?Sized> Closure<'a, D> { fn get(&self) {} }";
+        let o = outline_src(src);
+        assert_eq!(o.fns[0].qual.as_deref(), Some("Closure"));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() { y.unwrap(); }";
+        let o = outline_src(src);
+        assert!(o.fns[0].is_test);
+        assert!(!o.fns[1].is_test);
+        assert!(o.fns[0].panics.is_empty(), "test fns carry no facts");
+        assert_eq!(o.fns[1].panics.len(), 1);
+    }
+
+    #[test]
+    fn calls_classify_bare_method_qualified_and_value() {
+        let src = r#"
+fn f() {
+    helper();
+    x.method_call(1);
+    self.own_method();
+    Widget::build(2);
+    items.iter().map(mapper).fold(0, Acc::fold_step);
+    generic::<u64>(3);
+}
+"#;
+        let o = outline_src(src);
+        let f = &o.fns[0];
+        let find = |n: &str| f.calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("helper").style, CallStyle::Bare);
+        assert_eq!(
+            find("method_call").style,
+            CallStyle::Method {
+                receiver_is_self: false
+            }
+        );
+        assert_eq!(
+            find("own_method").style,
+            CallStyle::Method {
+                receiver_is_self: true
+            }
+        );
+        assert_eq!(
+            find("build").style,
+            CallStyle::Qualified {
+                qual: "Widget".into()
+            }
+        );
+        assert_eq!(find("mapper").style, CallStyle::Value { qual: None });
+        assert_eq!(
+            find("fold_step").style,
+            CallStyle::Value {
+                qual: Some("Acc".into())
+            }
+        );
+        assert_eq!(find("generic").style, CallStyle::Bare);
+    }
+
+    #[test]
+    fn panic_sites_cover_all_four_kinds() {
+        let src = r#"
+fn f(v: &[u64], i: usize) -> u64 {
+    let a = v.first().unwrap();
+    let b = opt.expect("msg");
+    if i > 9 { panic!("too big"); }
+    v[i] + a + b
+}
+"#;
+        let o = outline_src(src);
+        let kinds: Vec<PanicKind> = o.fns[0].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::Macro,
+                PanicKind::Index
+            ]
+        );
+    }
+
+    #[test]
+    fn index_detection_skips_types_patterns_attrs_and_macros() {
+        let src = r#"
+fn f(xs: [u64; 4], s: &[u64]) -> Vec<u64> {
+    #[allow(unused)]
+    let v: Vec<[u64; 2]> = vec![xs[0]; 3];
+    if let [a, b] = s { return vec![*a, *b]; }
+    v.into_iter().flatten().collect()
+}
+"#;
+        let o = outline_src(src);
+        let idx: Vec<u32> = o.fns[0]
+            .panics
+            .iter()
+            .filter(|p| p.kind == PanicKind::Index)
+            .map(|p| p.line)
+            .collect();
+        assert_eq!(idx, vec![4], "only `xs[0]` is an index expression");
+    }
+
+    #[test]
+    fn nested_fn_bodies_own_their_facts() {
+        let src = r#"
+fn outer() {
+    fn inner() { x.unwrap(); }
+    inner();
+}
+"#;
+        let o = outline_src(src);
+        let outer = o.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = o.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.panics.is_empty());
+        assert_eq!(inner.panics.len(), 1);
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn use_trees_expand_to_leaves() {
+        let src = "use std::collections::{BTreeMap, HashMap as Map};\nuse crate::graph::Cost;\n";
+        let o = outline_src(src);
+        let aliases: Vec<(&str, Vec<&str>)> = o
+            .uses
+            .iter()
+            .map(|u| {
+                (
+                    u.alias.as_str(),
+                    u.path.iter().map(String::as_str).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            aliases,
+            vec![
+                ("BTreeMap", vec!["std", "collections", "BTreeMap"]),
+                ("Map", vec!["std", "collections", "HashMap"]),
+                ("Cost", vec!["crate", "graph", "Cost"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn closures_attribute_facts_to_the_enclosing_fn() {
+        let src = "fn f(v: &[u64]) -> u64 { v.iter().map(|x| inner(*x)).sum() }";
+        let o = outline_src(src);
+        assert!(o.fns[0].calls.iter().any(|c| c.name == "inner"));
+    }
+}

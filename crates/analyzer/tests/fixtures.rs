@@ -7,7 +7,9 @@
 
 use ppdc_analyzer::report::Report;
 use ppdc_analyzer::rules::FileCtx;
-use ppdc_analyzer::{analyze_source, analyze_workspace, json};
+use ppdc_analyzer::{
+    analyze_corpus, analyze_corpus_with, analyze_source, analyze_workspace, json, AnalyzeOptions,
+};
 
 /// Scans a fixture as if it lived at `path` inside the workspace.
 fn scan(path: &str, src: &str) -> (Vec<String>, usize) {
@@ -132,6 +134,122 @@ fn binaries_are_exempt_from_print_and_determinism_rules() {
 }
 
 #[test]
+fn hash_iter_fixtures() {
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/hash_iter_bad.rs"),
+    );
+    assert_eq!(rules, vec!["hash-iter"; 2], "loop + .iter() drain");
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/hash_iter_good.rs"),
+    );
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn reduce_order_fixtures() {
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/reduce_order_bad.rs"),
+    );
+    assert_eq!(rules, vec!["reduce-order"; 2], "par reduce + par fold");
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/reduce_order_good.rs"),
+    );
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn relaxed_atomic_fixtures() {
+    let (rules, _) = scan(
+        "crates/placement/src/fixture.rs",
+        include_str!("fixtures/relaxed_atomic_bad.rs"),
+    );
+    assert_eq!(rules, vec!["relaxed-atomic"; 2], "fetch_add + load");
+    let (rules, _) = scan(
+        "crates/placement/src/fixture.rs",
+        include_str!("fixtures/relaxed_atomic_good.rs"),
+    );
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn float_sort_fixtures() {
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/float_sort_bad.rs"),
+    );
+    assert_eq!(rules, vec!["float-sort"; 2], "sort_by + max_by");
+    let (rules, _) = scan(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/float_sort_good.rs"),
+    );
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn discarded_result_fixtures() {
+    let (rules, _) = scan(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/discarded_result_bad.rs"),
+    );
+    assert_eq!(
+        rules,
+        vec!["discarded-result"; 2],
+        "let _ + statement .ok()"
+    );
+    let (rules, _) = scan(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/discarded_result_good.rs"),
+    );
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn panic_chain_spans_fixture_files() {
+    // The reachability tentpole: the leaf's `.unwrap()` is reported in
+    // the leaf file with the full cross-file call chain attached.
+    let corpus = vec![
+        (
+            FileCtx::from_path("crates/sim/src/chain_entry.rs"),
+            include_str!("fixtures/chain_entry.rs").to_string(),
+        ),
+        (
+            FileCtx::from_path("crates/sim/src/chain_leaf.rs"),
+            include_str!("fixtures/chain_leaf.rs").to_string(),
+        ),
+    ];
+    let report = analyze_corpus(&corpus);
+    assert_eq!(report.violations.len(), 1, "{}", report.render_human());
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "no-panic");
+    assert_eq!(v.file, "crates/sim/src/chain_leaf.rs");
+    assert_eq!(v.chain.len(), 3, "run_day -> schedule_hour -> commit_slot");
+    assert!(v.chain[0].contains("run_day"));
+    assert!(v.chain[2].contains("commit_slot"));
+    assert!(v.message.contains("run_day"), "{}", v.message);
+}
+
+#[test]
+fn index_sites_report_only_in_strict_mode() {
+    // Dense id-indexed tables are the workspace idiom: reachable raw
+    // index sites surface under --index-panics, not in the default gate.
+    let corpus = vec![(
+        FileCtx::from_path("crates/stroll/src/fixture.rs"),
+        "pub fn optimal_hop(dist: &[u64], v: usize) -> u64 { dist[v] }\n".to_string(),
+    )];
+    assert!(analyze_corpus(&corpus).is_clean());
+    let strict = analyze_corpus_with(&corpus, AnalyzeOptions { index_panics: true });
+    assert_eq!(strict.violations.len(), 1, "{}", strict.render_human());
+    assert_eq!(strict.violations[0].rule, "no-panic");
+    assert!(strict.violations[0]
+        .message
+        .contains("raw index expression"));
+}
+
+#[test]
 fn reasoned_allows_suppress_all_forms() {
     let (rules, suppressed) = scan(
         "crates/stroll/src/fixture.rs",
@@ -170,6 +288,7 @@ fn json_report_round_trips_through_the_schema() {
         violations,
         files_scanned: 1,
         suppressed,
+        allows: 0,
     };
     report.sort();
     let doc = json::to_json(&report);

@@ -1,7 +1,7 @@
 // Fixture: malformed suppressions. The reasonless and unknown-rule
 // directives are `bad-allow` violations AND fail to suppress their
 // targets.
-pub fn uncovered(v: &[u64]) -> u64 {
+pub fn optimal_uncovered(v: &[u64]) -> u64 {
     // analyzer:allow(no-panic)
     let a = v.first().unwrap();
     // analyzer:allow(not-a-rule) -- the rule name is wrong

@@ -1,0 +1,9 @@
+// Fixture (corpus half 1): the entrypoint side of a cross-file panic
+// chain — `run_day` reaches the leaf's panic through a private helper.
+pub fn run_day(day: u64) -> u64 {
+    schedule_hour(day)
+}
+
+fn schedule_hour(day: u64) -> u64 {
+    commit_slot(day + 1)
+}

@@ -1,0 +1,5 @@
+// Fixture (corpus half 2): the leaf side — this `.unwrap()` must be
+// reported with the full run_day → schedule_hour → commit_slot chain.
+pub fn commit_slot(slot: u64) -> u64 {
+    slot.checked_mul(2).unwrap() // reported with the cross-file chain
+}

@@ -1,0 +1,7 @@
+// Fixture: library code silently dropping `Result`s — an I/O error
+// vanishes instead of reaching the caller. Both marked lines are
+// `discarded-result` violations.
+pub fn flush_all(w: &mut impl Write) {
+    let _ = w.flush(); // flagged
+    write_header(w).ok(); // flagged
+}

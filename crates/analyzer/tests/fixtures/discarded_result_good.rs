@@ -1,0 +1,10 @@
+// Fixture: errors propagate with `?` (or stay in value position) —
+// clean under `discarded-result`.
+pub fn flush_all(w: &mut impl Write) -> io::Result<()> {
+    w.flush()?;
+    write_header(w)
+}
+
+pub fn try_parse(s: &str) -> Option<u32> {
+    s.parse().ok().map(|x: u32| x + 1) // value-position `.ok()` is fine
+}

@@ -1,0 +1,10 @@
+// Fixture: float comparators built on `partial_cmp` — NaN makes the
+// order non-total (and the `.unwrap()` aborts). Both marked lines are
+// `float-sort` violations.
+pub fn rank(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // flagged
+}
+
+pub fn worst(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // flagged
+}

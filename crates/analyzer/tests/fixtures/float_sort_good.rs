@@ -1,0 +1,9 @@
+// Fixture: `total_cmp` gives floats a total order and integer keys are
+// always safe — clean under `float-sort`.
+pub fn rank(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn rank_keyed(v: &mut Vec<(u64, f64)>) {
+    v.sort_by_key(|p| p.0);
+}

@@ -1,0 +1,26 @@
+// Fixture: the sanctioned twins — ordered containers for anything that
+// gets iterated, hash containers only for point lookups. Clean under
+// `hash-iter`.
+pub struct Registry {
+    seen: BTreeSet<u32>,
+}
+
+pub fn merge_counts(pairs: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut m = BTreeMap::new();
+    for (k, v) in pairs {
+        *m.entry(*k).or_insert(0) += *v;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &m {
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn snapshot(r: &Registry) -> Vec<u32> {
+    r.seen.iter().copied().collect()
+}
+
+pub fn lookup(m: &HashMap<u32, u64>, k: u32) -> u64 {
+    m.get(&k).copied().unwrap_or(0) // point lookups are order-free
+}

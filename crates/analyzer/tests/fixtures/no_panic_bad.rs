@@ -1,6 +1,7 @@
 // Fixture: solver-crate library code that panics instead of returning
-// typed errors. Every marked line must be flagged by `no-panic`.
-pub fn lookup(v: &[u64], i: usize) -> u64 {
+// typed errors, on a path reachable from an `optimal_*` entrypoint.
+// Every marked line must be flagged by `no-panic`.
+pub fn optimal_lookup(v: &[u64], i: usize) -> u64 {
     let first = v.first().unwrap(); // flagged
     let last = v.last().expect("non-empty"); // flagged
     if i > v.len() {

@@ -1,0 +1,13 @@
+// Fixture: non-commutative closures inside rayon reductions — the
+// grouping (and therefore the float result) depends on work stealing.
+// Both marked lines are `reduce-order` violations.
+pub fn drift(samples: &[f64]) -> f64 {
+    samples.par_iter().copied().reduce(|| 0.0, |acc, x| acc - x) // flagged
+}
+
+pub fn mean_chunked(samples: &[f64]) -> f64 {
+    samples
+        .par_chunks(64)
+        .fold(|| 0.0, |acc, c| acc / c.len() as f64) // flagged
+        .sum()
+}

@@ -1,0 +1,9 @@
+// Fixture: commutative parallel reductions and serial folds are both
+// deterministic — clean under `reduce-order`.
+pub fn peak(samples: &[f64]) -> f64 {
+    samples.par_iter().copied().reduce(|| f64::MIN, f64::max)
+}
+
+pub fn drift(samples: &[f64]) -> f64 {
+    samples.iter().fold(0.0, |acc, x| acc - x) // serial fold keeps order
+}

@@ -1,0 +1,10 @@
+// Fixture: `Ordering::Relaxed` in solver/sim code — relaxed loads can
+// read stale incumbents and relaxed stores can publish out of order.
+// Both marked lines are `relaxed-atomic` violations.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed) // flagged
+}
+
+pub fn read_flag(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) // flagged
+}

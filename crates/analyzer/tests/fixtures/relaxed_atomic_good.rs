@@ -1,0 +1,13 @@
+// Fixture: acquire/release (or SeqCst) orderings publish and observe
+// consistently — clean under `relaxed-atomic`.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn read_flag(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -55,7 +55,7 @@ pub fn migration_paths<D: DistanceOracle + ?Sized>(
 ) -> Vec<Vec<NodeId>> {
     match try_migration_paths(g, dm, p, p_new) {
         Ok(paths) => paths,
-        Err(e) => panic!("migration_paths: {e}"), // analyzer:allow(no-panic) -- documented panicking convenience wrapper; fallible twin is try_migration_paths
+        Err(e) => panic!("migration_paths: {e}"), // documented panicking convenience wrapper; fallible twin is try_migration_paths
     }
 }
 

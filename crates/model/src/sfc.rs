@@ -159,7 +159,7 @@ impl Placement {
     /// The egress switch `p(n)`.
     #[inline]
     pub fn egress(&self) -> NodeId {
-        *self.switches.last().expect("placements are non-empty")
+        *self.switches.last().expect("placements are non-empty") // analyzer:allow(no-panic) -- Placement::new rejects empty chains; unchecked constructors document the same requirement
     }
 
     /// All switches in chain order.

@@ -1,7 +1,7 @@
 //! VMs, communicating VM pairs (flows), and their traffic rates.
 
 use crate::ModelError;
-use ppdc_topology::{Graph, NodeId, NodeKind};
+use ppdc_topology::{mint_u32, Graph, NodeId, NodeKind};
 use serde::{Deserialize, Serialize};
 
 /// Index of a VM within a [`Workload`].
@@ -19,7 +19,7 @@ impl VmId {
     /// space (the sanctioned inverse of [`VmId::index`]).
     #[inline]
     pub fn from_index(i: usize) -> VmId {
-        VmId(u32::try_from(i).expect("VM index exceeds the u32 id space"))
+        VmId(mint_u32(i, "VM index exceeds the u32 id space"))
     }
 }
 
@@ -38,7 +38,7 @@ impl FlowId {
     /// space (the sanctioned inverse of [`FlowId::index`]).
     #[inline]
     pub fn from_index(i: usize) -> FlowId {
-        FlowId(u32::try_from(i).expect("flow index exceeds the u32 id space"))
+        FlowId(mint_u32(i, "flow index exceeds the u32 id space"))
     }
 }
 
@@ -73,7 +73,7 @@ impl Workload {
     /// Adds a VM on `host` and returns its id. `host` must be a host node of
     /// the graph the workload is used with (validated by [`Workload::validate`]).
     pub fn add_vm(&mut self, host: NodeId) -> VmId {
-        let id = VmId(u32::try_from(self.host_of.len()).expect("too many VMs"));
+        let id = VmId(mint_u32(self.host_of.len(), "too many VMs"));
         self.host_of.push(host);
         id
     }
@@ -89,7 +89,7 @@ impl Workload {
                 return Err(ModelError::UnknownVm(v));
             }
         }
-        let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
+        let id = FlowId(mint_u32(self.flows.len(), "too many flows"));
         self.flows.push(Flow { src, dst });
         self.rates.push(rate);
         Ok(id)
@@ -104,7 +104,7 @@ impl Workload {
     pub fn add_flow(&mut self, src: VmId, dst: VmId, rate: u64) -> FlowId {
         match self.try_add_flow(src, dst, rate) {
             Ok(id) => id,
-            Err(e) => panic!("add_flow: {e}"),
+            Err(e) => panic!("add_flow: {e}"), // analyzer:allow(no-panic) -- documented panicking facade; boundaries with untrusted flows use try_add_flow
         }
     }
 

@@ -131,11 +131,13 @@ impl<W: Write + Send> JsonLinesSink<W> {
 
 impl<W: Write + Send> Sink for JsonLinesSink<W> {
     fn emit(&mut self, event: &Event) {
-        let _ = writeln!(self.out, "{}", event.to_json_line());
+        // Telemetry is best-effort by the Sink contract: an unwritable
+        // sink must never take the run down with it.
+        let _best_effort_io = writeln!(self.out, "{}", event.to_json_line());
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        let _best_effort_io = self.out.flush();
     }
 }
 

@@ -392,7 +392,7 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
                 Some(&rep) => rep,
                 None => continue, // singleton {t_ix}: no ingress rows here
             };
-            if self.pair_bound(rep, t_ix) > self.incumbent.load(Ordering::Relaxed) {
+            if self.pair_bound(rep, t_ix) > self.incumbent.load(Ordering::Acquire) {
                 if class.len() > 1 {
                     // One comparison pruned a multi-member class.
                     orbit_skipped +=
@@ -405,7 +405,7 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
                 if s_ix == t_ix {
                     continue;
                 }
-                if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Relaxed) {
+                if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Acquire) {
                     continue;
                 }
                 let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
@@ -416,7 +416,9 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
                 scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
                 scratch.chain.push(egress);
                 let cost = self.agg.comm_cost_switches(self.dm, &scratch.chain);
-                self.incumbent.fetch_min(cost, Ordering::Relaxed);
+                // AcqRel publishes the tighter bound to sibling workers as
+                // soon as they next load it — pruning stays monotone.
+                self.incumbent.fetch_min(cost, Ordering::AcqRel);
                 let better = match best_cost {
                     None => true,
                     Some(c) => {
@@ -508,7 +510,7 @@ fn bb_sweep<D: DistanceOracle + ?Sized>(
     let results: Vec<Option<(Cost, Placement)>> = order
         .into_par_iter()
         .map(|(bound, t_ix)| {
-            if bound > ctx.incumbent.load(Ordering::Relaxed) {
+            if bound > ctx.incumbent.load(Ordering::Acquire) {
                 let obs = ppdc_obs::global();
                 obs.add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
                 if ctx.class_size[t_ix] > 1 {

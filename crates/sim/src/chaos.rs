@@ -516,7 +516,7 @@ pub fn run_chaos_trial(trial: &ChaosTrialConfig) -> Result<ChaosTrialReport, Cha
             resumed_ok = true;
             Ok(())
         })();
-        std::fs::remove_dir_all(&dir).ok();
+        let _cleanup_best_effort = std::fs::remove_dir_all(&dir);
         crash_leg?;
     }
 

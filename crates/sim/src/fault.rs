@@ -53,7 +53,7 @@ use ppdc_topology::{
     CachedClosure, Cost, DistanceMatrix, EdgeId, FaultSet, Graph, NodeId, NodeKind, Partition,
     TopologyError, INFINITY,
 };
-use ppdc_traffic::{rng_for_run, DynamicTrace};
+use ppdc_traffic::{rng_for_run, DynamicTrace, TraceError};
 use rand::Rng;
 
 use crate::checkpoint::{fingerprint, Checkpoint, CheckpointStore, CkptError};
@@ -314,6 +314,8 @@ pub enum SimError {
     Checkpoint(CkptError),
     /// A hand-crafted fault schedule was internally inconsistent.
     Schedule(ScheduleError),
+    /// The dynamic trace rejected an hour index or rate-row shape.
+    Trace(TraceError),
 }
 
 impl From<MigrationError> for SimError {
@@ -352,6 +354,12 @@ impl From<ScheduleError> for SimError {
     }
 }
 
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -361,6 +369,7 @@ impl std::fmt::Display for SimError {
             SimError::Topology(e) => write!(f, "topology error: {e}"),
             SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             SimError::Schedule(e) => write!(f, "schedule error: {e}"),
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
 }
@@ -929,7 +938,7 @@ fn run_day_impl(
             // Quiet hour: the stranded set is unchanged, so the masked
             // rates evolve exactly by the trace's deltas on active flows.
             let deltas: Vec<(FlowId, i64)> = trace
-                .rate_deltas(h)
+                .try_rate_deltas(h)?
                 .into_iter()
                 .filter(|(f, _)| !sv.stranded[f.index()])
                 .collect();

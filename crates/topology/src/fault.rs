@@ -180,6 +180,7 @@ impl Graph {
                 continue;
             }
             view.add_edge(u, v, w)
+                // analyzer:allow(no-panic) -- subset of a validated graph: endpoints exist and duplicates were rejected at source
                 .expect("edges of a valid graph stay valid in its degraded view");
         }
         view
@@ -206,7 +207,7 @@ impl Partition {
                 continue;
             }
             let ci = sizes.len();
-            let c = u32::try_from(ci).expect("component count exceeds the u32 id space");
+            let c = crate::mint_u32(ci, "component count exceeds the u32 id space");
             sizes.push(0);
             component[start.index()] = c;
             queue.push_back(start);

@@ -54,6 +54,22 @@ pub fn sat_mul(a: Cost, b: Cost) -> Cost {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
+/// Mints the `u32` id for container slot `n` — the one sanctioned bridge
+/// from container sizes back into the typed id space ([`NodeId`],
+/// [`EdgeId`], and the model crate's `VmId`/`FlowId` all funnel through
+/// here).
+///
+/// # Panics
+///
+/// Panics with `what` if `n` needs more than 32 bits. Every id is backed
+/// by at least a few bytes of container storage, so exhausting the 2^32
+/// id space means the process was about to OOM anyway — a capacity
+/// invariant, not a recoverable error.
+#[inline]
+pub fn mint_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).expect(what) // analyzer:allow(no-panic) -- id-space capacity invariant: 2^32 ids exhaust memory long before minting fails
+}
+
 impl NodeId {
     /// The raw index, usable to address per-node arrays.
     #[inline]
@@ -66,7 +82,7 @@ impl NodeId {
     /// — use it instead of a bare `as u32` cast.
     #[inline]
     pub fn from_index(i: usize) -> NodeId {
-        NodeId(u32::try_from(i).expect("node index exceeds the u32 id space"))
+        NodeId(mint_u32(i, "node index exceeds the u32 id space"))
     }
 }
 
@@ -91,7 +107,7 @@ impl EdgeId {
     /// `u32` id space (the sanctioned inverse of [`EdgeId::index`]).
     #[inline]
     pub fn from_index(i: usize) -> EdgeId {
-        EdgeId(u32::try_from(i).expect("edge index exceeds the u32 id space"))
+        EdgeId(mint_u32(i, "edge index exceeds the u32 id space"))
     }
 }
 
@@ -137,7 +153,7 @@ impl Graph {
     }
 
     fn add_node(&mut self, kind: NodeKind, label: String) -> NodeId {
-        let id = NodeId(u32::try_from(self.kinds.len()).expect("graph too large"));
+        let id = NodeId(mint_u32(self.kinds.len(), "graph too large"));
         self.kinds.push(kind);
         self.labels.push(label);
         self.adj.push(Vec::new());
@@ -162,7 +178,7 @@ impl Graph {
         if self.adj[u.index()].iter().any(|&(n, _)| n == v) {
             return Err(TopologyError::InvalidEdge(u, v));
         }
-        let id = EdgeId(u32::try_from(self.edges.len()).expect("graph too large"));
+        let id = EdgeId(mint_u32(self.edges.len(), "graph too large"));
         self.edges.push((u, v, w));
         self.adj[u.index()].push((v, w));
         self.adj[v.index()].push((u, w));
@@ -174,7 +190,7 @@ impl Graph {
     /// This is a convenience for builders and tests where the structure is
     /// known valid by construction.
     pub fn link(&mut self, u: NodeId, v: NodeId) -> EdgeId {
-        self.add_edge(u, v, 1).expect("invalid link")
+        self.add_edge(u, v, 1).expect("invalid link") // analyzer:allow(no-panic) -- builder convenience: callers construct distinct in-range endpoints; fallible twin is add_edge
     }
 
     fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {

@@ -62,8 +62,7 @@ impl MetricClosure {
                 NOT_MEMBER,
                 "duplicate node in closure"
             );
-            self.index_of[n.index()] =
-                u32::try_from(i).expect("closure size exceeds the u32 id space");
+            self.index_of[n.index()] = crate::mint_u32(i, "closure size exceeds the u32 id space");
         }
         let m = nodes.len();
         self.cost.clear();
@@ -99,10 +98,10 @@ impl MetricClosure {
 
     /// Cost between original node ids `u` and `v` (both must be members).
     pub fn cost(&self, u: NodeId, v: NodeId) -> Cost {
-        self.cost_ix(
-            self.index(u).expect("u not in closure"),
-            self.index(v).expect("v not in closure"),
-        )
+        match (self.index(u), self.index(v)) {
+            (Some(i), Some(j)) => self.cost_ix(i, j),
+            _ => panic!("cost({u:?}, {v:?}): node not in closure"), // analyzer:allow(no-panic) -- documented precondition: members only; index() is the fallible twin
+        }
     }
 
     /// The original node behind closure index `i`.

@@ -381,7 +381,7 @@ impl FatTreeOracle {
             }
             // `(lo, hi)` is layer-ordered, so the remaining permutations
             // cannot occur.
-            _ => unreachable!("coordinate pair not canonicalized"),
+            _ => unreachable!("coordinate pair not canonicalized"), // analyzer:allow(no-panic) -- exhaustiveness witness: canonicalize() orders the pair by layer just above
         }
     }
 
@@ -393,55 +393,32 @@ impl FatTreeOracle {
     /// < edges < hosts within any relevant span).
     fn min_parent(&self, src: NodeId, x: NodeId) -> NodeId {
         let want = DistanceOracle::cost(self, src, x) - 1;
-        let at = |y: NodeId| DistanceOracle::cost(self, src, y) == want;
-        match self.coord(x) {
+        let at = |y: &NodeId| DistanceOracle::cost(self, src, *y) == want;
+        let parent = match self.coord(x) {
             FatTreeCoord::Host { pod, edge, .. } => {
                 // A host's only neighbor is its ToR.
-                self.edge_id(pod, edge)
+                Some(self.edge_id(pod, edge))
             }
             FatTreeCoord::Edge { pod, index } => {
                 // Pod aggs (smaller ids) before the rack's hosts.
-                for a in 0..self.half {
-                    let y = self.agg_id(pod, a);
-                    if at(y) {
-                        return y;
-                    }
-                }
-                for s in 0..self.half {
-                    let y = self.host_id(pod, index, s);
-                    if at(y) {
-                        return y;
-                    }
-                }
-                unreachable!("edge switch has no neighbor one hop closer to the source")
+                (0..self.half)
+                    .map(|a| self.agg_id(pod, a))
+                    .find(at)
+                    .or_else(|| (0..self.half).map(|s| self.host_id(pod, index, s)).find(at))
             }
             FatTreeCoord::Agg { pod, index } => {
                 // Core group `index` (smaller ids) before the pod's edges.
-                for c in 0..self.half {
-                    let y = self.core_id(index, c);
-                    if at(y) {
-                        return y;
-                    }
-                }
-                for e in 0..self.half {
-                    let y = self.edge_id(pod, e);
-                    if at(y) {
-                        return y;
-                    }
-                }
-                unreachable!("agg switch has no neighbor one hop closer to the source")
+                (0..self.half)
+                    .map(|c| self.core_id(index, c))
+                    .find(at)
+                    .or_else(|| (0..self.half).map(|e| self.edge_id(pod, e)).find(at))
             }
             FatTreeCoord::Core { group, .. } => {
                 // Agg `group` of every pod, in ascending pod (= id) order.
-                for p in 0..self.k {
-                    let y = self.agg_id(p, group);
-                    if at(y) {
-                        return y;
-                    }
-                }
-                unreachable!("core switch has no neighbor one hop closer to the source")
+                (0..self.k).map(|p| self.agg_id(p, group)).find(at)
             }
-        }
+        };
+        parent.expect("switch has no neighbor one hop closer to the source") // analyzer:allow(no-panic) -- BFS-parent existence: every non-source node of a connected fat tree has a depth-(d-1) neighbor
     }
 
     /// Automorphism orbits of the fabric's nodes: core switches within a

@@ -185,7 +185,7 @@ impl DistanceMatrix {
     pub fn build(g: &Graph) -> Self {
         match Self::try_build(g) {
             Ok(dm) => dm,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // analyzer:allow(no-panic) -- documented panicking facade; budget-aware callers use try_build
         }
     }
 

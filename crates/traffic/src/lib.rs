@@ -144,7 +144,7 @@ impl DynamicTrace {
     ) -> Self {
         match Self::try_with_cohorts(w, model, mix, churn, east, rng) {
             Ok(t) => t,
-            Err(e) => panic!("with_cohorts: {e}"),
+            Err(e) => panic!("with_cohorts: {e}"), // analyzer:allow(no-panic) -- documented panicking facade; shape-checked boundaries use try_with_cohorts
         }
     }
 
@@ -169,9 +169,8 @@ impl DynamicTrace {
             });
         }
         let mut base = Vec::with_capacity(model.n_hours as usize + 1);
-        base.push(w.rates().to_vec());
+        let mut prev = w.rates().to_vec();
         for _ in 1..=model.n_hours {
-            let prev = base.last().expect("hour 0 pushed");
             let next: Vec<u64> = prev
                 .iter()
                 .map(|&r| {
@@ -182,8 +181,9 @@ impl DynamicTrace {
                     }
                 })
                 .collect();
-            base.push(next);
+            base.push(std::mem::replace(&mut prev, next));
         }
+        base.push(prev);
         Ok(DynamicTrace {
             base,
             east,
