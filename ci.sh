@@ -59,7 +59,10 @@ cargo run --release -p ppdc-experiments -- smoke-k32 --budget-ms 15000
 echo "==> chaos smoke (64 seeded trials: crashes, torn checkpoints, starvation)"
 cargo run --release -p ppdc-experiments -- chaos --trials 64 --seed 1
 
-echo "==> bench smoke (oracle + placement + checkpoint groups once, trajectory appended)"
+echo "==> streaming-engine smoke (1M flows over the k=32 fabric, counter invariants)"
+cargo run --release -p ppdc-experiments -- stream --flows 1000000 --budget-ms 120000
+
+echo "==> bench smoke (oracle + placement + checkpoint + stream groups once, trajectory appended)"
 rm -f target/ci-bench-samples.jsonl
 PPDC_BENCH_ONLY=dp_placement,dp_placement_k32 \
     PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
@@ -71,10 +74,13 @@ PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench checkpoint
 PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench analyzer
+PPDC_BENCH_ONLY=stream_ingest \
+    PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
+    cargo bench -p ppdc-bench --bench stream
 cargo run --release -p ppdc-experiments -- \
     --append-bench BENCH_placement.json \
     --bench-samples target/ci-bench-samples.jsonl \
-    --label "syntax-aware analyzer v2: panic reachability + rule pack" \
+    --label "streaming epoch engine: sharded million-flow ingestion" \
     --date "$(date +%F)"
 
 echo "CI OK"

@@ -50,6 +50,8 @@ pub fn is_entrypoint(name: &str) -> bool {
         || name == "run_day"
         || name == "resume_day"
         || name == "run_chaos_trial"
+        || name == "run_stream_day"
+        || name == "resume_stream_day"
 }
 
 /// One non-test function definition in the workspace graph.

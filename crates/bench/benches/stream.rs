@@ -1,0 +1,126 @@
+//! Streaming-ingestion benchmarks: million-flow stores on the k = 32
+//! fabric (1280 switches, 8192 hosts) driven by rate-delta batches.
+//!
+//! One measured unit is a full aggregate update: route the batch through
+//! [`ShardedFlowStore::ingest`] and fold the merged per-host masses into
+//! [`AttachAggregates::try_apply_mass_deltas`]. The fold dominates and its
+//! cost is `O(|touched hosts| · |switches|)` — independent of the store's
+//! flow count — so the cases sweep churn *locality* against a fixed
+//! 1M-flow store:
+//!
+//! * `hot_racks_8` — both endpoints inside 8 hot racks (≤ 128 hosts), the
+//!   paper's active-rack churn pattern and the sub-10 ms target case,
+//! * `hot_pods_2` — endpoints inside two pods (≤ 512 hosts),
+//! * `full_fabric` — every flow moves (all 8192 hosts), the worst case a
+//!   diurnal epoch can produce.
+//!
+//! Batches alternate with their exact negation each iteration, so the
+//! store and aggregates return to the initial state every two samples and
+//! no pristine clone of the million-flow store is paid inside the timer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdc_model::Workload;
+use ppdc_placement::AttachAggregates;
+use ppdc_sim::{RateDelta, ShardedFlowStore};
+use ppdc_topology::{FatTree, FatTreeOracle, NodeId};
+use std::time::Duration;
+
+const FLOWS: usize = 1_000_000;
+
+/// The deterministic million-flow workload the `stream` smoke uses: pairs
+/// strided over every host so the store's shard map covers the fabric.
+fn million_flow_workload(ft: &FatTree) -> Workload {
+    let hosts: Vec<NodeId> = ft.graph().hosts().collect();
+    let mut w = Workload::new();
+    for i in 0..FLOWS {
+        let a = hosts[(i * 131) % hosts.len()];
+        let b = hosts[(i * 2_477 + 4_096) % hosts.len()];
+        w.add_pair(a, b, (i as u64 % 97) * 13 + 1);
+    }
+    w
+}
+
+/// Deltas for every flow whose endpoints' top-of-rack switches both lie in
+/// `tors` (all flows when `tors` is `None`). Positive, so the negated
+/// batch can never underflow a rate.
+fn batch_for(ft: &FatTree, w: &Workload, tors: Option<&[NodeId]>) -> Vec<RateDelta> {
+    let g = ft.graph();
+    let mut out = Vec::new();
+    for (f, src, dst, _) in w.iter() {
+        let hot = match tors {
+            None => true,
+            Some(t) => {
+                let ks = g.top_of_rack(src).expect("fat-tree host has a ToR");
+                let kd = g.top_of_rack(dst).expect("fat-tree host has a ToR");
+                t.contains(&ks) && t.contains(&kd)
+            }
+        };
+        if hot {
+            out.push(RateDelta {
+                flow: f,
+                delta: (f.index() as i64 % 7) + 1,
+            });
+        }
+    }
+    out
+}
+
+fn negated(batch: &[RateDelta]) -> Vec<RateDelta> {
+    batch
+        .iter()
+        .map(|d| RateDelta {
+            flow: d.flow,
+            delta: -d.delta,
+        })
+        .collect()
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    let ft = FatTree::build(32).unwrap();
+    let g = ft.graph();
+    let oracle = FatTreeOracle::new(&ft);
+    let w = million_flow_workload(&ft);
+    // Distinct top-of-rack switches in host order: the first 8 are the
+    // "hot racks", the first two pods' worth (2 · k/2 · k/2 / 2 = 256
+    // hosts on k = 32, i.e. 32 racks) are the "hot pods".
+    let mut tors: Vec<NodeId> = Vec::new();
+    for h in g.hosts() {
+        let t = g.top_of_rack(h).expect("fat-tree host has a ToR");
+        if !tors.contains(&t) {
+            tors.push(t);
+        }
+    }
+    let racks_per_pod = tors.len() / 32;
+    let cases: Vec<(&str, Vec<RateDelta>)> = vec![
+        ("hot_racks_8", batch_for(&ft, &w, Some(&tors[..8]))),
+        (
+            "hot_pods_2",
+            batch_for(&ft, &w, Some(&tors[..2 * racks_per_pod])),
+        ),
+        ("full_fabric", batch_for(&ft, &w, None)),
+    ];
+    for (name, batch) in &cases {
+        let mut store = ShardedFlowStore::build(g, &w).unwrap();
+        let mut agg = AttachAggregates::build(g, &oracle, &w);
+        let neg = negated(batch);
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new(*name, FLOWS), batch, |b, batch| {
+            b.iter(|| {
+                let deltas: &[RateDelta] = if flip { &neg } else { batch };
+                flip = !flip;
+                let r = store.ingest(deltas).unwrap();
+                agg.try_apply_mass_deltas(&oracle, &r.masses, r.total_delta)
+                    .unwrap();
+                r.applied
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ingest);
+criterion_main!(benches);

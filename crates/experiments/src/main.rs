@@ -44,12 +44,14 @@ fn real_main() -> Result<(), CliError> {
     let mut budget_ms: Option<String> = None;
     let mut trials: Option<String> = None;
     let mut seed: Option<String> = None;
+    let mut flows: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
             flag @ ("--metrics" | "--check-metrics" | "--append-bench" | "--bench-samples"
-            | "--label" | "--date" | "--note" | "--budget-ms" | "--trials" | "--seed") => {
+            | "--label" | "--date" | "--note" | "--budget-ms" | "--trials" | "--seed"
+            | "--flows") => {
                 i += 1;
                 let Some(value) = args.get(i).cloned() else {
                     // The match arm binds `flag` to a 'static literal; keep
@@ -65,7 +67,8 @@ fn real_main() -> Result<(), CliError> {
                             "--note" => "--note",
                             "--budget-ms" => "--budget-ms",
                             "--trials" => "--trials",
-                            _ => "--seed",
+                            "--seed" => "--seed",
+                            _ => "--flows",
                         },
                     });
                 };
@@ -79,6 +82,7 @@ fn real_main() -> Result<(), CliError> {
                     "--budget-ms" => budget_ms = Some(value),
                     "--trials" => trials = Some(value),
                     "--seed" => seed = Some(value),
+                    "--flows" => flows = Some(value),
                     _ => note = Some(value),
                 }
             }
@@ -127,6 +131,22 @@ fn real_main() -> Result<(), CliError> {
             None => 10_000,
         };
         return smoke_k32(budget);
+    }
+
+    // Streaming smoke: drive the sharded million-flow epoch engine through
+    // a full diurnal day on the k=32 analytic-oracle fabric, assert its
+    // counter pair, and enforce a wall-clock budget. The ci.sh gate runs
+    // this with ≥1M flows.
+    if which.iter().any(|w| w == "stream") {
+        let budget = match budget_ms.as_deref() {
+            Some(v) => parse_u64("--budget-ms", v)?,
+            None => 120_000,
+        };
+        let n_flows = match flows.as_deref() {
+            Some(v) => parse_u64("--flows", v)?,
+            None => 1_000_000,
+        };
+        return stream_smoke(n_flows as usize, budget);
     }
 
     // Chaos mode: N seeded trials of the crash-safe engine under
@@ -294,6 +314,109 @@ fn smoke_k32(budget_ms: u64) -> Result<(), CliError> {
         counter(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED),
         counter(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED),
     );
+    if total_ms > budget_ms as f64 {
+        return Err(CliError::BudgetBreached {
+            total_ms: total_ms as u64,
+            budget_ms,
+        });
+    }
+    Ok(())
+}
+
+/// Streams a full diurnal day of rate deltas through the sharded flow
+/// store on the k=32 fat-tree (analytic oracle, no V² matrix): builds
+/// `n_flows` deterministic cross-pod flows, runs [`ppdc_sim::run_stream_day`]
+/// with a zero-tolerance drift rule (every epoch re-solved or certified
+/// optimal), and asserts the engine's counter pair before checking the
+/// wall-clock budget.
+fn stream_smoke(n_flows: usize, budget_ms: u64) -> Result<(), CliError> {
+    use ppdc_model::{Sfc, Workload};
+    use ppdc_sim::{run_stream_day, StreamConfig};
+    use ppdc_topology::{FatTree, FatTreeOracle};
+    use ppdc_traffic::{rng_for_run, DiurnalModel, DynamicTrace};
+
+    let obs = ppdc_obs::global();
+    obs.enable();
+    obs.declare(
+        ppdc_obs::names::SPANS,
+        ppdc_obs::names::COUNTERS,
+        ppdc_obs::names::HISTS,
+    );
+    let t0 = std::time::Instant::now();
+    let ft = FatTree::build(32).map_err(|e| CliError::Smoke(format!("k=32 fat-tree: {e}")))?;
+    let oracle = FatTreeOracle::new(&ft);
+    let g = ft.graph();
+    let hosts: Vec<ppdc_topology::NodeId> = g.hosts().collect();
+    let mut w = Workload::new();
+    for i in 0..n_flows {
+        let a = hosts[(i * 131) % hosts.len()];
+        let b = hosts[(i * 2_477 + 4_096) % hosts.len()];
+        w.add_pair(a, b, (i as u64 % 97) * 13 + 1);
+    }
+    let mut rng = rng_for_run(97, 0);
+    let trace = DynamicTrace::new(&w, DiurnalModel::default(), &mut rng);
+    let sfc = Sfc::of_len(4).map_err(|e| CliError::Smoke(format!("sfc: {e}")))?;
+    eprintln!(
+        "# stream: {} flows over {} switches built in {:.1}ms",
+        w.num_flows(),
+        oracle.num_switches(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    let run = run_stream_day(g, &oracle, &w, &trace, &sfc, &StreamConfig::default())
+        .map_err(|e| CliError::Smoke(format!("stream day: {e}")))?;
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let epochs = trace.model().n_hours as u64;
+    let snap = obs.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let span_mean_ms = |name: &str| {
+        snap.spans
+            .get(name)
+            .map(|s| (s.count, s.total_ns as f64 / s.count.max(1) as f64 / 1e6))
+            .unwrap_or((0, 0.0))
+    };
+    let (ingest_count, ingest_mean_ms) = span_mean_ms(ppdc_obs::names::STREAM_INGEST);
+    let (fold_count, fold_mean_ms) = span_mean_ms(ppdc_obs::names::AGG_APPLY_DELTAS);
+    eprintln!(
+        "# stream: day served in {total_ms:.1}ms (budget {budget_ms}ms) — \
+         {} re-solves, {} skipped, drift {}, {} deltas; \
+         ingest+fold mean {ingest_mean_ms:.2}ms over {ingest_count} epochs \
+         (fold alone {fold_mean_ms:.2}ms × {fold_count})",
+        run.result.resolves,
+        run.result.resolves_skipped,
+        counter(ppdc_obs::names::STREAM_DRIFT),
+        counter(ppdc_obs::names::STREAM_DELTAS),
+    );
+    // Counter-pair contract: every epoch either re-solved or was served
+    // by the stale incumbent, the ingest span fired once per epoch, and a
+    // diurnal day over this many flows cannot ingest zero drift.
+    let checks: &[(&str, bool)] = &[
+        (
+            "stream.resolves + stream.resolves_skipped == epochs",
+            run.result.resolves + run.result.resolves_skipped == epochs,
+        ),
+        (
+            "counter pair matches the run report",
+            counter(ppdc_obs::names::STREAM_RESOLVES) == run.result.resolves
+                && counter(ppdc_obs::names::STREAM_RESOLVES_SKIPPED) == run.result.resolves_skipped,
+        ),
+        ("stream.ingest fired every epoch", ingest_count == epochs),
+        (
+            "stream.drift > 0",
+            counter(ppdc_obs::names::STREAM_DRIFT) > 0,
+        ),
+        (
+            "stream.deltas > 0",
+            counter(ppdc_obs::names::STREAM_DELTAS) > 0,
+        ),
+        ("run completed", run.completed),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            return Err(CliError::Smoke(format!(
+                "stream counter check failed: {what}"
+            )));
+        }
+    }
     if total_ms > budget_ms as f64 {
         return Err(CliError::BudgetBreached {
             total_ms: total_ms as u64,

@@ -21,6 +21,7 @@ pub const REQUIRED_SPANS: &[&str] = &[
     names::SOLVER_MPARETO,
     names::SIM_DEGRADED_REBUILD,
     names::SIM_REPAIR,
+    names::STREAM_INGEST,
 ];
 
 /// Counter keys every observed run must carry.
@@ -41,6 +42,10 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     names::CKPT_RESTORES,
     names::CKPT_TORN_RECOVERIES,
     names::SIM_REROUTE_SKIPPED,
+    names::STREAM_DRIFT,
+    names::STREAM_DELTAS,
+    names::STREAM_RESOLVES,
+    names::STREAM_RESOLVES_SKIPPED,
 ];
 
 /// Validates a `--metrics` JSON document: it must parse, carry the

@@ -123,6 +123,20 @@ pub mod names {
     /// Hours whose healthy-baseline reroute telemetry was skipped because
     /// the APSP byte budget refused the full healthy matrix.
     pub const SIM_REROUTE_SKIPPED: &str = "sim.reroute_skipped_hours";
+    /// One streaming delta-batch ingest: shard scatter, per-shard partial
+    /// reduction, tree merge, and the aggregate fold.
+    pub const STREAM_INGEST: &str = "stream.ingest";
+    /// Accumulated absolute rate drift `Σ|Δλ|` ingested by the streaming
+    /// engine (the drift tracker's raw material).
+    pub const STREAM_DRIFT: &str = "stream.drift";
+    /// Rate-delta records ingested by the streaming engine.
+    pub const STREAM_DELTAS: &str = "stream.deltas";
+    /// Epochs where the drift tracker re-ran the placement solver.
+    pub const STREAM_RESOLVES: &str = "stream.resolves";
+    /// Epochs served by the stale incumbent: drift stayed under the
+    /// threshold, or the admissible-bound staleness certificate cleared
+    /// it. Pairs with [`STREAM_DRIFT`].
+    pub const STREAM_RESOLVES_SKIPPED: &str = "stream.resolves_skipped";
 
     /// Every span name the epoch loop pre-declares.
     pub const SPANS: &[&str] = &[
@@ -139,6 +153,7 @@ pub mod names {
         SOLVER_MCF,
         SIM_DEGRADED_REBUILD,
         SIM_REPAIR,
+        STREAM_INGEST,
     ];
     /// Every counter name the epoch loop pre-declares.
     pub const COUNTERS: &[&str] = &[
@@ -159,6 +174,10 @@ pub mod names {
         CKPT_RESTORES,
         CKPT_TORN_RECOVERIES,
         SIM_REROUTE_SKIPPED,
+        STREAM_DRIFT,
+        STREAM_DELTAS,
+        STREAM_RESOLVES,
+        STREAM_RESOLVES_SKIPPED,
     ];
     /// Every histogram name the epoch loop pre-declares.
     pub const HISTS: &[&str] = &[SIM_HOUR_SOLVER_NS];

@@ -36,6 +36,7 @@
 
 use ppdc_model::{FlowId, Placement, Workload};
 use ppdc_topology::{Cost, DistanceOracle, Graph, NodeId, INFINITY};
+use rayon::prelude::*;
 
 /// One `λ·c(h, x)` attachment term, with the unreachable sentinel kept
 /// intact: a positive mass across an [`INFINITY`] distance contributes
@@ -60,15 +61,58 @@ fn attach_acc(acc: Cost, mass: u64, cost: Cost) -> Cost {
     acc.saturating_add(attach_term(mass, cost)).min(INFINITY)
 }
 
-/// Checked `i128 → u64` for the delta folds of
-/// [`AttachAggregates::apply_rate_deltas`]. Panics (in all build profiles)
-/// when the deltas disagree with the rates the aggregates were built from
-/// — the documented loud-panic contract: wrapping a negative value into a
-/// huge cost would silently poison every downstream decision.
-fn delta_cost(v: i128, what: &str) -> Cost {
-    let checked = Cost::try_from(v);
-    // analyzer:allow(no-panic) -- documented loud-panic contract: inconsistent deltas are caller bugs
-    checked.unwrap_or_else(|_| panic!("rate deltas drove {what} negative or out of range"))
+/// Typed failure of the checked delta folds
+/// ([`AttachAggregates::try_apply_rate_deltas`] /
+/// [`AttachAggregates::try_apply_mass_deltas`]). The aggregates are left
+/// untouched when a fold fails — updates are staged and committed only
+/// after every entry validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateError {
+    /// A fold drove the named quantity negative or beyond `u64` range —
+    /// the deltas disagree with the rates the aggregates were built from.
+    OutOfRange {
+        /// Which aggregate went out of range (`"A_in"`, `"A_out"`, or
+        /// `"the total rate"`).
+        what: &'static str,
+    },
+    /// An intermediate `Δmass · c` product or running sum exceeded `i128`
+    /// — only reachable from adversarially large mass deltas, never from
+    /// deltas derived from real `u64` rates.
+    Overflow {
+        /// Which aggregate the overflowing term was headed for.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::OutOfRange { what } => {
+                write!(f, "rate deltas drove {what} negative or out of range")
+            }
+            AggregateError::Overflow { what } => {
+                write!(f, "rate-delta fold overflowed while updating {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// One attach node's net rate-mass change, the unit the streaming engine's
+/// per-shard tree-reduce folds over: `d_out` is the change of
+/// `R_out[host]` (the host's total source rate), `d_in` of `R_in[host]`.
+/// Deltas are `i128` so any sum of per-flow `i64` deltas — including a
+/// stream that transiently overshoots `u64` range before a compensating
+/// delta lands — accumulates exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostMassDelta {
+    /// The attach node (host) whose masses changed.
+    pub host: NodeId,
+    /// Net change of the host's outgoing rate mass `R_out[host]`.
+    pub d_out: i128,
+    /// Net change of the host's incoming rate mass `R_in[host]`.
+    pub d_in: i128,
 }
 
 /// Precomputed `A_in` / `A_out` arrays plus the total rate.
@@ -242,15 +286,43 @@ impl AttachAggregates {
     ///
     /// Panics (in all build profiles) if a delta drives an aggregate
     /// negative — i.e. the deltas disagree with the rates the aggregates
-    /// were built from.
+    /// were built from. [`AttachAggregates::try_apply_rate_deltas`] is the
+    /// typed-error twin.
     pub fn apply_rate_deltas<D: DistanceOracle + ?Sized>(
         &mut self,
         dm: &D,
         w: &Workload,
         deltas: &[(FlowId, i64)],
     ) {
+        let applied = self.try_apply_rate_deltas(dm, w, deltas);
+        if let Err(e) = applied {
+            // analyzer:allow(no-panic) -- documented loud-panic contract: inconsistent deltas are caller bugs
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`AttachAggregates::apply_rate_deltas`].
+    ///
+    /// Per-host deltas accumulate in `i128`, so a delta stream that
+    /// briefly overshoots — the running sum exceeding `u64`/`i64` range
+    /// before a compensating delta lands in the same batch — folds
+    /// exactly; only the *net* per-host mass and the final aggregates must
+    /// be representable. On error the aggregates are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::OutOfRange`] when the net deltas disagree with
+    /// the rates the aggregates were built from,
+    /// [`AggregateError::Overflow`] on (adversarial) `i128` intermediate
+    /// overflow.
+    pub fn try_apply_rate_deltas<D: DistanceOracle + ?Sized>(
+        &mut self,
+        dm: &D,
+        w: &Workload,
+        deltas: &[(FlowId, i64)],
+    ) -> Result<(), AggregateError> {
         if deltas.is_empty() {
-            return;
+            return Ok(());
         }
         let obs = ppdc_obs::global();
         let _span = obs.span(ppdc_obs::names::AGG_APPLY_DELTAS);
@@ -259,15 +331,15 @@ impl AttachAggregates {
             u64::try_from(deltas.len()).unwrap_or(u64::MAX),
         );
         let n = self.a_in.len();
-        let mut out_delta = vec![0i64; n];
-        let mut in_delta = vec![0i64; n];
+        let mut out_delta = vec![0i128; n];
+        let mut in_delta = vec![0i128; n];
         let mut touched: Vec<u32> = Vec::new();
         // Explicit membership marker: a host's accumulated delta can
         // transiently cancel to 0 mid-list, and a delta==0 test would push
         // it into `touched` twice — applying its delta twice to every
         // switch.
         let mut seen = vec![false; n];
-        let mut total_delta = 0i64;
+        let mut total_delta = 0i128;
         for &(f, d) in deltas {
             if d == 0 {
                 continue;
@@ -277,29 +349,28 @@ impl AttachAggregates {
                 seen[src.index()] = true;
                 touched.push(src.0);
             }
-            out_delta[src.index()] += d;
+            out_delta[src.index()] += i128::from(d);
             if !seen[dst.index()] {
                 seen[dst.index()] = true;
                 touched.push(dst.0);
             }
-            in_delta[dst.index()] += d;
-            total_delta += d;
+            in_delta[dst.index()] += i128::from(d);
+            total_delta += i128::from(d);
         }
         // A host's net delta can cancel back to zero; the switch sweep
-        // below multiplies by 0 then, which is still correct.
-        for &x in &self.switches {
-            let mut ain = i128::from(self.a_in[x.index()]);
-            let mut aout = i128::from(self.a_out[x.index()]);
-            for &h in &touched {
+        // multiplies by 0 then, which is still correct.
+        let mass_deltas: Vec<HostMassDelta> = touched
+            .iter()
+            .map(|&h| {
                 let h = NodeId(h);
-                ain += i128::from(out_delta[h.index()]) * i128::from(dm.cost(h, x));
-                aout += i128::from(in_delta[h.index()]) * i128::from(dm.cost(x, h));
-            }
-            self.a_in[x.index()] = delta_cost(ain, "A_in");
-            self.a_out[x.index()] = delta_cost(aout, "A_out");
-        }
-        let total = i128::from(self.total_rate) + i128::from(total_delta);
-        self.total_rate = delta_cost(total, "the total rate");
+                HostMassDelta {
+                    host: h,
+                    d_out: out_delta[h.index()],
+                    d_in: in_delta[h.index()],
+                }
+            })
+            .collect();
+        self.fold_mass_deltas(dm, &mass_deltas, total_delta)?;
         // `strict-invariants` contract: the caller must have folded the
         // same deltas into `w` before (or after) feeding them here, so the
         // incremental total and the workload's total stay in lock-step.
@@ -309,6 +380,110 @@ impl AttachAggregates {
             w.total_rate(),
             "rate deltas left the aggregate total out of sync with the workload"
         );
+        #[cfg(not(feature = "strict-invariants"))]
+        let _only_read_under_strict_invariants = w;
+        Ok(())
+    }
+
+    /// Folds pre-grouped per-host mass deltas into the aggregates — the
+    /// streaming engine's entry point: each shard of a
+    /// `ppdc_sim::stream::ShardedFlowStore` reduces its flow deltas to a
+    /// handful of [`HostMassDelta`]s, the shards tree-merge them, and one
+    /// switch sweep lands the merged list here. `total_delta` is the net
+    /// change of `Σλ`. Exactly the same arithmetic as
+    /// [`AttachAggregates::try_apply_rate_deltas`], so the result stays
+    /// bit-identical to a from-scratch rebuild. On error the aggregates
+    /// are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`AttachAggregates::try_apply_rate_deltas`].
+    pub fn try_apply_mass_deltas<D: DistanceOracle + ?Sized>(
+        &mut self,
+        dm: &D,
+        deltas: &[HostMassDelta],
+        total_delta: i128,
+    ) -> Result<(), AggregateError> {
+        if deltas.is_empty() && total_delta == 0 {
+            return Ok(());
+        }
+        let _span = ppdc_obs::global().span(ppdc_obs::names::AGG_APPLY_DELTAS);
+        self.fold_mass_deltas(dm, deltas, total_delta)
+    }
+
+    /// The shared switch sweep: stage `A_in`/`A_out` updates for every
+    /// candidate, validate all of them, then commit — a failed fold never
+    /// leaves the aggregates half-updated.
+    fn fold_mass_deltas<D: DistanceOracle + ?Sized>(
+        &mut self,
+        dm: &D,
+        deltas: &[HostMassDelta],
+        total_delta: i128,
+    ) -> Result<(), AggregateError> {
+        // Every switch's (A_in, A_out) pair is staged independently from
+        // immutable state, so the sweep parallelizes without any cross-
+        // switch reduction — per-switch arithmetic is the same serial
+        // loop either way, keeping the result bit-identical. Small folds
+        // stay on the calling thread.
+        let a_in = &self.a_in;
+        let a_out = &self.a_out;
+        let switches = &self.switches;
+        let stage_one = |x: NodeId| -> Result<(usize, Cost, Cost), AggregateError> {
+            let mut ain = i128::from(a_in[x.index()]);
+            let mut aout = i128::from(a_out[x.index()]);
+            for d in deltas {
+                // A zero-sided mass contributes an exact zero: skipping
+                // the term (and its oracle query) is bit-identical.
+                if d.d_out != 0 {
+                    ain = d
+                        .d_out
+                        .checked_mul(i128::from(dm.cost(d.host, x)))
+                        .and_then(|t| ain.checked_add(t))
+                        .ok_or(AggregateError::Overflow { what: "A_in" })?;
+                }
+                if d.d_in != 0 {
+                    aout = d
+                        .d_in
+                        .checked_mul(i128::from(dm.cost(x, d.host)))
+                        .and_then(|t| aout.checked_add(t))
+                        .ok_or(AggregateError::Overflow { what: "A_out" })?;
+                }
+            }
+            let ain =
+                Cost::try_from(ain).map_err(|_| AggregateError::OutOfRange { what: "A_in" })?;
+            let aout =
+                Cost::try_from(aout).map_err(|_| AggregateError::OutOfRange { what: "A_out" })?;
+            Ok((x.index(), ain, aout))
+        };
+        const PARALLEL_FOLD_WORK: usize = 1 << 15;
+        let staged: Vec<(usize, Cost, Cost)> =
+            if switches.len().saturating_mul(deltas.len()) < PARALLEL_FOLD_WORK {
+                switches
+                    .iter()
+                    .map(|&x| stage_one(x))
+                    .collect::<Result<_, _>>()?
+            } else {
+                (0..switches.len())
+                    .into_par_iter()
+                    .map(|i| stage_one(switches[i]))
+                    .collect::<Vec<Result<(usize, Cost, Cost), AggregateError>>>()
+                    .into_iter()
+                    .collect::<Result<_, _>>()?
+            };
+        let total = i128::from(self.total_rate).checked_add(total_delta).ok_or(
+            AggregateError::Overflow {
+                what: "the total rate",
+            },
+        )?;
+        let total = u64::try_from(total).map_err(|_| AggregateError::OutOfRange {
+            what: "the total rate",
+        })?;
+        for (i, ain, aout) in staged {
+            self.a_in[i] = ain;
+            self.a_out[i] = aout;
+        }
+        self.total_rate = total;
+        Ok(())
     }
 
     /// `A_in[x]`: rate-weighted cost of all sources reaching ingress `x`.
@@ -573,6 +748,106 @@ mod tests {
         let f = w.add_pair(h1, h2, 10);
         let mut agg = AttachAggregates::build(&g, &dm, &w);
         agg.apply_rate_deltas(&dm, &w, &[(f, -20)]);
+    }
+
+    #[test]
+    fn overshooting_then_compensating_deltas_fold_exactly() {
+        // Regression (fails on the old i64 fold): three flows share a src
+        // host and a delta stream raises each by D before compensating
+        // entries land *in the same batch*. The per-host running sum
+        // transiently reaches 3·D > i64::MAX, which the old
+        // `out_delta: Vec<i64>` accumulator trapped on (workspace
+        // overflow-checks) even though the net change is tiny. The i128
+        // fold only requires the *net* masses to be representable.
+        const D: i64 = 3_500_000_000_000_000_000; // 3·D > i64::MAX
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let f0 = w.add_pair(hosts[0], hosts[5], 10);
+        let f1 = w.add_pair(hosts[0], hosts[7], 20);
+        let f2 = w.add_pair(hosts[0], hosts[9], 30);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        let deltas = [(f0, D), (f1, D), (f2, D), (f0, -D), (f1, -D), (f2, -D + 3)];
+        w.set_rate(f2, 33); // net: f0 and f1 unchanged, f2 +3
+        agg.try_apply_rate_deltas(&dm, &w, &deltas)
+            .expect("overshooting-but-compensated deltas must fold");
+        let rebuilt = AttachAggregates::build(&g, &dm, &w);
+        assert!(agg.same_as(&rebuilt));
+    }
+
+    #[test]
+    fn failed_delta_fold_leaves_aggregates_untouched() {
+        // The staged commit: an inconsistent batch must error without
+        // half-updating any switch (a partially applied A_in/A_out would
+        // silently skew every later incremental epoch).
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let f0 = w.add_pair(hosts[0], hosts[5], 10);
+        let f1 = w.add_pair(hosts[3], hosts[11], 40);
+        let mut agg = AttachAggregates::build(&g, &dm, &w);
+        let before = agg.clone();
+        let err = agg
+            .try_apply_rate_deltas(&dm, &w, &[(f0, 1), (f1, -500)])
+            .expect_err("delta below -λ must be rejected");
+        assert_eq!(err, AggregateError::OutOfRange { what: "A_in" });
+        assert!(agg.same_as(&before));
+        assert_eq!(agg.total_rate(), before.total_rate());
+    }
+
+    #[test]
+    fn mass_delta_fold_matches_flow_delta_fold() {
+        // `try_apply_mass_deltas` is the streaming tree-reduce target: a
+        // pre-grouped per-host mass list must land bit-identically to the
+        // per-flow path (and to a from-scratch rebuild).
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        let f0 = w.add_pair(hosts[0], hosts[5], 100);
+        let f1 = w.add_pair(hosts[3], hosts[11], 40);
+        let f2 = w.add_pair(hosts[8], hosts[0], 7);
+        let mut by_flow = AttachAggregates::build(&g, &dm, &w);
+        let mut by_mass = by_flow.clone();
+        let deltas = [(f0, 50i64), (f1, -40), (f2, 3)];
+        for &(f, d) in &deltas {
+            let new = u64::try_from(i64::try_from(w.rate(f)).unwrap() + d).unwrap();
+            w.set_rate(f, new);
+        }
+        by_flow.try_apply_rate_deltas(&dm, &w, &deltas).unwrap();
+        // Grouped by endpoint host, first-touch order of the flow path.
+        let masses = [
+            HostMassDelta {
+                host: hosts[0],
+                d_out: 50,
+                d_in: 3,
+            },
+            HostMassDelta {
+                host: hosts[5],
+                d_out: 0,
+                d_in: 50,
+            },
+            HostMassDelta {
+                host: hosts[3],
+                d_out: -40,
+                d_in: 0,
+            },
+            HostMassDelta {
+                host: hosts[11],
+                d_out: 0,
+                d_in: -40,
+            },
+            HostMassDelta {
+                host: hosts[8],
+                d_out: 3,
+                d_in: 0,
+            },
+        ];
+        by_mass.try_apply_mass_deltas(&dm, &masses, 13).unwrap();
+        assert!(by_mass.same_as(&by_flow));
+        assert!(by_mass.same_as(&AttachAggregates::build(&g, &dm, &w)));
     }
 
     #[test]

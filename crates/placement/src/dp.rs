@@ -179,6 +179,67 @@ pub fn dp_placement_with_closure<D: DistanceOracle + ?Sized>(
     dp_placement_inner(dm, w, sfc, agg, Some(closure))
 }
 
+/// The branch-and-bound admissible bound, minimised over all ordered
+/// (ingress, egress) pairs and exposed standalone:
+///
+/// `LB = min_{i ≠ j} A_in[i] + Σλ · max(c(i, j), (n−1)·c_min) + A_out[j]`
+///
+/// (for `n = 1`, `min_x A_in[x] + A_out[x]`). Every admissibility argument
+/// of the module docs applies pairwise, so `LB ≤ C_a*` — the optimal cost
+/// of Algorithm 3 over `agg`'s candidate set — in the saturating algebra.
+/// For `n ≤ 2` the bound is exact.
+///
+/// This is the streaming engine's *staleness certificate*: after folding
+/// rate deltas into `agg`, `comm_cost(incumbent) − LB` bounds how far the
+/// stale incumbent placement can be from the current optimum, without
+/// running a solve. `O(m²)` oracle queries and no closure build, so it is
+/// cheap even at k = 32 against the analytic fat-tree oracle.
+///
+/// Returns [`INFINITY`] when `agg` offers fewer than `sfc_len` candidate
+/// switches (no placement exists, so every cost bound holds vacuously) or
+/// when `sfc_len == 0`.
+pub fn placement_cost_lower_bound<D: DistanceOracle + ?Sized>(
+    dm: &D,
+    agg: &AttachAggregates,
+    sfc_len: usize,
+) -> Cost {
+    let switches = agg.switches();
+    let m = switches.len();
+    if sfc_len == 0 || m < sfc_len {
+        return INFINITY;
+    }
+    if sfc_len == 1 {
+        return switches
+            .iter()
+            .map(|&x| sat_add(agg.a_in(x), agg.a_out(x)))
+            .min()
+            .unwrap_or(INFINITY);
+    }
+    let rate = agg.total_rate();
+    let mut c_min = INFINITY;
+    for &i in switches {
+        for &j in switches {
+            if i != j {
+                c_min = c_min.min(dm.cost(i, j));
+            }
+        }
+    }
+    let segments = u64::try_from(sfc_len - 1).unwrap_or(u64::MAX);
+    let seg_lb = sat_mul(segments, c_min);
+    let mut lb = u64::MAX; // above every saturated bound
+    for &i in switches {
+        for &j in switches {
+            if i == j {
+                continue;
+            }
+            let chain_lb = dm.cost(i, j).max(seg_lb);
+            let bound = sat_add(sat_add(agg.a_in(i), sat_mul(rate, chain_lb)), agg.a_out(j));
+            lb = lb.min(bound);
+        }
+    }
+    lb.min(INFINITY)
+}
+
 fn dp_placement_inner<D: DistanceOracle + ?Sized>(
     dm: &D,
     w: &Workload,
@@ -625,6 +686,51 @@ mod tests {
     use ppdc_model::comm_cost;
     use ppdc_topology::builders::{fat_tree, linear};
     use ppdc_topology::DistanceMatrix;
+
+    #[test]
+    fn lower_bound_is_admissible_and_tight_for_short_chains() {
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut w = Workload::new();
+        for i in 0..hosts.len() {
+            w.add_pair(
+                hosts[i],
+                hosts[(i * 7 + 3) % hosts.len()],
+                1 + (i % 9) as u64,
+            );
+        }
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        for n in 1..=4usize {
+            let sfc = Sfc::of_len(n).unwrap();
+            let (_, opt) = dp_placement_with_agg(&g, &dm, &w, &sfc, &agg).unwrap();
+            let lb = placement_cost_lower_bound(&dm, &agg, n);
+            assert!(lb <= opt, "n={n}: lb {lb} > optimum {opt}");
+            if n <= 2 {
+                assert_eq!(lb, opt, "n={n}: the pairwise bound is exact");
+            }
+        }
+        // Restricted candidate sets bound their restricted optimum too.
+        let all: Vec<NodeId> = g.switches().collect();
+        let subset: Vec<NodeId> = all.iter().copied().step_by(2).collect();
+        let ragg = AttachAggregates::build_restricted(&g, &dm, &w, &subset);
+        let sfc = Sfc::of_len(3).unwrap();
+        let (_, ropt) = dp_placement_with_agg(&g, &dm, &w, &sfc, &ragg).unwrap();
+        let rlb = placement_cost_lower_bound(&dm, &ragg, 3);
+        assert!(rlb <= ropt);
+    }
+
+    #[test]
+    fn lower_bound_degenerate_inputs_are_vacuous() {
+        let (g, h1, h2) = linear(3).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let mut w = Workload::new();
+        w.add_pair(h1, h2, 5);
+        let agg = AttachAggregates::build(&g, &dm, &w);
+        assert_eq!(placement_cost_lower_bound(&dm, &agg, 0), INFINITY);
+        // linear(3) has 3 switches; a 4-VNF chain cannot be placed.
+        assert_eq!(placement_cost_lower_bound(&dm, &agg, 4), INFINITY);
+    }
 
     #[test]
     fn example1_initial_placement() {

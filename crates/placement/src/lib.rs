@@ -44,13 +44,13 @@ pub mod replication;
 pub mod scaling;
 pub mod top1;
 
-pub use aggregates::AttachAggregates;
+pub use aggregates::{AggregateError, AttachAggregates, HostMassDelta};
 pub use baselines::{
     greedy_placement, greedy_placement_with_agg, steering_placement, steering_placement_with_agg,
 };
 pub use dp::{
     dp_placement, dp_placement_exhaustive_with_agg, dp_placement_with_agg,
-    dp_placement_with_closure,
+    dp_placement_with_closure, placement_cost_lower_bound,
 };
 pub use optimal::{
     exhaustive_placement, optimal_placement, optimal_placement_with_agg,

@@ -400,35 +400,41 @@ impl Checkpoint {
     }
 }
 
-fn as_obj<'a>(v: &'a Value, what: &str) -> Result<&'a BTreeMap<String, Value>, CkptError> {
+pub(crate) fn as_obj<'a>(
+    v: &'a Value,
+    what: &str,
+) -> Result<&'a BTreeMap<String, Value>, CkptError> {
     v.as_obj()
         .ok_or_else(|| CkptError::Corrupt(format!("{what} is not an object")))
 }
 
-fn field<'a>(o: &'a BTreeMap<String, Value>, k: &str) -> Result<&'a Value, CkptError> {
+pub(crate) fn field<'a>(o: &'a BTreeMap<String, Value>, k: &str) -> Result<&'a Value, CkptError> {
     o.get(k)
         .ok_or_else(|| CkptError::Corrupt(format!("missing field {k:?}")))
 }
 
-fn str_field<'a>(o: &'a BTreeMap<String, Value>, k: &str) -> Result<&'a str, CkptError> {
+pub(crate) fn str_field<'a>(o: &'a BTreeMap<String, Value>, k: &str) -> Result<&'a str, CkptError> {
     field(o, k)?
         .as_str()
         .ok_or_else(|| CkptError::Corrupt(format!("field {k:?} is not a string")))
 }
 
-fn u64_field(o: &BTreeMap<String, Value>, k: &str) -> Result<u64, CkptError> {
+pub(crate) fn u64_field(o: &BTreeMap<String, Value>, k: &str) -> Result<u64, CkptError> {
     field(o, k)?
         .as_u64()
         .ok_or_else(|| CkptError::Corrupt(format!("field {k:?} is not a u64")))
 }
 
-fn arr_field<'a>(o: &'a BTreeMap<String, Value>, k: &str) -> Result<&'a [Value], CkptError> {
+pub(crate) fn arr_field<'a>(
+    o: &'a BTreeMap<String, Value>,
+    k: &str,
+) -> Result<&'a [Value], CkptError> {
     field(o, k)?
         .as_arr()
         .ok_or_else(|| CkptError::Corrupt(format!("field {k:?} is not an array")))
 }
 
-fn u64_arr(vals: &[Value], what: &str) -> Result<Vec<u64>, CkptError> {
+pub(crate) fn u64_arr(vals: &[Value], what: &str) -> Result<Vec<u64>, CkptError> {
     vals.iter()
         .map(|v| {
             v.as_u64()
@@ -437,14 +443,14 @@ fn u64_arr(vals: &[Value], what: &str) -> Result<Vec<u64>, CkptError> {
         .collect()
 }
 
-fn node_ids(o: &BTreeMap<String, Value>, k: &str) -> Result<Vec<NodeId>, CkptError> {
+pub(crate) fn node_ids(o: &BTreeMap<String, Value>, k: &str) -> Result<Vec<NodeId>, CkptError> {
     u64_arr(arr_field(o, k)?, k)?
         .into_iter()
         .map(|x| Ok(NodeId(to_u32(x, k)?)))
         .collect()
 }
 
-fn row_u64(row: &Value, len: usize, what: &str) -> Result<Vec<u64>, CkptError> {
+pub(crate) fn row_u64(row: &Value, len: usize, what: &str) -> Result<Vec<u64>, CkptError> {
     let arr = row
         .as_arr()
         .ok_or_else(|| CkptError::Corrupt(format!("{what} row is not an array")))?;
@@ -457,11 +463,11 @@ fn row_u64(row: &Value, len: usize, what: &str) -> Result<Vec<u64>, CkptError> {
     u64_arr(arr, what)
 }
 
-fn to_u32(x: u64, what: &str) -> Result<u32, CkptError> {
+pub(crate) fn to_u32(x: u64, what: &str) -> Result<u32, CkptError> {
     u32::try_from(x).map_err(|_| CkptError::Corrupt(format!("{what} value {x} exceeds u32")))
 }
 
-fn to_usize(x: u64) -> Result<usize, CkptError> {
+pub(crate) fn to_usize(x: u64) -> Result<usize, CkptError> {
     usize::try_from(x).map_err(|_| CkptError::Corrupt(format!("value {x} exceeds usize")))
 }
 
@@ -529,21 +535,21 @@ pub fn fingerprint(
     h.finish()
 }
 
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn u64(&mut self, x: u64) {
+    pub(crate) fn u64(&mut self, x: u64) {
         for b in x.to_le_bytes() {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -595,6 +601,17 @@ impl CheckpointStore {
     ///
     /// [`CkptError::Io`] with the failing operation and path.
     pub fn write(&self, ckpt: &Checkpoint) -> Result<(), CkptError> {
+        self.write_raw(&ckpt.to_json())
+    }
+
+    /// The slot machinery behind [`CheckpointStore::write`], usable with
+    /// any serialized snapshot document (the streaming engine persists its
+    /// own `ppdc-stream-ckpt/v1` schema through the same store).
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] with the failing operation and path.
+    pub fn write_raw(&self, doc: &str) -> Result<(), CkptError> {
         let obs = ppdc_obs::global();
         let sw = Stopwatch::start_if(obs.is_enabled());
         let tmp = suffixed(&self.path, ".tmp");
@@ -604,7 +621,7 @@ impl CheckpointStore {
             msg: e.to_string(),
         };
         let mut f = fs::File::create(&tmp).map_err(|e| io("create", &tmp, e))?;
-        f.write_all(ckpt.to_json().as_bytes())
+        f.write_all(doc.as_bytes())
             .map_err(|e| io("write", &tmp, e))?;
         f.sync_all().map_err(|e| io("fsync", &tmp, e))?;
         drop(f);
@@ -626,9 +643,24 @@ impl CheckpointStore {
     ///
     /// The *primary's* error when neither slot holds a loadable snapshot.
     pub fn load(&self) -> Result<(Checkpoint, CkptSlot), CkptError> {
-        match self.load_slot(&self.path) {
+        self.load_with(Checkpoint::from_json)
+    }
+
+    /// [`CheckpointStore::load`] generalized over the snapshot parser:
+    /// torn-primary detection is the parser failing, so any schema gets
+    /// the same two-slot recovery (including the `ckpt.torn_recoveries`
+    /// counter on fallback).
+    ///
+    /// # Errors
+    ///
+    /// The *primary's* error when neither slot parses.
+    pub fn load_with<T>(
+        &self,
+        parse: impl Fn(&str) -> Result<T, CkptError>,
+    ) -> Result<(T, CkptSlot), CkptError> {
+        match self.load_slot(&self.path, &parse) {
             Ok(c) => Ok((c, CkptSlot::Primary)),
-            Err(primary_err) => match self.load_slot(&self.prev_path()) {
+            Err(primary_err) => match self.load_slot(&self.prev_path(), &parse) {
                 Ok(c) => {
                     ppdc_obs::global().add(obs_names::CKPT_TORN_RECOVERIES, 1);
                     Ok((c, CkptSlot::Previous))
@@ -638,13 +670,17 @@ impl CheckpointStore {
         }
     }
 
-    fn load_slot(&self, path: &Path) -> Result<Checkpoint, CkptError> {
+    fn load_slot<T>(
+        &self,
+        path: &Path,
+        parse: impl Fn(&str) -> Result<T, CkptError>,
+    ) -> Result<T, CkptError> {
         let src = fs::read_to_string(path).map_err(|e| CkptError::Io {
             op: "read",
             path: path.display().to_string(),
             msg: e.to_string(),
         })?;
-        Checkpoint::from_json(&src)
+        parse(&src)
     }
 }
 

@@ -25,6 +25,15 @@
 //! through solver starvation; and the seeded chaos harness
 //! ([`run_chaos_trial`]) turns correlated pod outages, link flaps, torn
 //! checkpoints, and resource pressure into asserted invariants.
+//!
+//! [`stream`] scales the epoch loop to millions of flows:
+//! [`run_stream_day`] ingests **rate deltas** through a ToR-pair-sharded
+//! flow store ([`ShardedFlowStore`]), folds them into the live attach
+//! aggregates with a fixed-shape parallel tree-reduce, and re-runs the
+//! solver only when accumulated drift crosses a threshold — using the
+//! admissible placement bound to certify when the stale incumbent is
+//! provably close enough to serve. [`resume_stream_day`] restores a
+//! `ppdc-stream-ckpt/v1` snapshot and finishes the day bit-identically.
 
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -35,6 +44,7 @@ pub mod fault;
 pub mod report;
 pub mod simulator;
 pub mod stats;
+pub mod stream;
 pub mod supervisor;
 
 pub use chaos::{run_chaos_trial, ChaosConfig, ChaosError, ChaosTrialConfig, ChaosTrialReport};
@@ -47,4 +57,9 @@ pub use fault::{
 pub use report::Table;
 pub use simulator::{simulate, HourRecord, MigrationPolicy, SimConfig, SimResult};
 pub use stats::{summarize, Summary};
+pub use stream::{
+    resume_stream_day, run_stream_day, stream_fingerprint, DriftTracker, EpochAction, EpochRecord,
+    IngestReport, RateDelta, ShardedFlowStore, StreamCheckpoint, StreamConfig, StreamError,
+    StreamResult, StreamRun, STREAM_CKPT_SCHEMA,
+};
 pub use supervisor::{SolverStarvation, SupervisorConfig};

@@ -36,7 +36,7 @@ impl DiurnalModel {
     /// the shifted cohort) the scale rests at the floor `τ_min`.
     pub fn scale_at(&self, h: i64) -> f64 {
         let n = self.n_hours as f64;
-        if h <= 0 || h >= self.n_hours as i64 * 2 {
+        if h <= 0 || h >= self.n_hours as i64 {
             // Eq. 9's boundary (τ_0 = 0) would silence the flow entirely;
             // the floor keeps the PPDC's background traffic alive, which is
             // how [20] uses τ_min.
@@ -46,7 +46,7 @@ impl DiurnalModel {
         let tri = if h <= n / 2.0 {
             2.0 * h / n
         } else {
-            (2.0 * (n - h) / n).max(0.0)
+            2.0 * (n - h) / n
         };
         self.tau_min + (1.0 - self.tau_min) * tri
     }
@@ -106,6 +106,54 @@ mod tests {
         assert_eq!(curve.len(), 13);
         assert_eq!(curve[0].0, 0);
         assert_eq!(curve[12].0, 12);
+    }
+
+    /// The documented contract at every boundary: the floor guard itself
+    /// fires for `h <= 0` and `h >= N` — the range `(N, 2N)` must not
+    /// depend on a downstream clamp — and the ramp is exact at mid-day.
+    /// Checked for the west cohort (evaluated at `h`) and the east cohort
+    /// (evaluated at `h + EAST_COAST_OFFSET`, the `rates_at` convention).
+    #[test]
+    fn boundary_hours_match_the_documented_contract() {
+        for m in [
+            DiurnalModel::default(),
+            DiurnalModel {
+                n_hours: 24,
+                tau_min: 0.35,
+            },
+        ] {
+            let n = i64::from(m.n_hours);
+            let expect = |h: i64| -> f64 {
+                if h <= 0 || h >= n {
+                    m.tau_min
+                } else if 2 * h <= n {
+                    m.tau_min + (1.0 - m.tau_min) * 2.0 * h as f64 / n as f64
+                } else {
+                    m.tau_min + (1.0 - m.tau_min) * 2.0 * (n - h) as f64 / n as f64
+                }
+            };
+            for h in [-1, 0, n / 2, n, n + 1, 2 * n] {
+                // West cohort reads the curve at h directly.
+                let west = m.scale_at(h);
+                assert!(
+                    (west - expect(h)).abs() < 1e-12,
+                    "west cohort at h={h} (N={n}): got {west}, expected {}",
+                    expect(h)
+                );
+                // East cohort runs EAST_COAST_OFFSET hours ahead.
+                let east = m.scale_at(h + EAST_COAST_OFFSET);
+                assert!(
+                    (east - expect(h + EAST_COAST_OFFSET)).abs() < 1e-12,
+                    "east cohort at h={h} (N={n}): got {east}, expected {}",
+                    expect(h + EAST_COAST_OFFSET)
+                );
+            }
+            // The guard itself covers (N, 2N): exactly the floor, not a
+            // clamped ramp value.
+            for h in (n + 1)..(2 * n) {
+                assert_eq!(m.scale_at(h), m.tau_min, "h={h} inside (N, 2N)");
+            }
+        }
     }
 
     #[test]

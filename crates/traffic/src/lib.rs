@@ -469,6 +469,39 @@ mod tests {
     }
 
     #[test]
+    fn quiet_hours_stream_no_dead_entries() {
+        // Streaming-engine contract: a flow whose rate did not change must
+        // not appear in the delta feed at all — a million-flow stream over
+        // a quiet hour is an empty batch, not a million `(flow, 0)` rows.
+        let ft = FatTree::build(4).unwrap();
+        let (w, _) = standard_workload(&ft, 50, 13, 0);
+        // τ_min = 1 flattens the diurnal triangle; with a churn-free trace
+        // on top, every hour's rate vector is identical to hour 0's.
+        let flat = DiurnalModel {
+            n_hours: 12,
+            tau_min: 1.0,
+        };
+        let mut rng = rng_for_run(13, 1);
+        let trace = DynamicTrace::new(&w, flat, &mut rng);
+        for h in 1..=12 {
+            assert_eq!(trace.try_rate_deltas(h).unwrap(), vec![], "hour {h}");
+        }
+        // On a moving trace the feed still never carries a dead entry, and
+        // streaming the deltas across the whole day lands bit-exactly on
+        // the batch rate vector — the identity the sharded ingest (and its
+        // aggregate `same_as` check) builds on.
+        let (_, trace) = standard_workload(&ft, 50, 13, 0);
+        let mut streamed = trace.rates_at(0);
+        for h in 1..=12u32 {
+            for (f, d) in trace.try_rate_deltas(h).unwrap() {
+                assert_ne!(d, 0, "dead entry for flow {} at hour {h}", f.0);
+                streamed[f.index()] = (streamed[f.index()] as i64 + d) as u64;
+            }
+        }
+        assert_eq!(streamed, trace.rates_at(12));
+    }
+
+    #[test]
     fn untrusted_inputs_get_typed_errors() {
         let ft = FatTree::build(4).unwrap();
         let (w, trace) = standard_workload(&ft, 10, 7, 0);

@@ -667,4 +667,115 @@ proptest! {
         prop_assert!(resumed.completed);
         prop_assert_eq!(resumed.result, full.result, "policy {:?} kill {}", policy, kill);
     }
+
+    /// Sharded streaming ingestion is bit-identical to building from
+    /// scratch: after every epoch of random rate movement the incrementally
+    /// folded aggregates — full *and* restricted to a random candidate
+    /// subset — equal a fresh [`AttachAggregates`] at the new rates, and
+    /// the store's exported rate vector equals the target vector.
+    #[test]
+    fn streamed_ingest_equals_rebuild_with_restricted_candidates(
+        num_flows in 1usize..24,
+        n_epochs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use ppdc::model::FlowId;
+        use ppdc::sim::{RateDelta, ShardedFlowStore};
+        use ppdc::topology::{FatTree, FatTreeOracle};
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let oracle = FatTreeOracle::new(&ft);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut x = seed | 1;
+        let mut next = || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        let mut w = Workload::new();
+        for _ in 0..num_flows {
+            let a = hosts[next() as usize % hosts.len()];
+            let b = hosts[next() as usize % hosts.len()];
+            w.add_pair(a, b, next() % 10_000);
+        }
+        let switches: Vec<NodeId> = g.switches().collect();
+        let mut candidates: Vec<NodeId> =
+            switches.iter().copied().filter(|_| next() % 3 != 0).collect();
+        if candidates.is_empty() {
+            candidates = switches;
+        }
+        let mut store = ShardedFlowStore::build(g, &w).unwrap();
+        let mut agg = AttachAggregates::build(g, &oracle, &w);
+        let mut agg_r = AttachAggregates::build_restricted(g, &oracle, &w, &candidates);
+        let mut w_cur = w.clone();
+        for _ in 0..n_epochs {
+            let target: Vec<u64> = (0..w_cur.num_flows()).map(|_| next() % 10_000).collect();
+            let deltas: Vec<RateDelta> = w_cur
+                .rates()
+                .iter()
+                .enumerate()
+                .map(|(f, &r)| RateDelta {
+                    flow: FlowId(f as u32),
+                    delta: target[f] as i64 - r as i64,
+                })
+                .collect();
+            let report = store.ingest(&deltas).unwrap();
+            agg.try_apply_mass_deltas(&oracle, &report.masses, report.total_delta).unwrap();
+            agg_r.try_apply_mass_deltas(&oracle, &report.masses, report.total_delta).unwrap();
+            w_cur.set_rates(&target).unwrap();
+            prop_assert!(
+                agg.same_as(&AttachAggregates::build(g, &oracle, &w_cur)),
+                "full aggregates drifted from the rebuild"
+            );
+            prop_assert!(
+                agg_r.same_as(&AttachAggregates::build_restricted(g, &oracle, &w_cur, &candidates)),
+                "restricted aggregates drifted from the rebuild"
+            );
+            let mut exported = Vec::new();
+            store.export_rates(&mut exported);
+            prop_assert_eq!(exported, target);
+        }
+    }
+
+    /// Crash safety for the streaming engine: killing a streamed day at a
+    /// random epoch and resuming from the JSON-round-tripped checkpoint
+    /// finishes **bit-identically** to the uninterrupted run — placement,
+    /// per-epoch records, and every accumulated counter — across drift
+    /// thresholds that re-solve always, sometimes, and never.
+    #[test]
+    fn stream_kill_and_resume_is_bit_identical(
+        seed in any::<u64>(),
+        num_pairs in 4usize..24,
+        kill_pick in any::<u32>(),
+        threshold_pick in 0usize..3,
+    ) {
+        use ppdc::sim::{resume_stream_day, run_stream_day, StreamCheckpoint, StreamConfig};
+        use ppdc::topology::{FatTree, FatTreeOracle};
+        use ppdc::traffic::standard_workload;
+        let ft = FatTree::build(4).unwrap();
+        let oracle = FatTreeOracle::new(&ft);
+        let (w, trace) = standard_workload(&ft, num_pairs, seed % 1024, 0);
+        let n_hours = trace.model().n_hours;
+        prop_assume!(n_hours >= 2);
+        let sfc = Sfc::of_len(3).unwrap();
+        let cfg = StreamConfig {
+            drift_threshold: [0u64, 5_000, u64::MAX][threshold_pick],
+            ..StreamConfig::default()
+        };
+        let full = run_stream_day(ft.graph(), &oracle, &w, &trace, &sfc, &cfg).unwrap();
+        prop_assert!(full.completed);
+        let kill = 1 + kill_pick % (n_hours - 1);
+        let halted = run_stream_day(
+            ft.graph(), &oracle, &w, &trace, &sfc,
+            &StreamConfig { stop_after: Some(kill), ..cfg.clone() },
+        ).unwrap();
+        prop_assert!(!halted.completed);
+        let ck = halted.checkpoint.expect("stopped runs carry a checkpoint");
+        prop_assert_eq!(ck.epoch, kill);
+        // Survive a serialization round-trip, like a real crash would force.
+        let ck = StreamCheckpoint::from_json(&ck.to_json()).unwrap();
+        let resumed =
+            resume_stream_day(ft.graph(), &oracle, &w, &trace, &sfc, &cfg, &ck).unwrap();
+        prop_assert!(resumed.completed);
+        prop_assert_eq!(
+            resumed.result, full.result,
+            "threshold {} kill {}", cfg.drift_threshold, kill
+        );
+    }
 }
