@@ -62,6 +62,9 @@ cargo run --release -p ppdc-experiments -- chaos --trials 64 --seed 1
 echo "==> streaming-engine smoke (1M flows over the k=32 fabric, counter invariants)"
 cargo run --release -p ppdc-experiments -- stream --flows 1000000 --budget-ms 120000
 
+echo "==> churned-day stream smoke (hot-rack/two-pod/full-fabric spikes, warm-solver counters + budget)"
+cargo run --release -p ppdc-experiments -- stream --churned --flows 1000000 --budget-ms 120000 --warm-ms 1000
+
 echo "==> bench smoke (oracle + placement + checkpoint + stream groups once, trajectory appended)"
 rm -f target/ci-bench-samples.jsonl
 PPDC_BENCH_ONLY=dp_placement,dp_placement_k32 \
@@ -74,13 +77,14 @@ PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench checkpoint
 PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench analyzer
-PPDC_BENCH_ONLY=stream_ingest \
+PPDC_BENCH_ONLY=stream_ingest,stream_resolve \
     PPDC_BENCH_JSON="$PWD/target/ci-bench-samples.jsonl" \
     cargo bench -p ppdc-bench --bench stream
 cargo run --release -p ppdc-experiments -- \
     --append-bench BENCH_placement.json \
     --bench-samples target/ci-bench-samples.jsonl \
-    --label "streaming epoch engine: sharded million-flow ingestion" \
-    --date "$(date +%F)"
+    --label "warm-started incremental re-solver: seeded bounds + chain memo" \
+    --date "$(date +%F)" \
+    --note "Timings from the offline stopwatch criterion stand-in (vendor/criterion), min/median/mean ns per iteration. stream_resolve pits a cold k=32 dp_placement_with_agg against dp_placement_warm re-solving after hot-rack/two-pod/full-fabric churn; warm-vs-cold highlights are intra-run medians. dp_placement/k4_l20 is back at its pre-orbit-sweep level (ORBIT_MIN_SWITCHES cutoff skips orbit compression below 64 switches), recovering the small-fabric regression introduced with the orbit-compressed sweep."
 
 echo "CI OK"

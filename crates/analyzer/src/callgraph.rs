@@ -52,6 +52,7 @@ pub fn is_entrypoint(name: &str) -> bool {
         || name == "run_chaos_trial"
         || name == "run_stream_day"
         || name == "resume_stream_day"
+        || name == "dp_placement_warm"
 }
 
 /// One non-test function definition in the workspace graph.

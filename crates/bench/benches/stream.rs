@@ -17,15 +17,35 @@
 //! Batches alternate with their exact negation each iteration, so the
 //! store and aggregates return to the initial state every two samples and
 //! no pristine clone of the million-flow store is paid inside the timer.
+//!
+//! The `stream_resolve` group measures the *solver* half of an epoch: the
+//! warm-started re-solve ([`dp_placement_warm`] with a persistent
+//! [`BoundCache`] and the previous optimum as incumbent) against the cold
+//! [`dp_placement_with_agg`] the engine would otherwise pay, over the same
+//! three churn localities. Aggregates are prebuilt outside the timer and
+//! alternate base ↔ churned between iterations, so the measured unit is
+//! exactly the post-ingest re-solve latency.
+//!
+//! `PPDC_BENCH_ONLY=stream_ingest` (comma-separated group names) restricts
+//! the run — the vendored criterion stand-in has no CLI filter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppdc_model::Workload;
-use ppdc_placement::AttachAggregates;
+use ppdc_model::{Sfc, Workload};
+use ppdc_placement::{
+    dp_placement_warm, dp_placement_with_agg, AttachAggregates, BoundCache, HostMassDelta,
+};
 use ppdc_sim::{RateDelta, ShardedFlowStore};
 use ppdc_topology::{FatTree, FatTreeOracle, NodeId};
 use std::time::Duration;
 
 const FLOWS: usize = 1_000_000;
+
+fn enabled(group: &str) -> bool {
+    match std::env::var("PPDC_BENCH_ONLY") {
+        Ok(only) => only.split(',').any(|g| g.trim() == group),
+        Err(_) => true,
+    }
+}
 
 /// The deterministic million-flow workload the `stream` smoke uses: pairs
 /// strided over every host so the store's shard map covers the fabric.
@@ -75,7 +95,38 @@ fn negated(batch: &[RateDelta]) -> Vec<RateDelta> {
         .collect()
 }
 
+/// Distinct top-of-rack switches in host order: the first 8 are the
+/// "hot racks", the first two pods' worth are the "hot pods".
+fn tors_in_host_order(ft: &FatTree) -> Vec<NodeId> {
+    let g = ft.graph();
+    let mut tors: Vec<NodeId> = Vec::new();
+    for h in g.hosts() {
+        let t = g.top_of_rack(h).expect("fat-tree host has a ToR");
+        if !tors.contains(&t) {
+            tors.push(t);
+        }
+    }
+    tors
+}
+
+/// The three churn-locality cases both groups sweep.
+fn churn_cases(ft: &FatTree, w: &Workload) -> Vec<(&'static str, Vec<RateDelta>)> {
+    let tors = tors_in_host_order(ft);
+    let racks_per_pod = tors.len() / 32;
+    vec![
+        ("hot_racks_8", batch_for(ft, w, Some(&tors[..8]))),
+        (
+            "hot_pods_2",
+            batch_for(ft, w, Some(&tors[..2 * racks_per_pod])),
+        ),
+        ("full_fabric", batch_for(ft, w, None)),
+    ]
+}
+
 fn bench_stream_ingest(c: &mut Criterion) {
+    if !enabled("stream_ingest") {
+        return;
+    }
     let mut group = c.benchmark_group("stream_ingest");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
@@ -84,25 +135,7 @@ fn bench_stream_ingest(c: &mut Criterion) {
     let g = ft.graph();
     let oracle = FatTreeOracle::new(&ft);
     let w = million_flow_workload(&ft);
-    // Distinct top-of-rack switches in host order: the first 8 are the
-    // "hot racks", the first two pods' worth (2 · k/2 · k/2 / 2 = 256
-    // hosts on k = 32, i.e. 32 racks) are the "hot pods".
-    let mut tors: Vec<NodeId> = Vec::new();
-    for h in g.hosts() {
-        let t = g.top_of_rack(h).expect("fat-tree host has a ToR");
-        if !tors.contains(&t) {
-            tors.push(t);
-        }
-    }
-    let racks_per_pod = tors.len() / 32;
-    let cases: Vec<(&str, Vec<RateDelta>)> = vec![
-        ("hot_racks_8", batch_for(&ft, &w, Some(&tors[..8]))),
-        (
-            "hot_pods_2",
-            batch_for(&ft, &w, Some(&tors[..2 * racks_per_pod])),
-        ),
-        ("full_fabric", batch_for(&ft, &w, None)),
-    ];
+    let cases = churn_cases(&ft, &w);
     for (name, batch) in &cases {
         let mut store = ShardedFlowStore::build(g, &w).unwrap();
         let mut agg = AttachAggregates::build(g, &oracle, &w);
@@ -122,5 +155,70 @@ fn bench_stream_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stream_ingest);
+/// Warm vs cold epoch re-solve latency on the k = 32 fabric.
+///
+/// `cold` is one full Algorithm 3 sweep over prebuilt aggregates — what
+/// every epoch paid before the warm-start layer. Each `warm_<case>` id
+/// alternates between a base and a churned aggregate twin (both prebuilt,
+/// the churn folded once outside the timer), reports the movement through
+/// [`BoundCache::note_mass_deltas`], and re-solves seeded with the
+/// previous optimum — exactly the streaming engine's per-epoch solver
+/// path, with the ingest fold excluded so the two sides are comparable.
+fn bench_stream_resolve(c: &mut Criterion) {
+    if !enabled("stream_resolve") {
+        return;
+    }
+    let ft = FatTree::build(32).unwrap();
+    let g = ft.graph();
+    let oracle = FatTreeOracle::new(&ft);
+    let w = million_flow_workload(&ft);
+    let sfc = Sfc::of_len(4).unwrap();
+    let cases = churn_cases(&ft, &w);
+    let mut group = c.benchmark_group("stream_resolve");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(1));
+    group.measurement_time(Duration::from_secs(2));
+
+    let base = AttachAggregates::build(g, &oracle, &w);
+    group.bench_with_input(BenchmarkId::new("cold", FLOWS), &(), |b, ()| {
+        b.iter(|| dp_placement_with_agg(g, &oracle, &w, &sfc, &base).unwrap())
+    });
+
+    let touch = [HostMassDelta {
+        host: g.hosts().next().expect("fat-tree has hosts"),
+        d_in: 0,
+        d_out: 0,
+    }];
+    for (name, batch) in &cases {
+        let mut store = ShardedFlowStore::build(g, &w).unwrap();
+        let mut churned = AttachAggregates::build(g, &oracle, &w);
+        let r = store.ingest(batch).unwrap();
+        churned
+            .try_apply_mass_deltas(&oracle, &r.masses, r.total_delta)
+            .unwrap();
+        let mut cache = BoundCache::new();
+        let (mut prev, _) =
+            dp_placement_warm(g, &oracle, &w, &sfc, &base, &mut cache, None).unwrap();
+        let mut flip = false;
+        group.bench_with_input(
+            BenchmarkId::new(format!("warm_{name}"), FLOWS),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let agg = if flip { &base } else { &churned };
+                    flip = !flip;
+                    cache.note_mass_deltas(&touch);
+                    let (p, cost) =
+                        dp_placement_warm(g, &oracle, &w, &sfc, agg, &mut cache, Some(&prev))
+                            .unwrap();
+                    prev = p;
+                    cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ingest, bench_stream_resolve);
 criterion_main!(benches);

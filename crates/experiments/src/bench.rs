@@ -71,6 +71,28 @@ pub fn parse_bench_samples(jsonl: &str) -> Result<Vec<BenchSample>, String> {
     Ok(out)
 }
 
+/// Intra-run warm/cold pairing: an id with a `warm_*` path segment (e.g.
+/// `stream_resolve/warm_hot_racks_8/1000000`) is compared against the
+/// same run's id with that segment replaced by `cold`
+/// (`stream_resolve/cold/1000000`), yielding a `<id>_vs_cold_speedup`
+/// highlight — cold median ÷ warm median, above 1.0 means the warm start
+/// pays.
+fn cold_counterpart(id: &str) -> Option<String> {
+    let mut replaced = false;
+    let mapped: Vec<&str> = id
+        .split('/')
+        .map(|seg| {
+            if seg.starts_with("warm_") {
+                replaced = true;
+                "cold"
+            } else {
+                seg
+            }
+        })
+        .collect();
+    replaced.then(|| mapped.join("/"))
+}
+
 /// Median times of the youngest trajectory entry, as `(id, median_ns)`.
 fn last_entry_medians(doc: &Value) -> Vec<(String, f64)> {
     let Some(prev) = doc
@@ -154,6 +176,17 @@ pub fn append_bench_trajectory(
                     "\"{}_median_speedup_vs_prev\": {:.2}",
                     escape(&s.id),
                     prev_median / s.median_ns
+                ));
+            }
+        }
+        if s.median_ns > 0.0 {
+            if let Some(cold) =
+                cold_counterpart(&s.id).and_then(|cid| samples.iter().find(|c| c.id == cid))
+            {
+                highlights.push(format!(
+                    "\"{}_vs_cold_speedup\": {:.2}",
+                    escape(&s.id),
+                    cold.median_ns / s.median_ns
                 ));
             }
         }
@@ -305,6 +338,41 @@ mod tests {
         };
         let out = append_bench_trajectory(DOC, LINES, "r", "2026-08-07", &serial).unwrap();
         assert!(out.contains("\"rayon_parallelized\": false"));
+    }
+
+    #[test]
+    fn warm_ids_gain_intra_run_cold_speedups() {
+        let lines = concat!(
+            "{\"id\":\"stream_resolve/cold/1000000\",\"min_ns\":1.6e9,",
+            "\"median_ns\":1.7e9,\"mean_ns\":1.8e9,\"samples\":3,\"total_iters\":3}\n",
+            "{\"id\":\"stream_resolve/warm_hot_racks_8/1000000\",\"min_ns\":1.5e7,",
+            "\"median_ns\":1.7e7,\"mean_ns\":1.9e7,\"samples\":10,\"total_iters\":10}\n",
+            "{\"id\":\"stream_resolve/warm_full_fabric/1000000\",\"min_ns\":2.0e7,",
+            "\"median_ns\":3.4e7,\"mean_ns\":3.5e7,\"samples\":10,\"total_iters\":10}\n",
+        );
+        let out = append_bench_trajectory(DOC, lines, "warm", "2026-08-07", &env()).unwrap();
+        let v = json::parse(&out).unwrap();
+        let entry = v.get("trajectory").and_then(Value::as_arr).unwrap()[1].clone();
+        let hl = entry.get("highlights").and_then(Value::as_obj).unwrap();
+        // The cold id itself gets no highlight; each warm id is paired
+        // against it within the same run.
+        assert_eq!(hl.len(), 2);
+        let hot = hl
+            .get("stream_resolve/warm_hot_racks_8/1000000_vs_cold_speedup")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((hot - 100.0).abs() < 1e-9, "got {hot}");
+        let full = hl
+            .get("stream_resolve/warm_full_fabric/1000000_vs_cold_speedup")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((full - 50.0).abs() < 1e-9, "got {full}");
+        // No warm segment ⇒ no counterpart lookup at all.
+        assert_eq!(cold_counterpart("dp_placement/k4_l20"), None);
+        assert_eq!(
+            cold_counterpart("stream_resolve/warm_hot_pods_2/1000000").as_deref(),
+            Some("stream_resolve/cold/1000000")
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub const REQUIRED_SPANS: &[&str] = &[
     names::SIM_DEGRADED_REBUILD,
     names::SIM_REPAIR,
     names::STREAM_INGEST,
+    names::SOLVER_WARM,
 ];
 
 /// Counter keys every observed run must carry.
@@ -46,6 +47,10 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     names::STREAM_DELTAS,
     names::STREAM_RESOLVES,
     names::STREAM_RESOLVES_SKIPPED,
+    names::SOLVER_WARM_SEEDED,
+    names::SOLVER_WARM_ROWS_DIRTY,
+    names::SOLVER_WARM_ROWS_REUSED,
+    names::SOLVER_WARM_EGRESS_SKIPPED,
 ];
 
 /// Validates a `--metrics` JSON document: it must parse, carry the

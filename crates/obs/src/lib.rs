@@ -137,6 +137,20 @@ pub mod names {
     /// threshold, or the admissible-bound staleness certificate cleared
     /// it. Pairs with [`STREAM_DRIFT`].
     pub const STREAM_RESOLVES_SKIPPED: &str = "stream.resolves_skipped";
+    /// One warm-started Algorithm 3 solve (`dp_placement_warm`): bound
+    /// cache refresh, incumbent seeding, and the seeded sweep.
+    pub const SOLVER_WARM: &str = "solver.warm";
+    /// Warm solves that installed a priced feasible incumbent as the
+    /// sweep's initial upper bound.
+    pub const SOLVER_WARM_SEEDED: &str = "solver.warm.seeded";
+    /// Bound-cache rows recomputed because their attach aggregates moved
+    /// (full rebuilds count every row).
+    pub const SOLVER_WARM_ROWS_DIRTY: &str = "solver.warm.rows_dirty";
+    /// Bound-cache rows reused verbatim across a warm solve.
+    pub const SOLVER_WARM_ROWS_REUSED: &str = "solver.warm.rows_reused";
+    /// Egresses dropped before the sweep because their cached bound
+    /// already exceeded the seeded incumbent.
+    pub const SOLVER_WARM_EGRESS_SKIPPED: &str = "solver.warm.egress_skipped";
 
     /// Every span name the epoch loop pre-declares.
     pub const SPANS: &[&str] = &[
@@ -154,6 +168,7 @@ pub mod names {
         SIM_DEGRADED_REBUILD,
         SIM_REPAIR,
         STREAM_INGEST,
+        SOLVER_WARM,
     ];
     /// Every counter name the epoch loop pre-declares.
     pub const COUNTERS: &[&str] = &[
@@ -178,6 +193,10 @@ pub mod names {
         STREAM_DELTAS,
         STREAM_RESOLVES,
         STREAM_RESOLVES_SKIPPED,
+        SOLVER_WARM_SEEDED,
+        SOLVER_WARM_ROWS_DIRTY,
+        SOLVER_WARM_ROWS_REUSED,
+        SOLVER_WARM_EGRESS_SKIPPED,
     ];
     /// Every histogram name the epoch loop pre-declares.
     pub const HISTS: &[&str] = &[SIM_HOUR_SOLVER_NS];

@@ -51,6 +51,22 @@
 //! have, and the bit-identity argument above carries over unchanged (see
 //! DESIGN.md §8).
 //!
+//! Compression only pays when there are enough candidates to share
+//! bounds across: below [`ORBIT_MIN_SWITCHES`] the sweep uses singleton
+//! classes (every switch its own class), which reduces exactly to the
+//! per-row bound test. Any partition into valid interchangeability
+//! classes yields the same sweep result — the bound values are identical
+//! either way — so the cutoff is a pure time trade.
+//!
+//! # Warm starts
+//!
+//! The streaming engine re-solves the same instance epoch after epoch
+//! with only a few hosts' masses moved. [`crate::warm::dp_placement_warm`]
+//! wraps this sweep with a persistent bound cache and an incumbent seed;
+//! the pieces it reuses ([`sweep_classes_with_hashes`], [`egress_order`],
+//! [`SweepCtx::run_sweep`]) live here so warm and cold share one code
+//! path and stay bit-identical by construction.
+//!
 //! All per-egress state (stroll tables, candidate chains) lives in
 //! per-worker thread-local scratch reused across egresses and epochs, so
 //! the steady-state sweep allocates nothing but the final placement.
@@ -70,6 +86,7 @@ use ppdc_topology::{
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 thread_local! {
     /// Closure scratch for [`dp_placement_with_agg`]: refilled in place
@@ -90,7 +107,59 @@ struct EgressScratch {
     best_chain: Vec<NodeId>,
 }
 
-fn too_few(switches: usize, vnfs: usize) -> PlacementError {
+/// One egress slot of the interior memo, indexed by ingress closure
+/// index: the `n−2` interior switches of the row's chain, or `None` when
+/// the stroll solver reported the row unsolvable (or the index is the
+/// egress itself). Empty until the sweep first visits the egress, then
+/// filled densely in one pass — see [`SweepCtx::fill_slot`].
+type MemoSlot = Vec<Option<Box<[NodeId]>>>;
+
+/// Cross-epoch memo of interior stroll chains, owned by the warm path's
+/// [`crate::warm::BoundCache`].
+///
+/// A stroll solution is a deterministic function of
+/// `(closure, egress, ingress, n)` alone — the aggregates never enter the
+/// DP, and even the tie-break perturbation retries derive from the
+/// closure — so while the closure is unchanged a memoized interior chain
+/// is byte-identical to what [`DpBatchSolver`] would recompute, and
+/// pricing it under the current epoch's aggregates reproduces the cold
+/// cost exactly. This is where the warm speedup actually comes from: the
+/// admissible bounds cannot shrink the `{lb ≤ optimum}` survivor set, but
+/// the survivors' DP fills (the dominant cost per egress) collapse to
+/// `O(1)` lookups plus an `O(n)` aggregate pricing on every epoch after
+/// the first.
+///
+/// Each egress index owns one mutex-guarded slot; the sweep hands a whole
+/// slot to the single worker visiting that egress, so the locks never
+/// contend — they exist to make the memo writable through the `&SweepCtx`
+/// the parallel workers share.
+#[derive(Debug, Default)]
+pub(crate) struct InteriorMemo {
+    slots: Vec<Mutex<MemoSlot>>,
+}
+
+impl InteriorMemo {
+    /// Drops every memoized chain and resizes to `m` egress slots. Must
+    /// run whenever the closure is rebuilt: the chains (and the closure
+    /// indices keying them) are only valid for the closure they were
+    /// solved under.
+    pub(crate) fn reset(&mut self, m: usize) {
+        self.slots.clear();
+        self.slots.resize_with(m, Mutex::default);
+    }
+
+    /// The slot for egress `t_ix`, or `None` when the memo was never
+    /// sized for this closure (cold sweeps pass no memo at all).
+    fn slot(&self, t_ix: usize) -> Option<std::sync::MutexGuard<'_, MemoSlot>> {
+        self.slots
+            .get(t_ix)
+            // A worker can only poison its own slot, and a poisoned map
+            // still holds only completed inserts — safe to keep using.
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+pub(crate) fn too_few(switches: usize, vnfs: usize) -> PlacementError {
     PlacementError::Model(ppdc_model::ModelError::TooFewSwitches { switches, vnfs })
 }
 
@@ -240,7 +309,7 @@ pub fn placement_cost_lower_bound<D: DistanceOracle + ?Sized>(
     lb.min(INFINITY)
 }
 
-fn dp_placement_inner<D: DistanceOracle + ?Sized>(
+pub(crate) fn dp_placement_inner<D: DistanceOracle + ?Sized>(
     dm: &D,
     w: &Workload,
     sfc: &Sfc,
@@ -347,16 +416,38 @@ pub(crate) fn interchange_classes(
     a_in: &[Cost],
     a_out: &[Cost],
 ) -> Vec<Vec<usize>> {
+    interchange_classes_with_hashes(closure, a_in, a_out, &closure_row_hashes(closure))
+}
+
+/// Full-row commutative fingerprints for [`interchange_classes`]:
+/// interchangeable rows are equal as multisets (the off-pair entries match
+/// pointwise, the pair entries are `0` and the symmetric `c(u, v)` on both
+/// sides). Split out because the fingerprints depend only on the closure —
+/// not the aggregates — so the warm path's [`crate::warm::BoundCache`]
+/// computes them once per candidate set and reclassifies dirty epochs
+/// against the cached values.
+pub(crate) fn closure_row_hashes(closure: &MetricClosure) -> Vec<u64> {
     let m = closure.len();
-    // Full-row commutative fingerprint: interchangeable rows are equal as
-    // multisets (the off-pair entries match pointwise, the pair entries
-    // are `0` and the symmetric `c(u, v)` on both sides).
-    let mut keyed: Vec<(Cost, Cost, u64, usize)> = (0..m)
-        .map(|i| {
-            let h = (0..m).fold(0u64, |acc, x| acc.wrapping_add(mix(closure.cost_ix(i, x))));
-            (a_in[i], a_out[i], h, i)
-        })
-        .collect();
+    (0..m)
+        .map(|i| (0..m).fold(0u64, |acc, x| acc.wrapping_add(mix(closure.cost_ix(i, x)))))
+        .collect()
+}
+
+/// [`interchange_classes`] against caller-cached row fingerprints, which
+/// must equal [`closure_row_hashes`] of `closure` (checked in debug
+/// builds). The fingerprint is a bucketing accelerator only — membership
+/// is decided by the exact row comparison — so correct hashes make the
+/// result identical to a from-scratch classification.
+pub(crate) fn interchange_classes_with_hashes(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+    hashes: &[u64],
+) -> Vec<Vec<usize>> {
+    let m = closure.len();
+    debug_assert_eq!(hashes.len(), m, "row fingerprints do not cover the closure");
+    let mut keyed: Vec<(Cost, Cost, u64, usize)> =
+        (0..m).map(|i| (a_in[i], a_out[i], hashes[i], i)).collect();
     keyed.sort_unstable();
     let rows_agree = |u: usize, v: usize| {
         (0..m).all(|x| x == u || x == v || closure.cost_ix(u, x) == closure.cost_ix(v, x))
@@ -385,40 +476,230 @@ pub(crate) fn interchange_classes(
     classes
 }
 
+/// Below this candidate count the sweep skips [`interchange_classes`]
+/// bucketing and every switch is its own class. The O(m²) fingerprint
+/// fold plus bucket verification costs more than the bound sharing
+/// recovers on small fabrics (k = 4 has 20 switch candidates, k = 8 has
+/// 80 — both finish in tens of microseconds either way), while k = 16
+/// (320) and k = 32 (1,280) sit far above the line and keep full orbit
+/// compression. Singleton classes are a valid interchangeability
+/// partition and every pruning decision compares the same bound values,
+/// so the cutoff cannot change any result (see the module docs).
+pub(crate) const ORBIT_MIN_SWITCHES: usize = 128;
+
+fn singleton_classes(m: usize) -> Vec<Vec<usize>> {
+    (0..m).map(|i| vec![i]).collect()
+}
+
+/// The sweep's class partition behind the [`ORBIT_MIN_SWITCHES`] cutoff:
+/// singletons below it, [`interchange_classes`] at or above.
+pub(crate) fn sweep_classes(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+) -> Vec<Vec<usize>> {
+    if closure.len() < ORBIT_MIN_SWITCHES {
+        singleton_classes(closure.len())
+    } else {
+        interchange_classes(closure, a_in, a_out)
+    }
+}
+
+/// [`sweep_classes`] against caller-cached row fingerprints; `hashes` is
+/// never read below the cutoff (the warm cache leaves it empty there).
+pub(crate) fn sweep_classes_with_hashes(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+    hashes: &[u64],
+) -> Vec<Vec<usize>> {
+    if closure.len() < ORBIT_MIN_SWITCHES {
+        singleton_classes(closure.len())
+    } else {
+        interchange_classes_with_hashes(closure, a_in, a_out, hashes)
+    }
+}
+
+/// The cheapest distinct-pair closure cost — the `c_min` of the module
+/// docs' bound.
+pub(crate) fn closure_c_min(closure: &MetricClosure) -> Cost {
+    let m = closure.len();
+    let mut c_min = INFINITY;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            c_min = c_min.min(closure.cost_ix(i, j));
+        }
+    }
+    c_min
+}
+
+/// `class_size[i]`: how many members index `i`'s class has — the "was
+/// this prune shared with siblings" test for the orbit counter.
+pub(crate) fn class_sizes(classes: &[Vec<usize>], m: usize) -> Vec<u32> {
+    let mut class_size = vec![0u32; m];
+    for class in classes {
+        let size = u32::try_from(class.len()).unwrap_or(u32::MAX);
+        for &i in class {
+            class_size[i] = size;
+        }
+    }
+    class_size
+}
+
+/// The admissible bound `lb(i, j)` of the module docs over raw slices, so
+/// the sweep context and the warm bound cache share one formula.
+fn pair_bound_raw(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+    rate: u64,
+    seg_lb: Cost,
+    s_ix: usize,
+    t_ix: usize,
+) -> Cost {
+    let chain_lb = closure.cost_ix(s_ix, t_ix).max(seg_lb);
+    sat_add(sat_add(a_in[s_ix], sat_mul(rate, chain_lb)), a_out[t_ix])
+}
+
+/// Best-bound-first egress order: `(min_{s≠t} lb(s, t), t_ix)` sorted
+/// ascending, so the cheapest egress is solved first, the incumbent is
+/// near-optimal almost immediately, and the tail of the order prunes
+/// wholesale. The per-egress bound is constant over an egress class and
+/// constant over each ingress class, so it is evaluated once per class
+/// *pair* — O(classes²) instead of O(m²) — and shared by every member;
+/// the resulting vector is value-identical to the per-pair scan, so the
+/// sort order (and with it the whole sweep) is unchanged.
+pub(crate) fn egress_order(
+    closure: &MetricClosure,
+    a_in: &[Cost],
+    a_out: &[Cost],
+    classes: &[Vec<usize>],
+    rate: u64,
+    seg_lb: Cost,
+) -> Vec<(Cost, usize)> {
+    let mut order: Vec<(Cost, usize)> = Vec::with_capacity(closure.len());
+    for (ti, t_class) in classes.iter().enumerate() {
+        let t_rep = t_class[0];
+        let mut bound = u64::MAX;
+        for (si, s_class) in classes.iter().enumerate() {
+            let s_rep = if si != ti {
+                s_class[0]
+            } else if s_class.len() > 1 {
+                // In-class pair: the constant class diameter as c(s, t).
+                s_class[1]
+            } else {
+                continue; // the lone member is the egress itself
+            };
+            bound = bound.min(pair_bound_raw(
+                closure, a_in, a_out, rate, seg_lb, s_rep, t_rep,
+            ));
+        }
+        for &t_ix in t_class {
+            order.push((bound, t_ix));
+        }
+    }
+    order.sort_unstable();
+    order
+}
+
 /// Shared read-only state of one branch-and-bound sweep, plus the
 /// incumbent the workers race against.
-struct SweepCtx<'a, D: DistanceOracle + ?Sized> {
-    dm: &'a D,
-    agg: &'a AttachAggregates,
-    closure: &'a MetricClosure,
-    n: usize,
-    rate: u64,
+pub(crate) struct SweepCtx<'a, D: DistanceOracle + ?Sized> {
+    pub(crate) dm: &'a D,
+    pub(crate) agg: &'a AttachAggregates,
+    pub(crate) closure: &'a MetricClosure,
+    pub(crate) n: usize,
+    pub(crate) rate: u64,
     /// `(n−1) · c_min`: every chain has `n−1` segments between distinct
     /// switches, each at least the cheapest closure edge.
-    seg_lb: Cost,
+    pub(crate) seg_lb: Cost,
     /// `A_in` / `A_out` re-indexed by closure index.
-    a_in: Vec<Cost>,
-    a_out: Vec<Cost>,
+    pub(crate) a_in: &'a [Cost],
+    pub(crate) a_out: &'a [Cost],
     /// Interchangeability classes of the closure indices
-    /// ([`interchange_classes`]): every bound is evaluated once per class.
-    classes: Vec<Vec<usize>>,
-    /// `class_size[i]`: how many members index `i`'s class has — the
-    /// "was this prune shared with siblings" test for the orbit counter.
-    class_size: Vec<u32>,
+    /// ([`sweep_classes`]): every bound is evaluated once per class.
+    pub(crate) classes: &'a [Vec<usize>],
+    /// [`class_sizes`] of `classes`.
+    pub(crate) class_size: &'a [u32],
+    /// Cross-epoch interior-chain memo; `None` on cold sweeps. See
+    /// [`InteriorMemo`] for why consulting it preserves bit-identity.
+    pub(crate) memo: Option<&'a InteriorMemo>,
     /// Cheapest exact candidate cost seen so far (`u64::MAX` until the
-    /// first candidate; every real bound saturates at [`INFINITY`], which
-    /// is far below it, so nothing is pruned before a candidate exists).
-    incumbent: AtomicU64,
+    /// first candidate — or the warm path's seeded incumbent cost; every
+    /// real bound saturates at [`INFINITY`], which is far below `MAX`, so
+    /// a cold sweep prunes nothing before a candidate exists).
+    pub(crate) incumbent: AtomicU64,
 }
 
 impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
     /// The admissible bound `lb(i, j)` of the module docs.
     fn pair_bound(&self, s_ix: usize, t_ix: usize) -> Cost {
-        let chain_lb = self.closure.cost_ix(s_ix, t_ix).max(self.seg_lb);
-        sat_add(
-            sat_add(self.a_in[s_ix], sat_mul(self.rate, chain_lb)),
-            self.a_out[t_ix],
+        pair_bound_raw(
+            self.closure,
+            self.a_in,
+            self.a_out,
+            self.rate,
+            self.seg_lb,
+            s_ix,
+            t_ix,
         )
+    }
+
+    /// Fills `scratch.chain` with the full candidate chain for one
+    /// `(s_ix, egress)` row — ingress, `n−2` interior switches, egress —
+    /// consulting the interior memo when one is attached. Returns `false`
+    /// when the stroll solver cannot produce `n−2` distinct interior
+    /// switches for the pair; the memo remembers failures too, so a warm
+    /// sweep never re-runs a known-dead row.
+    fn fill_chain(
+        &self,
+        s_ix: usize,
+        t_ix: usize,
+        egress: NodeId,
+        scratch: &mut EgressScratch,
+        memo_slot: Option<&mut MemoSlot>,
+    ) -> bool {
+        scratch.chain.clear();
+        scratch.chain.push(self.closure.node(s_ix));
+        if let Some(slot) = memo_slot {
+            if slot.is_empty() {
+                self.fill_slot(t_ix, scratch, slot);
+            }
+            match &slot[s_ix] {
+                // Memo hit: the chain is closure-determined, so the
+                // cached interior is exactly what the DP would rebuild.
+                Some(interior) => scratch.chain.extend_from_slice(interior),
+                None => return false,
+            }
+        } else {
+            let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
+                return false;
+            };
+            scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
+        }
+        scratch.chain.push(egress);
+        true
+    }
+
+    /// Densely solves every ingress row of egress `t_ix` into its memo
+    /// slot. The table growth behind the first solve dominates the DP's
+    /// cost and reconstructions are nearly free once grown, so completing
+    /// the slot costs barely more than the one row that triggered it —
+    /// and an epoch whose pruning boundary shifted afterwards hits the
+    /// memo instead of re-growing the egress's tables from scratch.
+    fn fill_slot(&self, t_ix: usize, scratch: &mut EgressScratch, slot: &mut MemoSlot) {
+        let m = self.closure.len();
+        slot.reserve_exact(m);
+        for s in 0..m {
+            slot.push(if s == t_ix {
+                None // a chain never starts at its own egress
+            } else {
+                match scratch.solver.solve(self.closure, s, self.n - 2) {
+                    Ok(sol) => Some(Box::from(sol.first_n(self.n - 2))),
+                    Err(_) => None,
+                }
+            });
+        }
     }
 
     /// Best placement whose egress is closure node `t_ix`, skipping every
@@ -443,9 +724,12 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
     ) -> Option<(Cost, Placement)> {
         scratch.solver.reset(self.closure, t_ix);
         let egress = self.closure.node(t_ix);
+        // Held for the whole row loop: this worker is the only visitor of
+        // egress `t_ix`, so the lock never blocks (see [`InteriorMemo`]).
+        let mut memo_slot = self.memo.and_then(|m| m.slot(t_ix));
         let mut best_cost: Option<Cost> = None;
         let mut orbit_skipped = 0u64;
-        for class in &self.classes {
+        for class in self.classes {
             // A valid bound for every member needs an ingress ≠ t_ix; for
             // the class containing t_ix the next member stands in (the
             // in-class distance is constant, so any sibling works).
@@ -469,13 +753,9 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
                 if self.pair_bound(s_ix, t_ix) > self.incumbent.load(Ordering::Acquire) {
                     continue;
                 }
-                let Ok(sol) = scratch.solver.solve(self.closure, s_ix, self.n - 2) else {
+                if !self.fill_chain(s_ix, t_ix, egress, scratch, memo_slot.as_deref_mut()) {
                     continue;
-                };
-                scratch.chain.clear();
-                scratch.chain.push(self.closure.node(s_ix));
-                scratch.chain.extend_from_slice(sol.first_n(self.n - 2));
-                scratch.chain.push(egress);
+                }
                 let cost = self.agg.comm_cost_switches(self.dm, &scratch.chain);
                 // AcqRel publishes the tighter bound to sibling workers as
                 // soon as they next load it — pruning stays monotone.
@@ -500,6 +780,53 @@ impl<D: DistanceOracle + ?Sized> SweepCtx<'_, D> {
         }
         best_cost.map(|c| (c, Placement::new_unchecked(scratch.best_chain.clone())))
     }
+
+    /// Runs the parallel egress sweep over a pre-sorted `(bound, t_ix)`
+    /// order and reduces to the lexicographically-least optimum. The order
+    /// must come from [`egress_order`] (possibly with a warm-path prefix
+    /// filter applied — dropping entries whose bound exceeds the seeded
+    /// incumbent is behavior-identical to pruning them here, because the
+    /// incumbent only falls).
+    pub(crate) fn run_sweep(
+        &self,
+        order: &[(Cost, usize)],
+    ) -> Result<(Placement, Cost), PlacementError> {
+        // The vendored rayon parallelizes owned `Vec`s only; one m-entry
+        // copy per solve is noise next to the stroll fills behind it.
+        let results: Vec<Option<(Cost, Placement)>> = order
+            .to_vec()
+            .into_par_iter()
+            .map(|(bound, t_ix)| {
+                if bound > self.incumbent.load(Ordering::Acquire) {
+                    let obs = ppdc_obs::global();
+                    obs.add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
+                    if self.class_size[t_ix] > 1 {
+                        // The bound that killed this egress was computed
+                        // once for its whole class.
+                        obs.add(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED, 1);
+                    }
+                    return None;
+                }
+                EGRESS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                    Ok(mut scratch) => self.best_for_egress(t_ix, &mut scratch),
+                    // Re-entrant worker on this thread (no such path
+                    // today): fresh scratch instead of a borrow panic.
+                    Err(_) => self.best_for_egress(t_ix, &mut EgressScratch::default()),
+                })
+            })
+            .collect();
+        results
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| a.1.switches().cmp(b.1.switches()))
+            })
+            .map(|(c, p)| (p, c))
+            .ok_or(PlacementError::Stroll(
+                ppdc_stroll::StrollError::Unreachable,
+            ))
+    }
 }
 
 /// The `n ≥ 3` best-first sweep over all egresses.
@@ -510,96 +837,30 @@ fn bb_sweep<D: DistanceOracle + ?Sized>(
     n: usize,
 ) -> Result<(Placement, Cost), PlacementError> {
     let m = closure.len();
-    let mut c_min = INFINITY;
-    for i in 0..m {
-        for j in (i + 1)..m {
-            c_min = c_min.min(closure.cost_ix(i, j));
-        }
-    }
+    let c_min = closure_c_min(closure);
     let interior = u64::try_from(n - 1).unwrap_or(u64::MAX);
+    let rate = agg.total_rate();
+    let seg_lb = sat_mul(interior, c_min);
     let a_in: Vec<Cost> = (0..m).map(|i| agg.a_in(closure.node(i))).collect();
     let a_out: Vec<Cost> = (0..m).map(|i| agg.a_out(closure.node(i))).collect();
-    let classes = interchange_classes(closure, &a_in, &a_out);
-    let mut class_size = vec![0u32; m];
-    for class in &classes {
-        let size = u32::try_from(class.len()).unwrap_or(u32::MAX);
-        for &i in class {
-            class_size[i] = size;
-        }
-    }
+    let classes = sweep_classes(closure, &a_in, &a_out);
+    let class_size = class_sizes(&classes, m);
+    let order = egress_order(closure, &a_in, &a_out, &classes, rate, seg_lb);
     let ctx = SweepCtx {
         dm,
         agg,
         closure,
         n,
-        rate: agg.total_rate(),
-        seg_lb: sat_mul(interior, c_min),
-        a_in,
-        a_out,
-        classes,
-        class_size,
+        rate,
+        seg_lb,
+        a_in: &a_in,
+        a_out: &a_out,
+        classes: &classes,
+        class_size: &class_size,
+        memo: None,
         incumbent: AtomicU64::new(u64::MAX),
     };
-    // Best-bound-first egress order: the cheapest egress is solved first,
-    // so the incumbent is near-optimal almost immediately and the tail of
-    // the (sorted) order prunes wholesale. The per-egress bound
-    // `min_{s≠t} lb(s, t)` is constant over an egress class and constant
-    // over each ingress class, so it is evaluated once per class *pair* —
-    // O(classes²) instead of O(m²) — and shared by every member; the
-    // resulting (bound, t_ix) vector is value-identical to the per-pair
-    // scan, so the sort order (and with it the whole sweep) is unchanged.
-    let mut order: Vec<(Cost, usize)> = Vec::with_capacity(m);
-    for (ti, t_class) in ctx.classes.iter().enumerate() {
-        let t_rep = t_class[0];
-        let mut bound = u64::MAX;
-        for (si, s_class) in ctx.classes.iter().enumerate() {
-            let s_rep = if si != ti {
-                s_class[0]
-            } else if s_class.len() > 1 {
-                // In-class pair: the constant class diameter as c(s, t).
-                s_class[1]
-            } else {
-                continue; // the lone member is the egress itself
-            };
-            bound = bound.min(ctx.pair_bound(s_rep, t_rep));
-        }
-        for &t_ix in t_class {
-            order.push((bound, t_ix));
-        }
-    }
-    order.sort_unstable();
-    let results: Vec<Option<(Cost, Placement)>> = order
-        .into_par_iter()
-        .map(|(bound, t_ix)| {
-            if bound > ctx.incumbent.load(Ordering::Acquire) {
-                let obs = ppdc_obs::global();
-                obs.add(ppdc_obs::names::SOLVER_DP_EGRESS_PRUNED, 1);
-                if ctx.class_size[t_ix] > 1 {
-                    // The bound that killed this egress was computed once
-                    // for its whole class.
-                    obs.add(ppdc_obs::names::SOLVER_DP_ORBIT_PRUNED, 1);
-                }
-                return None;
-            }
-            EGRESS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-                Ok(mut scratch) => ctx.best_for_egress(t_ix, &mut scratch),
-                // Re-entrant worker on this thread (no such path today):
-                // fresh scratch instead of a borrow panic.
-                Err(_) => ctx.best_for_egress(t_ix, &mut EgressScratch::default()),
-            })
-        })
-        .collect();
-    results
-        .into_iter()
-        .flatten()
-        .min_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then_with(|| a.1.switches().cmp(b.1.switches()))
-        })
-        .map(|(c, p)| (p, c))
-        .ok_or(PlacementError::Stroll(
-            ppdc_stroll::StrollError::Unreachable,
-        ))
+    ctx.run_sweep(&order)
 }
 
 /// The pre-pruning exhaustive (ingress, egress) sweep, kept verbatim as the
@@ -851,6 +1112,44 @@ mod tests {
         let split = interchange_classes(&closure, &a_in, &zero);
         assert_eq!(split.len(), classes.len() + 1);
         assert!(split.contains(&vec![0]));
+    }
+
+    #[test]
+    fn sweep_classes_cutoff_is_singletons_below_orbits_above() {
+        // k = 4 (20 switch candidates) sits below ORBIT_MIN_SWITCHES: the
+        // sweep partition is all singletons and no fingerprints are
+        // needed. k = 16 (320) sits above: the partition is exactly the
+        // full interchangeability classification, hashed or not.
+        let g = fat_tree(4).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        let switches: Vec<NodeId> = g.switches().collect();
+        assert!(switches.len() < ORBIT_MIN_SWITCHES);
+        let closure = MetricClosure::over(&dm, &switches);
+        let zero = vec![0u64; switches.len()];
+        let small = sweep_classes(&closure, &zero, &zero);
+        assert_eq!(
+            small,
+            (0..switches.len()).map(|i| vec![i]).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            small,
+            sweep_classes_with_hashes(&closure, &zero, &zero, &[])
+        );
+
+        let ft = ppdc_topology::FatTree::build(16).unwrap();
+        let oracle = ppdc_topology::FatTreeOracle::new(&ft);
+        let big_switches: Vec<NodeId> = ft.graph().switches().collect();
+        assert!(big_switches.len() >= ORBIT_MIN_SWITCHES);
+        let big_closure = MetricClosure::over(&oracle, &big_switches);
+        let zeros = vec![0u64; big_switches.len()];
+        let orbits = interchange_classes(&big_closure, &zeros, &zeros);
+        assert!(orbits.len() < big_switches.len(), "k=16 must compress");
+        assert_eq!(orbits, sweep_classes(&big_closure, &zeros, &zeros));
+        let hashes = closure_row_hashes(&big_closure);
+        assert_eq!(
+            orbits,
+            sweep_classes_with_hashes(&big_closure, &zeros, &zeros, &hashes)
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   switch pairs, solve an `(n−2)`-stroll between them with the shared-
 //!   target DP of Algorithm 2, pick the cheapest assembly. Parallelized
 //!   over egress switches with rayon.
+//! * [`dp_placement_warm`] — the same sweep warm-started for streaming
+//!   epochs: a persistent [`BoundCache`] of bound terms and egress order
+//!   plus incumbent seeding, bit-identical to the cold solve ([`warm`]).
 //! * [`optimal_placement`] — **Optimal** (Algorithm 4): exact
 //!   branch-and-bound over ordered distinct switch sequences (see
 //!   [`optimal`] for the bound); [`exhaustive_placement`] is the paper's
@@ -43,6 +46,7 @@ pub mod optimal;
 pub mod replication;
 pub mod scaling;
 pub mod top1;
+pub mod warm;
 
 pub use aggregates::{AggregateError, AttachAggregates, HostMassDelta};
 pub use baselines::{
@@ -63,6 +67,7 @@ pub use scaling::{
     comm_cost_scaled, optimal_placement_scaled, scaled_segment_rates, TrafficScaling,
 };
 pub use top1::{top1_dp, top1_optimal, top1_primal_dual, Top1Solution};
+pub use warm::{dp_placement_warm, BoundCache};
 
 use ppdc_model::ModelError;
 use ppdc_stroll::StrollError;

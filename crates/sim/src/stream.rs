@@ -37,11 +37,21 @@
 //!   (derived state — shards, aggregates — is rebuilt from the
 //!   checkpointed rate vector; the PR 1 delta/rebuild equivalence makes
 //!   the reconstruction exact).
+//!
+//! Epochs that do re-solve go through [`dp_placement_warm`]: each ingest
+//! reports its merged mass deltas to a persistent
+//! [`BoundCache`](ppdc_placement::BoundCache) so only touched bound rows
+//! refresh, and the incumbent placement — priced under the new
+//! aggregates — seeds the sweep's upper bound. The warm solve is
+//! bit-identical to the cold one (DESIGN.md §10), so nothing downstream
+//! can tell; it is just 1–2 orders of magnitude faster on localized
+//! churn. The cache is derived state and is **never** checkpointed: a
+//! resumed day starts cold and rebuilds it on its first re-solve.
 
 use ppdc_model::{FlowId, ModelError, Placement, Sfc, Workload};
 use ppdc_obs::names as obs_names;
 use ppdc_placement::{
-    dp_placement_with_agg, placement_cost_lower_bound, AggregateError, AttachAggregates,
+    dp_placement_warm, placement_cost_lower_bound, AggregateError, AttachAggregates, BoundCache,
     HostMassDelta, PlacementError,
 };
 use ppdc_topology::{Cost, DistanceOracle, Graph, NodeId};
@@ -1085,12 +1095,18 @@ fn run_stream_day_impl<D: DistanceOracle + ?Sized>(
     };
     let mut w_cur = w.clone();
     let mut tracker = DriftTracker::new(cfg.drift_threshold);
+    // The warm-solver bound cache lives for the day and is *never*
+    // persisted: a resumed day starts from an empty cache and rebuilds it
+    // on its first re-solve, so `ppdc-stream-ckpt/v1` stays primary-state-
+    // only and kill/resume stays bit-identical (warm ≡ cold makes the
+    // rebuilt cache indistinguishable from the lost one).
+    let mut cache = BoundCache::new();
     let (start_epoch, mut store, mut agg, mut placement, mut st) = match resume {
         None => {
             w_cur.set_rates(&trace.rates_at(0))?;
             let store = ShardedFlowStore::build(g, &w_cur)?;
             let agg = AttachAggregates::build(g, dm, &w_cur);
-            let (p, c) = dp_placement_with_agg(g, dm, &w_cur, sfc, &agg)?;
+            let (p, c) = dp_placement_warm(g, dm, &w_cur, sfc, &agg, &mut cache, None)?;
             let st = StreamResult {
                 initial_cost: c,
                 placement: p.switches().to_vec(),
@@ -1136,6 +1152,7 @@ fn run_stream_day_impl<D: DistanceOracle + ?Sized>(
             let _span = obs.span(obs_names::STREAM_INGEST);
             let report = store.ingest(&batch)?;
             agg.try_apply_mass_deltas(dm, &report.masses, report.total_delta)?;
+            cache.note_mass_deltas(&report.masses);
             report
         };
         obs.add(obs_names::STREAM_DELTAS, report.applied);
@@ -1159,7 +1176,8 @@ fn run_stream_day_impl<D: DistanceOracle + ?Sized>(
             } else {
                 store.export_rates(&mut rates_buf);
                 w_cur.set_rates(&rates_buf)?;
-                let (p, c) = dp_placement_with_agg(g, dm, &w_cur, sfc, &agg)?;
+                let (p, c) =
+                    dp_placement_warm(g, dm, &w_cur, sfc, &agg, &mut cache, Some(&placement))?;
                 st.resolves += 1;
                 obs.add(obs_names::STREAM_RESOLVES, 1);
                 tracker.reset();

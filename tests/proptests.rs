@@ -733,17 +733,98 @@ proptest! {
         }
     }
 
+    /// The warm-started re-solver is bit-identical to the exhaustive cold
+    /// sweep — cost **and** lexicographic switch tie-break — across random
+    /// epoch sequences of churn confined to a random locality, with the
+    /// previous optimum seeding every warm solve and multi-epoch delta
+    /// batches merged into a single bound-cache refresh.
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold(
+        seed in any::<u64>(),
+        num_flows in 4usize..24,
+        n_epochs in 2usize..7,
+        n in 3usize..5,
+        locality in 0usize..3,
+        solve_every in 1usize..3,
+    ) {
+        use ppdc::model::FlowId;
+        use ppdc::placement::{dp_placement_warm, BoundCache};
+        use ppdc::sim::{RateDelta, ShardedFlowStore};
+        use ppdc::topology::{FatTree, FatTreeOracle};
+        let ft = FatTree::build(4).unwrap();
+        let g = ft.graph();
+        let oracle = FatTreeOracle::new(&ft);
+        let hosts: Vec<NodeId> = g.hosts().collect();
+        let mut x = seed | 1;
+        let mut next = || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        let mut w = Workload::new();
+        for _ in 0..num_flows {
+            let a = hosts[next() as usize % hosts.len()];
+            let b = hosts[next() as usize % hosts.len()];
+            w.add_pair(a, b, next() % 1_000 + 1);
+        }
+        let sfc = Sfc::of_len(n).unwrap();
+        // Churn stays confined to a prefix of the hosts — a couple of
+        // racks, half the fabric, or everything — mirroring the smoke's
+        // churn localities.
+        let hot = [hosts.len() / 8 + 1, hosts.len() / 2, hosts.len()][locality];
+        let flow_src: Vec<usize> = w
+            .iter()
+            .map(|(_, src, _, _)| hosts.iter().position(|&h| h == src).unwrap())
+            .collect();
+        let mut store = ShardedFlowStore::build(g, &w).unwrap();
+        let mut agg = AttachAggregates::build(g, &oracle, &w);
+        let mut cache = BoundCache::new();
+        let mut prev: Option<Placement> = None;
+        let mut rates: Vec<u64> = w.rates().to_vec();
+        for epoch in 0..n_epochs {
+            let deltas: Vec<RateDelta> = (0..rates.len()).filter_map(|f| {
+                if flow_src[f] >= hot || next() % 2 == 0 {
+                    return None;
+                }
+                let d = ((next() % 2_000) as i64 - 1_000).max(-(rates[f] as i64));
+                (d != 0).then_some(RateDelta { flow: FlowId(f as u32), delta: d })
+            }).collect();
+            for d in &deltas {
+                let f = d.flow.index();
+                rates[f] = (rates[f] as i64 + d.delta) as u64;
+            }
+            let report = store.ingest(&deltas).unwrap();
+            agg.try_apply_mass_deltas(&oracle, &report.masses, report.total_delta).unwrap();
+            cache.note_mass_deltas(&report.masses);
+            // Not every epoch solves: skipped epochs pile their deltas
+            // into the next refresh, like a drift-gated engine would.
+            if (epoch + 1) % solve_every != 0 && epoch + 1 != n_epochs {
+                continue;
+            }
+            let (wp, wc) =
+                dp_placement_warm(g, &oracle, &w, &sfc, &agg, &mut cache, prev.as_ref()).unwrap();
+            let (cp, cc) = dp_placement_exhaustive_with_agg(g, &oracle, &w, &sfc, &agg).unwrap();
+            prop_assert_eq!(wc, cc, "epoch {}: warm cost diverged", epoch);
+            prop_assert_eq!(
+                wp.switches(), cp.switches(),
+                "epoch {}: warm tie-break diverged", epoch
+            );
+            prev = Some(wp);
+        }
+    }
+
     /// Crash safety for the streaming engine: killing a streamed day at a
     /// random epoch and resuming from the JSON-round-tripped checkpoint
     /// finishes **bit-identically** to the uninterrupted run — placement,
     /// per-epoch records, and every accumulated counter — across drift
-    /// thresholds that re-solve always, sometimes, and never.
+    /// thresholds that re-solve always, sometimes, and never, and across
+    /// certified-gap settings that accept or reject the incumbent. The
+    /// resumed engine starts from a fresh [`ppdc::placement::BoundCache`]
+    /// (never persisted), so this also pins down that a rebuilt warm cache
+    /// cannot steer any post-restore re-solve.
     #[test]
     fn stream_kill_and_resume_is_bit_identical(
         seed in any::<u64>(),
         num_pairs in 4usize..24,
         kill_pick in any::<u32>(),
         threshold_pick in 0usize..3,
+        gap_pick in 0usize..3,
     ) {
         use ppdc::sim::{resume_stream_day, run_stream_day, StreamCheckpoint, StreamConfig};
         use ppdc::topology::{FatTree, FatTreeOracle};
@@ -756,6 +837,7 @@ proptest! {
         let sfc = Sfc::of_len(3).unwrap();
         let cfg = StreamConfig {
             drift_threshold: [0u64, 5_000, u64::MAX][threshold_pick],
+            max_certified_gap: [0u64, 10_000, u64::MAX][gap_pick],
             ..StreamConfig::default()
         };
         let full = run_stream_day(ft.graph(), &oracle, &w, &trace, &sfc, &cfg).unwrap();
@@ -775,7 +857,7 @@ proptest! {
         prop_assert!(resumed.completed);
         prop_assert_eq!(
             resumed.result, full.result,
-            "threshold {} kill {}", cfg.drift_threshold, kill
+            "threshold {} gap {} kill {}", cfg.drift_threshold, cfg.max_certified_gap, kill
         );
     }
 }
